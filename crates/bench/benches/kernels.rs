@@ -1,0 +1,146 @@
+//! Criterion benchmarks of the *real* workload kernels — the native
+//! compute that backs the simulator's abstract work counters. These
+//! measure this machine, not the simulated cloud; they are the
+//! calibration substrate for `ops_per_sec_full_cpu`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sebs_sim::SimRng;
+use sebs_workloads::compress::{compress, decompress};
+use sebs_workloads::graph::bfs::{bfs_direction_optimizing, bfs_distances};
+use sebs_workloads::graph::mst::boruvka_mst;
+use sebs_workloads::graph::pagerank::pagerank;
+use sebs_workloads::graph::{rmat_edges, CsrGraph};
+use sebs_workloads::image::RasterImage;
+use sebs_workloads::inference::{MiniResNet, Tensor};
+use sebs_workloads::squiggle::{downsample, squiggle};
+use sebs_workloads::templating::{Template, Value, PAGE_TEMPLATE};
+use sebs_workloads::video::{encode_gif_like, watermark, Clip};
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    let mut rng = SimRng::new(1).stream("bench");
+    for size in [16 * 1024, 256 * 1024] {
+        let data: Vec<u8> = (0..size)
+            .map(|i| {
+                // Text-like redundancy.
+                let words = b"serverless benchmark suite function latency ";
+                words[(i * 7 + rand::Rng::gen_range(&mut rng, 0..3)) % words.len()]
+            })
+            .collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("compress", size), &data, |b, data| {
+            b.iter(|| compress(data))
+        });
+        let (packed, _) = compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", size), &packed, |b, packed| {
+            b.iter(|| decompress(packed).expect("valid archive"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs");
+    let mut rng = SimRng::new(2).stream("bench");
+    for scale in [10u32, 13] {
+        let (n, edges) = rmat_edges(scale, 16, &mut rng);
+        let undirected = CsrGraph::from_edges(
+            n,
+            &edges.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+            true,
+        );
+        let directed = CsrGraph::from_weighted_edges(n, &edges, false);
+        let weighted = CsrGraph::from_weighted_edges(n, &edges, true);
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        group.bench_function(BenchmarkId::new("bfs_top_down", scale), |b| {
+            b.iter(|| bfs_distances(&undirected, 0))
+        });
+        group.bench_function(BenchmarkId::new("bfs_direction_opt", scale), |b| {
+            b.iter(|| bfs_direction_optimizing(&undirected, 0, 14, 24))
+        });
+        group.bench_function(BenchmarkId::new("pagerank_20it", scale), |b| {
+            b.iter(|| pagerank(&directed, 0.85, 1e-8, 20))
+        });
+        group.bench_function(BenchmarkId::new("boruvka_mst", scale), |b| {
+            b.iter(|| boruvka_mst(&weighted))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multimedia(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multimedia");
+    let img = RasterImage::synthetic(1920, 1080);
+    group.bench_function("thumbnail_1080p_to_200", |b| {
+        b.iter(|| img.thumbnail(200, 200))
+    });
+    let clip = Clip::synthetic(320, 180, 24, 24);
+    group.bench_function("gif_encode_320x180x24", |b| {
+        b.iter(|| encode_gif_like(&clip))
+    });
+    let logo = RasterImage::synthetic(64, 36);
+    group.bench_function("watermark_320x180", |b| {
+        b.iter_batched(
+            || clip.frames()[0].clone(),
+            |mut frame| watermark(&mut frame, &logo, 250, 140, 160),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    let net = MiniResNet::new();
+    for dim in [32u32, 64] {
+        let input = Tensor::from_image(&RasterImage::synthetic(dim, dim));
+        group.bench_function(BenchmarkId::new("forward", dim), |b| {
+            b.iter(|| net.forward(&input))
+        });
+    }
+    group.finish();
+}
+
+fn bench_webapps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webapps");
+    let template = Template::compile(PAGE_TEMPLATE).expect("built-in template");
+    let mut ctx = std::collections::HashMap::new();
+    ctx.insert("username".to_string(), Value::Str("bench".into()));
+    ctx.insert("cur_time".to_string(), Value::Str("now".into()));
+    ctx.insert("show_numbers".to_string(), Value::Bool(true));
+    ctx.insert(
+        "random_numbers".to_string(),
+        Value::List((0..1000).map(|i| Value::Num(i as f64)).collect()),
+    );
+    group.bench_function("render_1000_rows", |b| {
+        b.iter(|| template.render(&ctx).expect("valid context"))
+    });
+
+    let seq: Vec<u8> = (0..100_000).map(|i| b"ACGT"[i % 4]).collect();
+    group.bench_function("squiggle_100k_bases", |b| b.iter(|| squiggle(&seq)));
+    let points = squiggle(&seq);
+    group.bench_function("downsample_to_4k", |b| b.iter(|| downsample(&points, 4000)));
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // Bounded wall-clock: the suite has many benchmarks; 20 samples with
+    // short windows keeps `cargo bench --workspace` in the minutes range
+    // while staying well above measurement noise for ms-scale kernels.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = configured();
+    targets =
+    bench_compression,
+    bench_graphs,
+    bench_multimedia,
+    bench_inference,
+    bench_webapps
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the simulator itself: how fast the platform
+//! model processes invocations, and an **ablation** of the eviction policy
+//! (the DESIGN.md-flagged design choice: providers as data, mechanisms as
+//! code — swapping the eviction policy changes Figure 7's shape without
+//! touching the platform).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sebs_platform::{
+    EvictionPolicy, FaasPlatform, FunctionConfig, ProviderProfile,
+};
+use sebs_sim::{Dist, SimDuration};
+use sebs_workloads::templating::DynamicHtml;
+use sebs_workloads::{Language, Scale};
+
+fn bench_invocations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform");
+    for burst in [1usize, 10, 50] {
+        group.throughput(Throughput::Elements(burst as u64));
+        group.bench_function(BenchmarkId::new("warm_burst", burst), |b| {
+            let wl = DynamicHtml::new(Language::Python);
+            let mut platform = FaasPlatform::new(ProviderProfile::aws(), 1);
+            let fid = platform
+                .deploy(FunctionConfig::new("html", Language::Python, 256))
+                .expect("deploys");
+            let payload = platform.prepare(&wl, Scale::Test);
+            let payloads = vec![payload; burst];
+            // Warm the pool.
+            platform.invoke_burst(fid, &wl, &payloads);
+            b.iter(|| {
+                platform.advance(SimDuration::from_secs(1));
+                platform.invoke_burst(fid, &wl, &payloads)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_ablation(c: &mut Criterion) {
+    // Measures the same warm-probe sequence under three eviction policies;
+    // the *results* differ (half-life loses half the pool per period, idle
+    // timeout all-or-nothing, never keeps everything) while the mechanism
+    // cost stays comparable.
+    let mut group = c.benchmark_group("eviction_ablation");
+    let policies: Vec<(&str, EvictionPolicy)> = vec![
+        (
+            "half_life_380s",
+            EvictionPolicy::HalfLife {
+                period: SimDuration::from_secs(380),
+            },
+        ),
+        (
+            "idle_timeout_10min",
+            EvictionPolicy::IdleTimeout {
+                timeout: SimDuration::from_secs(600),
+                jitter_ms: Dist::Uniform {
+                    lo: 0.0,
+                    hi: 60_000.0,
+                },
+            },
+        ),
+        ("never", EvictionPolicy::Never),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(BenchmarkId::new("probe_cycle", name), |b| {
+            let wl = DynamicHtml::new(Language::Python);
+            let mut profile = ProviderProfile::aws();
+            profile.eviction = policy.clone();
+            let mut platform = FaasPlatform::new(profile, 7);
+            let fid = platform
+                .deploy(FunctionConfig::new("html", Language::Python, 256))
+                .expect("deploys");
+            let payload = platform.prepare(&wl, Scale::Test);
+            let payloads = vec![payload; 16];
+            b.iter(|| {
+                platform.enforce_cold_start(fid);
+                platform.invoke_burst(fid, &wl, &payloads);
+                platform.advance(SimDuration::from_secs(400));
+                platform.warm_containers(fid)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocations, bench_eviction_ablation);
+criterion_main!(benches);

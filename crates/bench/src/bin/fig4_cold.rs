@@ -1,0 +1,77 @@
+//! Regenerates **Figure 4**: cold-startup overheads on AWS Lambda and
+//! Google Cloud Functions — the distribution of cold/warm client-time
+//! ratios over all N² combinations, per memory size.
+
+use sebs::experiments::{run_cold_start, run_perf_cost};
+use sebs::Suite;
+use sebs_bench::{fmt, BenchEnv};
+use sebs_metrics::TextTable;
+use sebs_platform::ProviderKind;
+use sebs_workloads::Language;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("Figure 4 — cold startup overheads"));
+    let mut suite = Suite::new(env.suite_config());
+
+    let benchmarks = [
+        ("dynamic-html", Language::Python),
+        ("uploader", Language::Python),
+        ("compression", Language::Python),
+        ("image-recognition", Language::Python),
+        ("graph-bfs", Language::Python),
+    ];
+    // Figure 4 contrasts AWS (ratios fall with memory) and GCP (they don't).
+    let providers = [ProviderKind::Aws, ProviderKind::Gcp];
+    let memories = [128, 512, 1024, 2048];
+
+    let perf = run_perf_cost(&mut suite, &benchmarks, &providers, &memories, env.scale);
+    let ratios = run_cold_start(&perf);
+
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Provider",
+        "Mem [MB]",
+        "Ratio p50",
+        "Ratio p2",
+        "Ratio p98",
+    ]);
+    for r in &ratios {
+        table.row(vec![
+            r.benchmark.clone(),
+            r.provider.to_string(),
+            r.memory_mb.to_string(),
+            fmt(r.ratio.median(), 2),
+            fmt(r.ratio.percentile(2.0), 2),
+            fmt(r.ratio.percentile(98.0), 2),
+        ]);
+    }
+    print!("{table}");
+
+    println!("\nMemory effect on the median cold/warm ratio:");
+    for provider in providers {
+        for (benchmark, _) in &benchmarks {
+            let mut per_mem: Vec<(u32, f64)> = ratios
+                .iter()
+                .filter(|r| r.provider == provider && r.benchmark == *benchmark)
+                .map(|r| (r.memory_mb, r.ratio.median()))
+                .collect();
+            per_mem.sort_by_key(|&(m, _)| m);
+            if per_mem.len() >= 2 {
+                let first = per_mem.first().expect("nonempty");
+                let last = per_mem.last().expect("nonempty");
+                let trend = if last.1 < first.1 * 0.9 {
+                    "falls with memory"
+                } else if last.1 > first.1 * 1.1 {
+                    "grows with memory"
+                } else {
+                    "flat"
+                };
+                println!(
+                    "  {provider} {benchmark:<20} {:.2} @ {} MB -> {:.2} @ {} MB  ({trend})",
+                    first.1, first.0, last.1, last.0
+                );
+            }
+        }
+    }
+}

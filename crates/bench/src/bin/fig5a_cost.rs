@@ -1,0 +1,78 @@
+//! Regenerates **Figure 5a**: execution cost of one million requests as a
+//! function of the memory configuration, for image-recognition and
+//! compression (the paper's contrast: performance gains are nearly free
+//! for one, and cost-inflating for the other).
+
+use sebs::experiments::run_perf_cost;
+use sebs::Suite;
+use sebs_bench::{fmt, BenchEnv};
+use sebs_metrics::TextTable;
+use sebs_platform::{ProviderKind, StartKind};
+use sebs_workloads::Language;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("Figure 5a — cost of 1M executions vs memory"));
+    let mut suite = Suite::new(env.suite_config());
+
+    let benchmarks = [
+        ("image-recognition", Language::Python),
+        ("compression", Language::Python),
+    ];
+    let providers = [ProviderKind::Aws, ProviderKind::Gcp];
+    let memories = [128, 256, 512, 1024, 1536, 2048, 3008];
+
+    let result = run_perf_cost(&mut suite, &benchmarks, &providers, &memories, env.scale);
+
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Provider",
+        "Mem [MB]",
+        "Median time [ms]",
+        "Cost of 1M [$]",
+    ]);
+    for s in result
+        .series
+        .iter()
+        .filter(|s| s.start == StartKind::Warm && !s.client_ms.is_empty())
+    {
+        table.row(vec![
+            s.benchmark.clone(),
+            s.provider.to_string(),
+            s.memory_mb.to_string(),
+            fmt(s.median_provider_ms(), 1),
+            fmt(s.cost_of_million_usd(), 2),
+        ]);
+    }
+    print!("{table}");
+
+    println!("\nCost growth from smallest to largest working configuration:");
+    for (benchmark, _) in &benchmarks {
+        for provider in providers {
+            let mut cells: Vec<(u32, f64, f64)> = result
+                .series
+                .iter()
+                .filter(|s| {
+                    s.start == StartKind::Warm
+                        && s.benchmark == *benchmark
+                        && s.provider == provider
+                        && !s.cost_usd.is_empty()
+                })
+                .map(|s| (s.memory_mb, s.cost_of_million_usd(), s.median_provider_ms()))
+                .collect();
+            cells.sort_by_key(|&(m, _, _)| m);
+            if let (Some(lo), Some(hi)) = (cells.first(), cells.last()) {
+                println!(
+                    "  {provider} {benchmark:<20} ${:.2} @ {} MB -> ${:.2} @ {} MB \
+                     (speedup {:.1}x, cost x{:.2})",
+                    lo.1,
+                    lo.0,
+                    hi.1,
+                    hi.0,
+                    lo.2 / hi.2,
+                    hi.1 / lo.1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 6**: invocation overhead of functions with varying
+//! payload size (1 kB – 5.9 MB), for warm and cold starts on all three
+//! providers, after min-RTT clock synchronization. Prints the linear-fit
+//! slopes and adjusted R² values the paper reports (≈0.99 AWS warm, 0.89
+//! Azure warm, 0.90 GCP warm, 0.94 AWS cold).
+
+use sebs::experiments::invocation_overhead::paper_payload_sizes;
+use sebs::experiments::run_invocation_overhead;
+use sebs::Suite;
+use sebs_bench::{fmt, BenchEnv};
+use sebs_metrics::TextTable;
+use sebs_platform::ProviderKind;
+use sebs_stats::Summary;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("Figure 6 — invocation overhead vs payload"));
+    let mut suite = Suite::new(env.suite_config());
+    let sizes = paper_payload_sizes();
+    let samples = (env.samples / 5).max(3);
+
+    let mut fit_table = TextTable::new(vec![
+        "Provider",
+        "Start",
+        "Intercept [ms]",
+        "Slope [ms/MB]",
+        "Adj. R^2",
+        "Clock offset [s]",
+        "Sync RTTs",
+    ]);
+    for provider in [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp] {
+        let result = run_invocation_overhead(&mut suite, provider, &sizes, samples);
+        println!("\n{provider}: payload sweep (medians per size)");
+        let mut table = TextTable::new(vec![
+            "Payload [kB]",
+            "Warm overhead [ms]",
+            "Cold overhead [ms]",
+        ]);
+        for &size in &sizes {
+            let warm: Vec<f64> = result
+                .warm_points()
+                .filter(|p| p.payload_bytes == size)
+                .map(|p| p.overhead_ms)
+                .collect();
+            let cold: Vec<f64> = result
+                .cold_points()
+                .filter(|p| p.payload_bytes == size)
+                .map(|p| p.overhead_ms)
+                .collect();
+            table.row(vec![
+                format!("{}", size / 1000),
+                if warm.is_empty() {
+                    "-".into()
+                } else {
+                    fmt(Summary::from_values(&warm).median(), 1)
+                },
+                if cold.is_empty() {
+                    "-".into()
+                } else {
+                    fmt(Summary::from_values(&cold).median(), 1)
+                },
+            ]);
+        }
+        print!("{table}");
+
+        for (label, fit) in [("warm", result.warm_fit), ("cold", result.cold_fit)] {
+            if let Some(f) = fit {
+                fit_table.row(vec![
+                    provider.to_string(),
+                    label.to_string(),
+                    fmt(f.intercept, 1),
+                    fmt(f.slope * 1e6, 1),
+                    fmt(f.adjusted_r_squared, 3),
+                    fmt(result.sync.offset_secs, 3),
+                    result.sync.exchanges.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("\nLinear fits (overhead = intercept + slope * payload):");
+    print!("{fit_table}");
+    println!(
+        "\nReading: warm latency scales linearly with payload everywhere — \
+         network transmission is the only major payload-dependent overhead. \
+         Azure/GCP cold starts fit poorly (paper §6.4 Q1/Q2)."
+    );
+}

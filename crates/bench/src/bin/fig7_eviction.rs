@@ -1,0 +1,93 @@
+//! Regenerates **Figure 7** (panels a–f) and validates **Equations 1–2**:
+//! container eviction lifecycles on the AWS profile across languages,
+//! memory sizes, execution times and code-package sizes, plus the fitted
+//! half-life model.
+
+use sebs::experiments::{run_eviction_model, EvictionExperimentConfig};
+use sebs::Suite;
+use sebs_bench::{fmt, BenchEnv};
+use sebs_metrics::TextTable;
+use sebs_platform::ProviderKind;
+use sebs_sim::SimDuration;
+use sebs_workloads::Language;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("Figure 7 — container eviction model"));
+
+    // The six panels of Figure 7.
+    let base = EvictionExperimentConfig::paper_default(ProviderKind::Aws);
+    let panels: Vec<(&str, EvictionExperimentConfig)> = vec![
+        ("(a) Node.js, 128 MB, 1 s", {
+            let mut c = base.clone();
+            c.language = Language::NodeJs;
+            c
+        }),
+        ("(b) Python, 128 MB, 1 s", base.clone()),
+        ("(c) Python, 1536 MB, 1 s", {
+            let mut c = base.clone();
+            c.memory_mb = 1536;
+            c
+        }),
+        ("(d) Python, 128 MB, 10 s", {
+            let mut c = base.clone();
+            c.sleep = SimDuration::from_secs(10);
+            c
+        }),
+        ("(e) Python, 1536 MB, 10 s", {
+            let mut c = base.clone();
+            c.memory_mb = 1536;
+            c.sleep = SimDuration::from_secs(10);
+            c
+        }),
+        ("(f) Python, 128 MB, 1 s, 250 MB package", {
+            let mut c = base.clone();
+            c.code_package_bytes = 250_000_000;
+            c
+        }),
+    ];
+
+    let mut fits = TextTable::new(vec!["Panel", "Fitted P [s]", "R^2", "Observations"]);
+    for (label, config) in panels {
+        let mut suite = Suite::new(env.suite_config());
+        let result = run_eviction_model(&mut suite, config);
+        println!("\nPanel {label}: D_warm by (D_init, ΔT)");
+        let dt_headers: Vec<String> = result
+            .config
+            .delta_t_secs
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        let mut headers = vec!["D_init \\ ΔT [s]"];
+        headers.extend(dt_headers.iter().map(String::as_str));
+        let mut table = TextTable::new(headers);
+        for &d_init in &result.config.d_init {
+            let mut row = vec![d_init.to_string()];
+            for &dt in &result.config.delta_t_secs {
+                let obs = result
+                    .observations
+                    .iter()
+                    .find(|o| o.d_init == d_init && o.delta_t_secs == dt as f64);
+                row.push(obs.map_or("-".into(), |o| o.d_warm.to_string()));
+            }
+            table.row(row);
+        }
+        print!("{table}");
+        if let Some(fit) = result.fit {
+            fits.row(vec![
+                label.to_string(),
+                fmt(fit.period_secs, 1),
+                fmt(fit.r_squared, 4),
+                fit.n.to_string(),
+            ]);
+            if let Some(batch) = result.optimal_batch(1000, 1.9) {
+                println!(
+                    "Equation 2: keeping 1000 instances of a 1.9 s function warm \
+                     needs batches of D_init = {batch:.1}"
+                );
+            }
+        }
+    }
+    println!("\nEquation 1 fits per panel (paper: P = 380 s, R² > 0.99):");
+    print!("{fits}");
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Table 2**: the comparison of commercial FaaS providers —
+//! from the simulator's provider profiles, so the table always reflects
+//! the policies the experiments actually run under.
+
+use sebs_metrics::TextTable;
+use sebs_platform::provider::{CpuPolicy, MemoryPolicy};
+use sebs_platform::ProviderProfile;
+
+fn main() {
+    println!("=== SeBS-RS :: Table 2 — provider policy comparison ===");
+    let mut table = TextTable::new(vec![
+        "Policy",
+        "AWS Lambda",
+        "Azure Functions",
+        "GCP Functions",
+    ]);
+    let profiles = ProviderProfile::all();
+    let cell = |f: &dyn Fn(&ProviderProfile) -> String| -> Vec<String> {
+        profiles.iter().map(f).collect()
+    };
+
+    let mut push = |name: &str, values: Vec<String>| {
+        let mut row = vec![name.to_string()];
+        row.extend(values);
+        table.row(row);
+    };
+
+    push(
+        "Languages (native)",
+        cell(&|p| {
+            p.languages
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        }),
+    );
+    push(
+        "Time limit",
+        cell(&|p| format!("{} min", p.limits.timeout.as_secs_f64() / 60.0)),
+    );
+    push(
+        "Memory allocation",
+        cell(&|p| match &p.memory {
+            MemoryPolicy::StaticRange { min_mb, max_mb, .. } => {
+                format!("Static, {min_mb}-{max_mb} MB")
+            }
+            MemoryPolicy::StaticTiers(tiers) => format!("Static tiers {tiers:?} MB"),
+            MemoryPolicy::Dynamic { max_mb } => format!("Dynamic, up to {max_mb} MB"),
+        }),
+    );
+    push(
+        "CPU allocation",
+        cell(&|p| match &p.cpu {
+            CpuPolicy::ProportionalToMemory { mb_per_vcpu, .. } => {
+                format!("Proportional: 1 vCPU / {mb_per_vcpu} MB")
+            }
+            CpuPolicy::Fixed(s) => format!("Fixed {s} vCPU per instance"),
+        }),
+    );
+    push(
+        "Billing",
+        cell(&|p| {
+            if p.billing.bills_measured_memory {
+                "Average memory use, duration".into()
+            } else if p.billing.usd_per_ghz_second > 0.0 {
+                "Duration, declared CPU and memory".into()
+            } else {
+                "Duration and declared memory".into()
+            }
+        }),
+    );
+    push(
+        "Deployment package limit",
+        cell(&|p| format!("{} MB", p.limits.code_package_bytes / 1_000_000)),
+    );
+    push(
+        "Concurrency limit",
+        cell(&|p| format!("{}", p.limits.concurrency)),
+    );
+    push(
+        "Temporary disk",
+        cell(&|p| {
+            if p.limits.temp_disk_bytes == 0 {
+                "Counted against memory".into()
+            } else {
+                format!("{} MB", p.limits.temp_disk_bytes / 1_000_000)
+            }
+        }),
+    );
+    print!("{table}");
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Table 3**: the SeBS application list, from the live
+//! workload registry.
+
+use sebs_metrics::TextTable;
+use sebs_workloads::all_workloads;
+
+fn main() {
+    println!("=== SeBS-RS :: Table 3 — benchmark applications ===");
+    let mut table = TextTable::new(vec!["Type", "Name", "Language", "Dep", "Package"]);
+    for reg in all_workloads() {
+        let spec = reg.workload.spec();
+        table.row(vec![
+            reg.category.to_string(),
+            spec.name.clone(),
+            spec.language.to_string(),
+            if spec.dependencies.is_empty() {
+                "-".into()
+            } else {
+                spec.dependencies.join(", ")
+            },
+            format!("{:.1} MB", spec.code_package_bytes as f64 / 1e6),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table 4**: local characterization of all benchmarks —
+//! cold/warm times, instructions and CPU utilization over repeated local
+//! executions (50 in the paper).
+
+use sebs::experiments::run_local_characterization;
+use sebs_bench::{fmt, BenchEnv};
+use sebs_metrics::TextTable;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("Table 4 — local characterization"));
+    let rows = run_local_characterization(env.samples, env.scale, env.seed);
+    let mut table = TextTable::new(vec![
+        "Name",
+        "Lang",
+        "Cold [ms]",
+        "Warm [ms]",
+        "Instructions",
+        "CPU%",
+        "Peak mem [MB]",
+    ]);
+    for row in rows {
+        table.row(vec![
+            row.benchmark.clone(),
+            row.language.to_string(),
+            format!(
+                "{} ± {}",
+                fmt(row.cold_ms.median(), 1),
+                fmt(row.cold_ms.std_dev(), 1)
+            ),
+            format!(
+                "{} ± {}",
+                fmt(row.warm_ms.median(), 2),
+                fmt(row.warm_ms.std_dev(), 2)
+            ),
+            format!("{:.1}M", row.instructions / 1e6),
+            format!("{:.1}%", row.cpu_utilization * 100.0),
+            fmt(row.peak_memory_mb, 1),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table 6**: the break-even request rates at which an AWS
+//! Lambda deployment starts costing more than a fully-utilized t2.micro,
+//! for the most cost-efficient (Eco) and best-performing (Perf)
+//! configurations.
+
+use sebs::experiments::run_break_even;
+use sebs::Suite;
+use sebs_bench::{fmt, BenchEnv};
+use sebs_metrics::TextTable;
+use sebs_platform::ProviderKind;
+use sebs_workloads::Language;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("Table 6 — FaaS/IaaS break-even"));
+    let mut suite = Suite::new(env.suite_config());
+
+    let benchmarks = [
+        ("uploader", Language::Python),
+        ("thumbnailer", Language::Python),
+        ("thumbnailer", Language::NodeJs),
+        ("compression", Language::Python),
+        ("image-recognition", Language::Python),
+        ("graph-bfs", Language::Python),
+    ];
+    let memories = [128, 256, 512, 1024, 1536, 2048, 3008];
+
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Lang",
+        "IaaS local [req/h]",
+        "IaaS cloud [req/h]",
+        "Eco 1M [$]",
+        "Eco B-E [req/h]",
+        "Perf 1M [$]",
+        "Perf B-E [req/h]",
+    ]);
+    for (benchmark, language) in benchmarks {
+        let Some(row) = run_break_even(
+            &mut suite,
+            ProviderKind::Aws,
+            benchmark,
+            language,
+            &memories,
+            env.samples,
+            env.scale,
+            env.seed,
+        ) else {
+            continue;
+        };
+        table.row(vec![
+            row.benchmark.clone(),
+            row.language.to_string(),
+            fmt(row.iaas_local_rph, 0),
+            fmt(row.iaas_cloud_rph, 0),
+            fmt(row.eco_cost_million, 2),
+            fmt(row.eco_break_even_rph(), 0),
+            fmt(row.perf_cost_million, 2),
+            fmt(row.perf_break_even_rph(), 0),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nReading: below the break-even rate FaaS is cheaper; a fully-utilized \
+         VM sustains far more requests per dollar (paper §6.3 Q3), but cannot \
+         scale beyond its capacity."
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table 7**: the parameter ranges of the container-eviction
+//! experiment, straight from the experiment configuration type.
+
+use sebs::experiments::EvictionExperimentConfig;
+use sebs_metrics::TextTable;
+use sebs_platform::ProviderKind;
+
+fn main() {
+    println!("=== SeBS-RS :: Table 7 — eviction experiment parameters ===");
+    let c = EvictionExperimentConfig::paper_default(ProviderKind::Aws);
+    let mut table = TextTable::new(vec!["Parameter", "Range"]);
+    table.row(vec![
+        "D_init".into(),
+        format!(
+            "{}-{}",
+            c.d_init.iter().min().expect("nonempty"),
+            c.d_init.iter().max().expect("nonempty")
+        ),
+    ]);
+    table.row(vec![
+        "ΔT".into(),
+        format!(
+            "{}-{} s",
+            c.delta_t_secs.iter().min().expect("nonempty"),
+            c.delta_t_secs.iter().max().expect("nonempty")
+        ),
+    ]);
+    table.row(vec!["Memory".into(), "128-1536 MB".into()]);
+    table.row(vec!["Sleep time".into(), "1-10 s".into()]);
+    table.row(vec!["Code size".into(), "8 kB, 250 MB".into()]);
+    table.row(vec!["Language".into(), "Python, Node.js".into()]);
+    print!("{table}");
+}

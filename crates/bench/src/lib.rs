@@ -1,0 +1,105 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section and prints it as an aligned text table (plus
+//! optional JSON). Sample counts and input scale are controlled through
+//! environment variables so that a quick run stays quick:
+//!
+//! * `SEBS_SAMPLES` — samples per series (default 50; the paper uses 200),
+//! * `SEBS_SCALE` — `test`, `small` (paper-like) or `large`,
+//! * `SEBS_SEED` — root seed (default 2021, the publication year).
+
+use sebs::SuiteConfig;
+use sebs_workloads::Scale;
+
+/// Run parameters decoded from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchEnv {
+    /// Samples per measurement series.
+    pub samples: usize,
+    /// Input scale.
+    pub scale: Scale,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl BenchEnv {
+    /// Reads `SEBS_SAMPLES`, `SEBS_SCALE` and `SEBS_SEED`.
+    pub fn from_env() -> BenchEnv {
+        let samples = std::env::var("SEBS_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        let scale = match std::env::var("SEBS_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            Ok("large") => Scale::Large,
+            _ => Scale::Test,
+        };
+        let seed = std::env::var("SEBS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2021);
+        BenchEnv {
+            samples,
+            scale,
+            seed,
+        }
+    }
+
+    /// The suite configuration for these parameters.
+    pub fn suite_config(&self) -> SuiteConfig {
+        SuiteConfig::default()
+            .with_seed(self.seed)
+            .with_samples(self.samples)
+            .with_batch_size(self.samples.clamp(1, 50))
+    }
+
+    /// Banner line describing the run.
+    pub fn banner(&self, artifact: &str) -> String {
+        format!(
+            "=== SeBS-RS :: {artifact} (samples={}, scale={:?}, seed={}) ===",
+            self.samples, self.scale, self.seed
+        )
+    }
+}
+
+impl Default for BenchEnv {
+    fn default() -> Self {
+        BenchEnv {
+            samples: 50,
+            scale: Scale::Test,
+            seed: 2021,
+        }
+    }
+}
+
+/// Formats a float with the given precision, rendering NaN as `-`.
+pub fn fmt(v: f64, precision: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let e = BenchEnv::default();
+        assert_eq!(e.samples, 50);
+        assert_eq!(e.scale, Scale::Test);
+        let cfg = e.suite_config();
+        assert_eq!(cfg.samples, 50);
+        assert!(cfg.batch_size <= 50);
+        assert!(e.banner("Table 4").contains("Table 4"));
+    }
+
+    #[test]
+    fn fmt_handles_nan() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(f64::NAN, 2), "-");
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-endpoint drifting clocks.
+//!
+//! The invocation-overhead experiment (paper §6.4) compares timestamps taken
+//! on the client with timestamps taken inside the function sandbox. Those
+//! clocks are not synchronized; the paper runs a clock-drift estimation
+//! protocol before measuring. To reproduce that situation the simulator
+//! gives every endpoint its own clock: a fixed offset plus a (tiny) linear
+//! skew relative to simulated "true" time.
+
+use serde::{Deserialize, Serialize};
+use sebs_sim::{SimDuration, SimTime};
+
+/// A clock that reads `offset + (1 + skew) · t` at true time `t`.
+///
+/// # Example
+///
+/// ```
+/// use sebs_cloud::DriftingClock;
+/// use sebs_sim::{SimDuration, SimTime};
+///
+/// // A clock 5 s ahead, drifting 1 ms per second.
+/// let clock = DriftingClock::new(5.0, 1e-3);
+/// let reading = clock.read(SimTime::from_secs(10));
+/// assert!((reading - 15.01).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftingClock {
+    offset_secs: f64,
+    skew: f64,
+}
+
+impl DriftingClock {
+    /// Creates a clock with the given offset (seconds) and skew
+    /// (dimensionless, e.g. `1e-6` = 1 µs/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skew <= -1` (a clock that runs backwards or stands still).
+    pub fn new(offset_secs: f64, skew: f64) -> Self {
+        assert!(skew > -1.0, "skew must keep the clock moving forwards");
+        DriftingClock { offset_secs, skew }
+    }
+
+    /// A perfectly synchronized clock.
+    pub fn ideal() -> Self {
+        DriftingClock {
+            offset_secs: 0.0,
+            skew: 0.0,
+        }
+    }
+
+    /// The clock's reading (seconds on its own timescale) at true time `t`.
+    pub fn read(&self, t: SimTime) -> f64 {
+        self.offset_secs + (1.0 + self.skew) * t.as_secs_f64()
+    }
+
+    /// The configured offset in seconds.
+    pub fn offset_secs(&self) -> f64 {
+        self.offset_secs
+    }
+
+    /// The configured skew.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Difference between this clock's reading and `other`'s at time `t`.
+    pub fn offset_against(&self, other: &DriftingClock, t: SimTime) -> f64 {
+        self.read(t) - other.read(t)
+    }
+
+    /// The elapsed duration this clock *reports* over a true duration `d`
+    /// starting at `t0`.
+    pub fn elapsed(&self, t0: SimTime, d: SimDuration) -> f64 {
+        self.read(t0 + d) - self.read(t0)
+    }
+}
+
+impl Default for DriftingClock {
+    fn default() -> Self {
+        DriftingClock::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_reads_true_time() {
+        let c = DriftingClock::ideal();
+        assert_eq!(c.read(SimTime::from_secs(42)), 42.0);
+        assert_eq!(c.offset_secs(), 0.0);
+        assert_eq!(c.skew(), 0.0);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let c = DriftingClock::new(-2.5, 0.0);
+        assert_eq!(c.read(SimTime::from_secs(10)), 7.5);
+    }
+
+    #[test]
+    fn skew_scales_elapsed_time() {
+        let c = DriftingClock::new(0.0, 0.01);
+        let e = c.elapsed(SimTime::from_secs(100), SimDuration::from_secs(10));
+        assert!((e - 10.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_against_other_clock() {
+        let a = DriftingClock::new(3.0, 0.0);
+        let b = DriftingClock::new(1.0, 0.0);
+        assert_eq!(a.offset_against(&b, SimTime::from_secs(5)), 2.0);
+        // With skew, the offset grows over time.
+        let c = DriftingClock::new(0.0, 1e-3);
+        let d0 = c.offset_against(&b, SimTime::ZERO);
+        let d1 = c.offset_against(&b, SimTime::from_secs(1000));
+        assert!(d1 > d0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forwards")]
+    fn degenerate_skew_rejected() {
+        let _ = DriftingClock::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn default_is_ideal() {
+        assert_eq!(DriftingClock::default(), DriftingClock::ideal());
+    }
+}

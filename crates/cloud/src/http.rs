@@ -1,0 +1,172 @@
+//! HTTP connection model.
+//!
+//! Client-side ("client time") measurements in the paper include the HTTP
+//! stack. The paper deliberately uses cURL with a warmed-up connection to
+//! *exclude* connection-establishment overheads (§5.2); this model makes
+//! that explicit: a fresh connection pays TCP + TLS handshakes (2 RTTs),
+//! while a reused connection pays only the request/response transfers.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sebs_sim::SimDuration;
+
+use crate::network::{Link, TransferKind};
+
+/// Cost breakdown of one HTTP exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpCost {
+    /// Connection establishment (zero on a reused connection).
+    pub handshake: SimDuration,
+    /// Request transmission (half RTT + payload serialization).
+    pub request: SimDuration,
+    /// Response transmission (half RTT + payload serialization).
+    pub response: SimDuration,
+}
+
+impl HttpCost {
+    /// Total client-observed network time of the exchange.
+    pub fn total(&self) -> SimDuration {
+        self.handshake + self.request + self.response
+    }
+}
+
+/// A (possibly persistent) HTTP connection over a [`Link`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpConnection {
+    established: bool,
+    /// Number of RTTs consumed by TCP + TLS establishment.
+    handshake_rtts: u32,
+}
+
+impl HttpConnection {
+    /// A fresh connection that will pay the handshake on first use.
+    pub fn new() -> Self {
+        HttpConnection {
+            established: false,
+            handshake_rtts: 2,
+        }
+    }
+
+    /// A connection that is already warm — the cURL-style setup the paper
+    /// uses for its client-time measurements.
+    pub fn reused() -> Self {
+        HttpConnection {
+            established: true,
+            handshake_rtts: 2,
+        }
+    }
+
+    /// Overrides the handshake cost in round trips (e.g. 1 for TLS 1.3
+    /// with TCP fast open, 3 for TLS 1.2 with a full TCP handshake).
+    pub fn with_handshake_rtts(mut self, rtts: u32) -> Self {
+        self.handshake_rtts = rtts;
+        self
+    }
+
+    /// Whether the connection is currently established.
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+
+    /// Performs one request/response exchange, marking the connection
+    /// established afterwards.
+    pub fn exchange<R: RngCore>(
+        &mut self,
+        link: &Link,
+        rng: &mut R,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> HttpCost {
+        let handshake = if self.established {
+            SimDuration::ZERO
+        } else {
+            let mut h = SimDuration::ZERO;
+            for _ in 0..self.handshake_rtts {
+                h += link.rtt(rng);
+            }
+            h
+        };
+        self.established = true;
+        HttpCost {
+            handshake,
+            request: link.transfer_time(rng, TransferKind::Upload, request_bytes),
+            response: link.transfer_time(rng, TransferKind::Download, response_bytes),
+        }
+    }
+
+    /// Drops the connection (e.g. the server closed it after idling).
+    pub fn reset(&mut self) {
+        self.established = false;
+    }
+}
+
+impl Default for HttpConnection {
+    fn default() -> Self {
+        HttpConnection::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::{Dist, SimRng};
+
+    fn link() -> Link {
+        Link::new(Dist::Constant(100.0), 1e9)
+    }
+
+    #[test]
+    fn first_exchange_pays_handshake() {
+        let l = link();
+        let mut rng = SimRng::new(0).stream("http");
+        let mut conn = HttpConnection::new();
+        assert!(!conn.is_established());
+        let cost = conn.exchange(&l, &mut rng, 1000, 1000);
+        assert_eq!(cost.handshake.as_millis(), 200, "2 RTT handshake");
+        assert!(conn.is_established());
+        let cost2 = conn.exchange(&l, &mut rng, 1000, 1000);
+        assert_eq!(cost2.handshake, SimDuration::ZERO);
+        assert!(cost.total() > cost2.total());
+    }
+
+    #[test]
+    fn reused_connection_skips_handshake() {
+        let l = link();
+        let mut rng = SimRng::new(0).stream("http");
+        let mut conn = HttpConnection::reused();
+        let cost = conn.exchange(&l, &mut rng, 0, 0);
+        assert_eq!(cost.handshake, SimDuration::ZERO);
+        // Request + response each cost half an RTT → one full RTT total.
+        assert_eq!(cost.total().as_millis(), 100);
+    }
+
+    #[test]
+    fn reset_forces_new_handshake() {
+        let l = link();
+        let mut rng = SimRng::new(0).stream("http");
+        let mut conn = HttpConnection::reused();
+        conn.reset();
+        let cost = conn.exchange(&l, &mut rng, 0, 0);
+        assert!(cost.handshake > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn custom_handshake_rtts() {
+        let l = link();
+        let mut rng = SimRng::new(0).stream("http");
+        let mut conn = HttpConnection::new().with_handshake_rtts(3);
+        let cost = conn.exchange(&l, &mut rng, 0, 0);
+        assert_eq!(cost.handshake.as_millis(), 300);
+    }
+
+    #[test]
+    fn payload_grows_request_cost() {
+        let l = link();
+        let mut rng = SimRng::new(0).stream("http");
+        let mut conn = HttpConnection::reused();
+        let small = conn.exchange(&l, &mut rng, 1_000, 0);
+        let big = conn.exchange(&l, &mut rng, 1_000_000_000, 0);
+        assert!(big.request > small.request);
+        assert_eq!(big.response, small.response);
+    }
+}

@@ -1,0 +1,217 @@
+//! Links with stochastic RTT and payload-proportional transfer time.
+//!
+//! The paper's Figure 6 finds invocation latency grows *linearly* with the
+//! payload size for warm invocations on all providers (adjusted R² of
+//! 0.89–0.99), concluding that network transmission is the only major
+//! payload-dependent overhead. [`Link::transfer_time`] embodies exactly that
+//! model: `latency = RTT/2 + size / bandwidth`, with the RTT drawn from a
+//! per-link distribution and bandwidth subject to fair sharing.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sebs_sim::resource::FairShare;
+use sebs_sim::{Dist, SimDuration};
+
+/// Direction/kind of a transfer on a link; requests and responses can be
+/// configured with asymmetric bandwidth (upload vs download).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Client → cloud (request payloads, uploads).
+    Upload,
+    /// Cloud → client (response payloads, downloads).
+    Download,
+}
+
+/// A network link between two endpoints (client ↔ cloud region, or
+/// sandbox ↔ storage service).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    rtt_ms: Dist,
+    /// Shared upload capacity in bytes/second.
+    up: FairShare,
+    /// Shared download capacity in bytes/second.
+    down: FairShare,
+}
+
+impl Link {
+    /// Creates a link with the given RTT distribution (milliseconds) and
+    /// symmetric bandwidth in bytes/second.
+    pub fn new(rtt_ms: Dist, bandwidth_bps: f64) -> Self {
+        Link {
+            rtt_ms,
+            up: FairShare::new(bandwidth_bps),
+            down: FairShare::new(bandwidth_bps),
+        }
+    }
+
+    /// Creates a link with asymmetric upload/download bandwidth.
+    pub fn asymmetric(rtt_ms: Dist, up_bps: f64, down_bps: f64) -> Self {
+        Link {
+            rtt_ms,
+            up: FairShare::new(up_bps),
+            down: FairShare::new(down_bps),
+        }
+    }
+
+    /// Draws a round-trip time.
+    pub fn rtt<R: RngCore>(&self, rng: &mut R) -> SimDuration {
+        self.rtt_ms.sample_millis(rng)
+    }
+
+    /// The RTT distribution (milliseconds).
+    pub fn rtt_dist(&self) -> &Dist {
+        &self.rtt_ms
+    }
+
+    /// Mean RTT of the link.
+    pub fn mean_rtt(&self) -> SimDuration {
+        SimDuration::from_millis_f64(self.rtt_ms.mean())
+    }
+
+    /// Registers an active flow in the given direction (co-located function
+    /// instances share the server NIC — paper §3.2 "I/O performance").
+    pub fn acquire(&mut self, kind: TransferKind) {
+        self.share_mut(kind).acquire();
+    }
+
+    /// Releases a flow registered with [`Link::acquire`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on release without a matching acquire.
+    pub fn release(&mut self, kind: TransferKind) {
+        self.share_mut(kind).release();
+    }
+
+    /// Number of flows currently sharing the given direction.
+    pub fn active(&self, kind: TransferKind) -> usize {
+        self.share(kind).active()
+    }
+
+    /// One-way latency plus serialization time for `bytes` at the *current*
+    /// per-flow bandwidth: `RTT/2 + bytes / (capacity / flows)`.
+    pub fn transfer_time<R: RngCore>(
+        &self,
+        rng: &mut R,
+        kind: TransferKind,
+        bytes: u64,
+    ) -> SimDuration {
+        let half_rtt = self.rtt(rng) / 2;
+        half_rtt + self.share(kind).service_time(bytes as f64)
+    }
+
+    /// Serialization time only (no propagation latency), for modelling
+    /// intra-datacenter bulk moves such as code-package fetches.
+    pub fn serialization_time(&self, kind: TransferKind, bytes: u64) -> SimDuration {
+        self.share(kind).service_time(bytes as f64)
+    }
+
+    fn share(&self, kind: TransferKind) -> &FairShare {
+        match kind {
+            TransferKind::Upload => &self.up,
+            TransferKind::Download => &self.down,
+        }
+    }
+
+    fn share_mut(&mut self, kind: TransferKind) -> &mut FairShare {
+        match kind {
+            TransferKind::Upload => &mut self.up,
+            TransferKind::Download => &mut self.down,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimRng;
+
+    fn link() -> Link {
+        // 100 ms RTT, 100 MB/s both ways.
+        Link::new(Dist::Constant(100.0), 100e6)
+    }
+
+    #[test]
+    fn transfer_time_is_linear_in_payload() {
+        let l = link();
+        let mut rng = SimRng::new(1).stream("net");
+        let t1 = l.transfer_time(&mut rng, TransferKind::Upload, 1_000_000);
+        let t2 = l.transfer_time(&mut rng, TransferKind::Upload, 2_000_000);
+        let t4 = l.transfer_time(&mut rng, TransferKind::Upload, 4_000_000);
+        // Constant RTT: differences are proportional to payload deltas.
+        let d21 = t2 - t1;
+        let d42 = t4 - t2;
+        assert_eq!(d21.as_micros(), 10_000, "1 MB at 100 MB/s = 10 ms");
+        assert_eq!(d42.as_micros(), 20_000);
+    }
+
+    #[test]
+    fn half_rtt_floor_for_empty_payload() {
+        let l = link();
+        let mut rng = SimRng::new(1).stream("net");
+        let t = l.transfer_time(&mut rng, TransferKind::Download, 0);
+        assert_eq!(t.as_millis(), 50);
+    }
+
+    #[test]
+    fn fair_sharing_slows_concurrent_flows() {
+        let mut l = link();
+        let mut rng = SimRng::new(1).stream("net");
+        let alone = l.transfer_time(&mut rng, TransferKind::Upload, 10_000_000);
+        l.acquire(TransferKind::Upload);
+        l.acquire(TransferKind::Upload);
+        assert_eq!(l.active(TransferKind::Upload), 2);
+        let shared = l.transfer_time(&mut rng, TransferKind::Upload, 10_000_000);
+        // 10 MB: 100 ms alone, 200 ms when halved, plus 50 ms half-RTT.
+        assert_eq!(alone.as_millis(), 150);
+        assert_eq!(shared.as_millis(), 250);
+        l.release(TransferKind::Upload);
+        l.release(TransferKind::Upload);
+    }
+
+    #[test]
+    fn upload_contention_leaves_download_untouched() {
+        let mut l = link();
+        l.acquire(TransferKind::Upload);
+        assert_eq!(l.active(TransferKind::Download), 0);
+        let t = l.serialization_time(TransferKind::Download, 100_000_000);
+        assert_eq!(t.as_secs_f64(), 1.0);
+        l.release(TransferKind::Upload);
+    }
+
+    #[test]
+    fn asymmetric_bandwidth() {
+        let l = Link::asymmetric(Dist::Constant(0.0), 10e6, 100e6);
+        assert_eq!(
+            l.serialization_time(TransferKind::Upload, 10_000_000).as_millis(),
+            1000
+        );
+        assert_eq!(
+            l.serialization_time(TransferKind::Download, 10_000_000).as_millis(),
+            100
+        );
+    }
+
+    #[test]
+    fn mean_rtt_reflects_distribution() {
+        let l = Link::new(Dist::Uniform { lo: 10.0, hi: 30.0 }, 1e6);
+        assert_eq!(l.mean_rtt().as_millis(), 20);
+        assert_eq!(l.rtt_dist().mean(), 20.0);
+    }
+
+    #[test]
+    fn stochastic_rtt_varies_but_is_reproducible() {
+        let l = Link::new(
+            Dist::shifted_lognormal(10.0, 0.5, 0.8),
+            1e6,
+        );
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut rng = SimRng::new(seed).stream("rtt");
+            (0..10).map(|_| l.rtt(&mut rng).as_micros()).collect()
+        };
+        assert_eq!(draws(7), draws(7), "deterministic per seed");
+        let d = draws(7);
+        assert!(d.iter().any(|&x| x != d[0]), "samples vary");
+        assert!(d.iter().all(|&x| x >= 10_000), "floor respected");
+    }
+}

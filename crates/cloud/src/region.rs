@@ -1,0 +1,132 @@
+//! Cloud regions and measured client latencies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sebs_sim::SimDuration;
+
+/// A cloud region identifier, e.g. `us-east-1`.
+///
+/// # Example
+///
+/// ```
+/// use sebs_cloud::Region;
+///
+/// let r = Region::new("us-east-1");
+/// assert_eq!(r.name(), "us-east-1");
+/// assert_eq!(r.to_string(), "us-east-1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Region(String);
+
+impl Region {
+    /// Creates a region from its provider-specific name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "region name must not be empty");
+        Region(name)
+    }
+
+    /// The region name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// The AWS region used throughout the paper's evaluation.
+    pub fn aws_us_east_1() -> Region {
+        Region::new("us-east-1")
+    }
+
+    /// The Azure region used in the paper's performance experiments.
+    pub fn azure_west_europe() -> Region {
+        Region::new("WestEurope")
+    }
+
+    /// The Azure region used in the invocation-overhead experiment.
+    pub fn azure_east_us() -> Region {
+        Region::new("eastus")
+    }
+
+    /// The GCP region used in the paper's performance experiments.
+    pub fn gcp_europe_west1() -> Region {
+        Region::new("europe-west1")
+    }
+
+    /// The GCP region used in the invocation-overhead experiment.
+    pub fn gcp_us_east1() -> Region {
+        Region::new("us-east1")
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Region {
+    fn from(s: &str) -> Self {
+        Region::new(s)
+    }
+}
+
+/// The ping latencies the paper measured from its experiment server to VMs
+/// co-located with the serverless endpoints (§6.2 Q3 "Performance
+/// deviations"): consistent 109 ms / 20 ms / 33 ms for AWS / Azure / GCP.
+///
+/// Returns `None` for regions the paper did not measure.
+pub fn paper_client_rtt(region: &Region) -> Option<SimDuration> {
+    match region.name() {
+        "us-east-1" => Some(SimDuration::from_millis(109)),
+        "WestEurope" | "eastus" => Some(SimDuration::from_millis(20)),
+        "europe-west1" | "us-east1" => Some(SimDuration::from_millis(33)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_regions() {
+        assert_eq!(Region::aws_us_east_1().name(), "us-east-1");
+        assert_eq!(Region::azure_west_europe().name(), "WestEurope");
+        assert_eq!(Region::gcp_europe_west1().name(), "europe-west1");
+        assert_eq!(Region::from("x").name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_region_rejected() {
+        let _ = Region::new("");
+    }
+
+    #[test]
+    fn paper_rtts() {
+        assert_eq!(
+            paper_client_rtt(&Region::aws_us_east_1()).unwrap().as_millis(),
+            109
+        );
+        assert_eq!(
+            paper_client_rtt(&Region::azure_east_us()).unwrap().as_millis(),
+            20
+        );
+        assert_eq!(
+            paper_client_rtt(&Region::gcp_us_east1()).unwrap().as_millis(),
+            33
+        );
+        assert!(paper_client_rtt(&Region::new("mars-north-1")).is_none());
+    }
+
+    #[test]
+    fn ordering_and_hash_derive() {
+        let mut v = [Region::new("b"), Region::new("a")];
+        v.sort();
+        assert_eq!(v[0].name(), "a");
+    }
+}

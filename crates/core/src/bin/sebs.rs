@@ -1,0 +1,385 @@
+//! The `sebs` command-line tool — the counterpart of the SeBS toolkit's
+//! CLI (paper §5.2): list benchmarks, deploy-and-invoke them on a chosen
+//! (simulated) provider, and run the paper's experiments.
+//!
+//! ```text
+//! sebs list
+//! sebs invoke <benchmark> [--provider aws|azure|gcp] [--memory MB]
+//!             [--language python|nodejs] [--scale test|small|large]
+//!             [--repetitions N] [--cold] [--trigger http|sdk|event|timer]
+//! sebs experiment <local|perf-cost|eviction-model|invocation-overhead>
+//!             [--provider ...] [--samples N] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use sebs::experiments::{
+    run_eviction_model, run_invocation_overhead, run_local_characterization, run_perf_cost,
+    EvictionExperimentConfig,
+};
+use sebs::{Suite, SuiteConfig};
+use sebs_metrics::TextTable;
+use sebs_platform::{ProviderKind, StartKind, TriggerKind};
+use sebs_sim::SimDuration;
+use sebs_workloads::{all_workloads, Language, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "invoke" => cmd_invoke(&opts),
+        "experiment" => cmd_experiment(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "sebs — serverless benchmark suite (simulated clouds)
+
+USAGE:
+    sebs list
+    sebs invoke <benchmark> [--provider aws|azure|gcp] [--memory MB]
+                [--language python|nodejs] [--scale test|small|large]
+                [--repetitions N] [--cold] [--trigger http|sdk|event|timer]
+    sebs experiment <local|perf-cost|eviction-model|invocation-overhead>
+                [--provider P] [--samples N] [--seed N] [--scale S]
+                [--csv FILE] [--json FILE]    (perf-cost only)";
+
+#[derive(Debug, Clone)]
+struct Options {
+    positional: Vec<String>,
+    provider: ProviderKind,
+    memory: u32,
+    language: Language,
+    scale: Scale,
+    repetitions: usize,
+    cold: bool,
+    trigger: TriggerKind,
+    samples: usize,
+    seed: u64,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            positional: Vec::new(),
+            provider: ProviderKind::Aws,
+            memory: 512,
+            language: Language::Python,
+            scale: Scale::Test,
+            repetitions: 1,
+            cold: false,
+            trigger: TriggerKind::Http,
+            samples: 30,
+            seed: 2021,
+            csv: None,
+            json: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--provider" => {
+                    o.provider = match value("--provider")?.as_str() {
+                        "aws" => ProviderKind::Aws,
+                        "azure" => ProviderKind::Azure,
+                        "gcp" => ProviderKind::Gcp,
+                        p => return Err(format!("unknown provider `{p}`")),
+                    }
+                }
+                "--memory" => {
+                    o.memory = value("--memory")?
+                        .parse()
+                        .map_err(|e| format!("bad --memory: {e}"))?
+                }
+                "--language" => {
+                    o.language = match value("--language")?.as_str() {
+                        "python" => Language::Python,
+                        "nodejs" => Language::NodeJs,
+                        l => return Err(format!("unknown language `{l}`")),
+                    }
+                }
+                "--scale" => {
+                    o.scale = match value("--scale")?.as_str() {
+                        "test" => Scale::Test,
+                        "small" => Scale::Small,
+                        "large" => Scale::Large,
+                        s => return Err(format!("unknown scale `{s}`")),
+                    }
+                }
+                "--repetitions" => {
+                    o.repetitions = value("--repetitions")?
+                        .parse()
+                        .map_err(|e| format!("bad --repetitions: {e}"))?
+                }
+                "--samples" => {
+                    o.samples = value("--samples")?
+                        .parse()
+                        .map_err(|e| format!("bad --samples: {e}"))?
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--cold" => o.cold = true,
+                "--csv" => o.csv = Some(value("--csv")?),
+                "--json" => o.json = Some(value("--json")?),
+                "--trigger" => {
+                    o.trigger = match value("--trigger")?.as_str() {
+                        "http" => TriggerKind::Http,
+                        "sdk" => TriggerKind::Sdk,
+                        "event" => TriggerKind::StorageEvent,
+                        "timer" => TriggerKind::Timer,
+                        t => return Err(format!("unknown trigger `{t}`")),
+                    }
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                positional => o.positional.push(positional.to_string()),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut table = TextTable::new(vec!["Category", "Benchmark", "Language", "Default memory"]);
+    for reg in all_workloads() {
+        let spec = reg.workload.spec();
+        table.row(vec![
+            reg.category.to_string(),
+            spec.name.clone(),
+            spec.language.to_string(),
+            format!("{} MB", spec.default_memory_mb),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_invoke(o: &Options) -> Result<(), String> {
+    let benchmark = o
+        .positional
+        .first()
+        .ok_or("invoke needs a benchmark name (try `sebs list`)")?;
+    let mut suite = Suite::new(SuiteConfig::default().with_seed(o.seed));
+    let handle = suite
+        .deploy(o.provider, benchmark, o.language, o.memory, o.scale)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "deployed {benchmark} ({}) on {} at {} MB",
+        o.language, o.provider, o.memory
+    );
+    for i in 0..o.repetitions.max(1) {
+        if o.cold {
+            suite.enforce_cold_start(&handle);
+        }
+        let r = suite
+            .invoke_burst_via(&handle, 1, o.trigger)
+            .pop()
+            .expect("one record per invocation");
+        println!(
+            "#{i}: {:?} [{}] benchmark {} | provider {} | client {} | {} B out | ${:.8}",
+            r.outcome,
+            match r.start {
+                StartKind::Cold => "cold",
+                StartKind::Warm => "warm",
+            },
+            r.benchmark_time,
+            r.provider_time,
+            r.client_time,
+            r.response_bytes,
+            r.bill.total_usd(),
+        );
+        suite.advance(o.provider, SimDuration::from_secs(1));
+    }
+    Ok(())
+}
+
+fn cmd_experiment(o: &Options) -> Result<(), String> {
+    let name = o
+        .positional
+        .first()
+        .ok_or("experiment needs a name: local | perf-cost | eviction-model | invocation-overhead")?;
+    let config = SuiteConfig::default()
+        .with_seed(o.seed)
+        .with_samples(o.samples);
+    match name.as_str() {
+        "local" => {
+            for row in run_local_characterization(o.samples, o.scale, o.seed) {
+                println!(
+                    "{:<20} {:<7} cold {:>8.1} ms  warm {:>8.2} ms  {:>8.1}M instr  {:>5.1}% cpu",
+                    row.benchmark,
+                    row.language.to_string(),
+                    row.cold_ms.median(),
+                    row.warm_ms.median(),
+                    row.instructions / 1e6,
+                    row.cpu_utilization * 100.0
+                );
+            }
+        }
+        "perf-cost" => {
+            let benchmark = o
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("graph-bfs");
+            let mut suite = Suite::new(config);
+            let result = run_perf_cost(
+                &mut suite,
+                &[(benchmark, o.language)],
+                &[o.provider],
+                &[o.memory],
+                o.scale,
+            );
+            for s in &result.series {
+                println!(
+                    "{} {} {} MB [{:?}]: median client {:.1} ms, cost/M ${:.2}, {} failures",
+                    s.benchmark,
+                    s.provider,
+                    s.memory_mb,
+                    s.start,
+                    s.median_client_ms(),
+                    s.cost_of_million_usd(),
+                    s.failures
+                );
+            }
+            let store = result.to_store();
+            if let Some(path) = &o.csv {
+                std::fs::write(path, sebs_metrics::csv::to_csv(store.rows()))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote {} rows to {path}", store.len());
+            }
+            if let Some(path) = &o.json {
+                std::fs::write(path, store.to_json())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote {} rows to {path}", store.len());
+            }
+        }
+        "eviction-model" => {
+            let mut suite = Suite::new(config);
+            let result =
+                run_eviction_model(&mut suite, EvictionExperimentConfig::paper_default(o.provider));
+            match result.fit {
+                Some(fit) => println!(
+                    "fitted eviction period P = {:.1} s with R^2 = {:.4} over {} observations",
+                    fit.period_secs, fit.r_squared, fit.n
+                ),
+                None => println!("no model could be fitted"),
+            }
+        }
+        "invocation-overhead" => {
+            let mut suite = Suite::new(config);
+            let result = run_invocation_overhead(
+                &mut suite,
+                o.provider,
+                &sebs::experiments::invocation_overhead::paper_payload_sizes(),
+                (o.samples / 5).max(2),
+            );
+            println!(
+                "clock sync: offset {:.3} s after {} exchanges (converged: {})",
+                result.sync.offset_secs, result.sync.exchanges, result.sync.converged
+            );
+            for (label, fit) in [("warm", result.warm_fit), ("cold", result.cold_fit)] {
+                if let Some(f) = fit {
+                    println!(
+                        "{label}: overhead = {:.1} ms + {:.1} ms/MB, adj R^2 = {:.3}",
+                        f.intercept,
+                        f.slope * 1e6,
+                        f.adjusted_r_squared
+                    );
+                }
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.provider, ProviderKind::Aws);
+        assert_eq!(o.memory, 512);
+        assert_eq!(o.language, Language::Python);
+        assert_eq!(o.scale, Scale::Test);
+        assert_eq!(o.trigger, TriggerKind::Http);
+        assert!(!o.cold);
+        assert!(o.csv.is_none() && o.json.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "graph-bfs", "--provider", "gcp", "--memory", "2048", "--language", "nodejs",
+            "--scale", "small", "--repetitions", "7", "--cold", "--trigger", "sdk",
+            "--samples", "99", "--seed", "5", "--csv", "a.csv", "--json", "b.json",
+        ])
+        .unwrap();
+        assert_eq!(o.positional, vec!["graph-bfs"]);
+        assert_eq!(o.provider, ProviderKind::Gcp);
+        assert_eq!(o.memory, 2048);
+        assert_eq!(o.language, Language::NodeJs);
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.repetitions, 7);
+        assert!(o.cold);
+        assert_eq!(o.trigger, TriggerKind::Sdk);
+        assert_eq!(o.samples, 99);
+        assert_eq!(o.seed, 5);
+        assert_eq!(o.csv.as_deref(), Some("a.csv"));
+        assert_eq!(o.json.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["--provider", "ibm"]).unwrap_err().contains("ibm"));
+        assert!(parse(&["--memory", "lots"]).unwrap_err().contains("--memory"));
+        assert!(parse(&["--memory"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+        assert!(parse(&["--trigger", "carrier-pigeon"]).unwrap_err().contains("carrier-pigeon"));
+    }
+
+    #[test]
+    fn positionals_accumulate_in_order() {
+        let o = parse(&["experiment-name", "benchmark-name"]).unwrap();
+        assert_eq!(o.positional, vec!["experiment-name", "benchmark-name"]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Suite-wide configuration.
+
+use sebs_stats::ConfidenceLevel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Root seed; every derived platform and experiment stream hangs off
+    /// this value, making whole-suite runs reproducible.
+    pub seed: u64,
+    /// Target number of samples per measurement series (the paper settles
+    /// on N = 200 for AWS).
+    pub samples: usize,
+    /// Concurrent invocations per batch (the paper uses 50 to keep batches
+    /// off shared sandboxes).
+    pub batch_size: usize,
+    /// Confidence level for reported intervals.
+    pub confidence: ConfidenceLevel,
+    /// Adaptive sampling: grow the sample count until the CI is within
+    /// this fraction of the median (the paper's 5%), capped at
+    /// `max_samples`.
+    pub ci_target_fraction: f64,
+    /// Hard cap for adaptive sampling.
+    pub max_samples: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            seed: 0x5EB5,
+            samples: 200,
+            batch_size: 50,
+            confidence: ConfidenceLevel::P95,
+            ci_target_fraction: 0.05,
+            max_samples: 1000,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> SuiteConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-series sample target (and lowers the batch size when
+    /// it exceeds the sample count — tiny test configurations).
+    pub fn with_samples(mut self, samples: usize) -> SuiteConfig {
+        self.samples = samples;
+        self.batch_size = self.batch_size.min(samples.max(1));
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> SuiteConfig {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// A fast configuration for tests and examples: few samples, small
+    /// batches.
+    pub fn fast() -> SuiteConfig {
+        SuiteConfig::default().with_samples(20).with_batch_size(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_methodology() {
+        let c = SuiteConfig::default();
+        assert_eq!(c.samples, 200);
+        assert_eq!(c.batch_size, 50);
+        assert_eq!(c.ci_target_fraction, 0.05);
+        assert_eq!(c.confidence, ConfidenceLevel::P95);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SuiteConfig::default().with_seed(9).with_samples(5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.samples, 5);
+        assert!(c.batch_size <= 5);
+        let f = SuiteConfig::fast();
+        assert!(f.samples < 50);
+    }
+}

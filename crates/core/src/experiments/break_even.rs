@@ -1,0 +1,194 @@
+//! Break-even analysis — paper Table 6.
+//!
+//! "How infrequent must the service be for FaaS to beat a rented VM?"
+//! For each benchmark the driver measures the VM's sustainable request
+//! rate (local and cloud storage) and the FaaS cost per execution at two
+//! configurations: **Eco** (cheapest memory that completes) and **Perf**
+//! (the best-performing configuration). The break-even rate is the number
+//! of requests per hour at which FaaS spending equals the t2.micro's
+//! $0.0116/hour.
+
+use sebs_platform::vm::{VirtualMachine, VmStorage};
+use sebs_platform::{ProviderKind, StartKind};
+use sebs_workloads::{workload_by_name, Language, Scale};
+use serde::{Deserialize, Serialize};
+
+use crate::suite::Suite;
+
+/// One Table 6 column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakEvenRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Language variant.
+    pub language: Language,
+    /// VM requests/hour at 100% utilization, local storage.
+    pub iaas_local_rph: f64,
+    /// VM requests/hour at 100% utilization, cloud storage.
+    pub iaas_cloud_rph: f64,
+    /// Eco configuration: memory (MB).
+    pub eco_memory_mb: u32,
+    /// Eco: cost of one million executions (USD).
+    pub eco_cost_million: f64,
+    /// Perf configuration: memory (MB).
+    pub perf_memory_mb: u32,
+    /// Perf: cost of one million executions (USD).
+    pub perf_cost_million: f64,
+    /// Hourly VM price used for the break-even (USD).
+    pub vm_usd_per_hour: f64,
+}
+
+impl BreakEvenRow {
+    /// Break-even requests/hour for the Eco configuration.
+    pub fn eco_break_even_rph(&self) -> f64 {
+        self.vm_usd_per_hour / (self.eco_cost_million / 1e6)
+    }
+
+    /// Break-even requests/hour for the Perf configuration.
+    pub fn perf_break_even_rph(&self) -> f64 {
+        self.vm_usd_per_hour / (self.perf_cost_million / 1e6)
+    }
+}
+
+/// Runs the break-even analysis over `memories_mb` candidate
+/// configurations: Eco minimizes mean cost, Perf minimizes median time.
+#[allow(clippy::too_many_arguments)]
+pub fn run_break_even(
+    suite: &mut Suite,
+    provider: ProviderKind,
+    benchmark: &str,
+    language: Language,
+    memories_mb: &[u32],
+    repetitions: usize,
+    scale: Scale,
+    seed: u64,
+) -> Option<BreakEvenRow> {
+    let workload = workload_by_name(benchmark, language)?;
+
+    // IaaS rates.
+    let vm_rate = |storage: VmStorage| {
+        let mut vm = VirtualMachine::t2_micro(storage, seed);
+        let payload = vm.prepare(workload.as_ref(), scale);
+        let exec = vm.execute(workload.as_ref(), &payload);
+        vm.requests_per_hour(&exec)
+    };
+    let iaas_local_rph = vm_rate(VmStorage::Local);
+    let iaas_cloud_rph = vm_rate(VmStorage::Cloud);
+
+    // FaaS sweep over memory configurations.
+    let mut candidates: Vec<(u32, f64, f64)> = Vec::new(); // (mem, cost/M, median_ms)
+    for &memory in memories_mb {
+        let Ok(handle) = suite.deploy(provider, benchmark, language, memory, scale) else {
+            continue;
+        };
+        suite.invoke(&handle); // warm
+        let mut costs = Vec::new();
+        let mut times = Vec::new();
+        while times.len() < repetitions {
+            let burst = suite
+                .config()
+                .batch_size
+                .min(repetitions - times.len())
+                .max(1);
+            for r in suite.invoke_burst(&handle, burst) {
+                if r.outcome.is_success() && r.start == StartKind::Warm {
+                    costs.push(r.bill.total_usd());
+                    times.push(r.client_time.as_millis_f64());
+                }
+            }
+            suite.advance(provider, sebs_sim::SimDuration::from_secs(2));
+        }
+        let mean_cost = costs.iter().sum::<f64>() / costs.len() as f64;
+        let median_ms = sebs_stats::Summary::from_values(&times).median();
+        candidates.push((memory, mean_cost * 1e6, median_ms));
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let eco = candidates
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        .expect("candidates nonempty");
+    let perf = candidates
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("times are finite"))
+        .expect("candidates nonempty");
+    let vm_price = VirtualMachine::t2_micro(VmStorage::Local, seed).hourly_cost();
+    Some(BreakEvenRow {
+        benchmark: benchmark.to_string(),
+        language,
+        iaas_local_rph,
+        iaas_cloud_rph,
+        eco_memory_mb: eco.0,
+        eco_cost_million: eco.1,
+        perf_memory_mb: perf.0,
+        perf_cost_million: perf.1,
+        vm_usd_per_hour: vm_price,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SuiteConfig;
+    use crate::suite::Suite;
+
+    fn row(benchmark: &str) -> BreakEvenRow {
+        let mut suite = Suite::new(SuiteConfig::fast().with_seed(707));
+        run_break_even(
+            &mut suite,
+            ProviderKind::Aws,
+            benchmark,
+            Language::Python,
+            &[256, 1024, 3008],
+            10,
+            Scale::Test,
+            707,
+        )
+        .expect("benchmark exists")
+    }
+
+    #[test]
+    fn eco_is_cheapest_perf_is_fastest() {
+        let r = row("graph-bfs");
+        assert!(r.eco_cost_million <= r.perf_cost_million + 1e-9);
+        assert!(r.eco_cost_million > 0.0);
+    }
+
+    #[test]
+    fn break_even_rates_are_finite_and_ordered() {
+        let r = row("graph-bfs");
+        let eco = r.eco_break_even_rph();
+        let perf = r.perf_break_even_rph();
+        assert!(eco.is_finite() && perf.is_finite());
+        assert!(
+            eco >= perf,
+            "cheaper config sustains more requests before losing to the VM"
+        );
+        // VM at full utilization handles far more than the break-even rate
+        // (the paper's conclusion: IaaS wins at high utilization).
+        assert!(r.iaas_local_rph > eco);
+    }
+
+    #[test]
+    fn cloud_storage_lowers_vm_throughput() {
+        let r = row("thumbnailer");
+        assert!(r.iaas_cloud_rph < r.iaas_local_rph);
+    }
+
+    #[test]
+    fn unknown_benchmark_yields_none() {
+        let mut suite = Suite::new(SuiteConfig::fast());
+        assert!(run_break_even(
+            &mut suite,
+            ProviderKind::Aws,
+            "nope",
+            Language::Python,
+            &[256],
+            4,
+            Scale::Test,
+            1,
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Cold-start overhead analysis — paper Figure 4.
+//!
+//! The paper estimates cold-start overhead by considering all N² pairs of
+//! N cold and N warm client-time measurements and reporting the
+//! distribution of cold/warm ratios. This driver reuses Perf-Cost series
+//! and computes that ratio distribution (exactly, over all pairs).
+
+use sebs_platform::{ProviderKind, StartKind};
+use sebs_stats::Summary;
+use serde::{Deserialize, Serialize};
+
+use super::perf_cost::PerfCostResult;
+
+/// Cold/warm ratio distribution for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartResult {
+    /// Provider.
+    pub provider: ProviderKind,
+    /// Benchmark.
+    pub benchmark: String,
+    /// Memory configuration (MB).
+    pub memory_mb: u32,
+    /// Summary of the N² cold/warm client-time ratios.
+    pub ratio: Summary,
+}
+
+/// Computes Figure 4's ratio distributions from a Perf-Cost result.
+///
+/// Configurations lacking cold or warm samples are skipped.
+pub fn run_cold_start(perf: &PerfCostResult) -> Vec<ColdStartResult> {
+    let mut out = Vec::new();
+    for cold in perf
+        .series
+        .iter()
+        .filter(|s| s.start == StartKind::Cold && !s.client_ms.is_empty())
+    {
+        let Some(warm) = perf.series(
+            cold.provider,
+            &cold.benchmark,
+            cold.memory_mb,
+            StartKind::Warm,
+        ) else {
+            continue;
+        };
+        if warm.client_ms.is_empty() {
+            continue;
+        }
+        let mut ratios = Vec::with_capacity(cold.client_ms.len() * warm.client_ms.len());
+        for &c in &cold.client_ms {
+            for &w in &warm.client_ms {
+                if w > 0.0 {
+                    ratios.push(c / w);
+                }
+            }
+        }
+        out.push(ColdStartResult {
+            provider: cold.provider,
+            benchmark: cold.benchmark.clone(),
+            memory_mb: cold.memory_mb,
+            ratio: Summary::from_values(&ratios),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SuiteConfig;
+    use crate::experiments::perf_cost::run_perf_cost;
+    use crate::suite::Suite;
+    use sebs_workloads::{Language, Scale};
+
+    fn perf(benchmark: &str, memories: &[u32]) -> PerfCostResult {
+        let mut suite = Suite::new(SuiteConfig::fast().with_seed(303));
+        run_perf_cost(
+            &mut suite,
+            &[(benchmark, Language::Python)],
+            &[ProviderKind::Aws],
+            memories,
+            Scale::Test,
+        )
+    }
+
+    #[test]
+    fn ratios_exceed_one() {
+        let results = run_cold_start(&perf("graph-bfs", &[512]));
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(
+            r.ratio.median() > 1.1,
+            "cold must cost more than warm: {}",
+            r.ratio.median()
+        );
+        // All-pairs: N_c × N_w ratios.
+        assert!(r.ratio.len() >= 20 * 20);
+    }
+
+    #[test]
+    fn large_package_benchmark_has_bigger_ratio() {
+        // Figure 4: image-recognition's cold/warm ratio (model download,
+        // large package) dwarfs dynamic-html's.
+        let img = run_cold_start(&perf("image-recognition", &[1536]));
+        let html = run_cold_start(&perf("dynamic-html", &[1536]));
+        assert!(
+            img[0].ratio.median() > 1.5 * html[0].ratio.median(),
+            "img {} vs html {}",
+            img[0].ratio.median(),
+            html[0].ratio.median()
+        );
+    }
+
+    #[test]
+    fn aws_more_memory_shrinks_cold_overhead() {
+        // §6.2 Q2: on AWS, high-memory allocations mitigate cold starts.
+        let results = run_cold_start(&perf("graph-bfs", &[128, 3008]));
+        let find = |mem: u32| {
+            results
+                .iter()
+                .find(|r| r.memory_mb == mem)
+                .unwrap()
+                .ratio
+                .median()
+        };
+        assert!(
+            find(128) > find(3008),
+            "128 MB ratio {} should exceed 3008 MB ratio {}",
+            find(128),
+            find(3008)
+        );
+    }
+
+    #[test]
+    fn missing_series_are_skipped() {
+        let empty = PerfCostResult { series: vec![] };
+        assert!(run_cold_start(&empty).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Local benchmark characterization — paper Table 4.
+//!
+//! The paper runs every benchmark 50 times in a local Docker environment
+//! (language workers + MinIO storage) on an AWS z1d.metal machine and
+//! reports cold/warm times, instructions (hardware counters via PAPI) and
+//! CPU utilization. Our local environment is the same executor the IaaS
+//! model uses: full-speed CPU, MinIO-class storage, plus a process
+//! cold-start model (interpreter boot + package import time).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sebs_sim::{Dist, SimRng};
+use sebs_stats::Summary;
+use sebs_storage::SimObjectStore;
+use sebs_workloads::{all_workloads, InvocationCtx, Language, Scale};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Language variant.
+    pub language: Language,
+    /// Cold execution time statistics (ms).
+    pub cold_ms: Summary,
+    /// Warm execution time statistics (ms).
+    pub warm_ms: Summary,
+    /// Mean kernel instructions.
+    pub instructions: f64,
+    /// CPU utilization: compute time / wall time.
+    pub cpu_utilization: f64,
+    /// Peak tracked memory (MB).
+    pub peak_memory_mb: f64,
+}
+
+/// Runs the local characterization over all registered benchmarks.
+///
+/// `repetitions` is 50 in the paper; smaller values make test runs fast.
+/// `scale` selects input sizes ([`Scale::Small`] matches the paper's
+/// configuration).
+pub fn run_local_characterization(repetitions: usize, scale: Scale, seed: u64) -> Vec<LocalRow> {
+    let ops_per_sec = 6.0e9; // the calibrated full-CPU rate
+    let mut rows = Vec::new();
+    for reg in all_workloads() {
+        let spec = reg.workload.spec();
+        let mut storage = SimObjectStore::local_minio_model();
+        let root = SimRng::new(seed);
+        let mut prep_rng: StdRng = root.stream(&format!("prep-{}-{}", spec.name, spec.language));
+        let mut payload = reg.workload.prepare(scale, &mut prep_rng, &mut storage);
+        // The local Docker environment keeps the language worker alive
+        // between repetitions, so loaded artifacts (the inference model)
+        // stay cached; the cold estimate below charges the import instead.
+        for p in &mut payload.params {
+            if p.0 == "model-cached" {
+                p.1 = "true".into();
+            }
+        }
+
+        // Local process cold start: interpreter boot + package import,
+        // modelled from the deployment size (imports scale with the
+        // dependency tree — pytorch's 250 MB package costs over a second).
+        let boot_ms = match spec.language {
+            Language::Python => Dist::shifted_lognormal(95.0, 2.2, 0.4),
+            Language::NodeJs => Dist::shifted_lognormal(60.0, 2.0, 0.4),
+        };
+        let import_secs = spec.code_package_bytes as f64 / 250e6;
+
+        let mut cold = Vec::with_capacity(repetitions);
+        let mut warm = Vec::with_capacity(repetitions);
+        let mut instr = 0.0;
+        let mut cpu = 0.0;
+        let mut peak = 0.0f64;
+        let mut boot_rng: StdRng = root.stream(&format!("boot-{}-{}", spec.name, spec.language));
+        for i in 0..repetitions {
+            let mut exec_rng: StdRng =
+                root.stream_indexed(&format!("exec-{}-{}", spec.name, spec.language), i as u64);
+            let mut ctx = InvocationCtx::new(&mut storage, &mut exec_rng);
+            reg.workload
+                .execute(&payload, &mut ctx)
+                .unwrap_or_else(|e| panic!("{} failed locally: {e}", spec.name));
+            let compute = ctx.counters().instructions as f64 / ops_per_sec;
+            let wall = compute + ctx.io_time().as_secs_f64();
+            warm.push(wall * 1e3);
+            let boot = boot_ms.sample_millis(&mut boot_rng).as_secs_f64() + import_secs;
+            cold.push((wall + boot) * 1e3);
+            instr += ctx.counters().instructions as f64;
+            cpu += compute / wall.max(1e-12);
+            peak = peak.max(ctx.peak_alloc_bytes() as f64 / (1024.0 * 1024.0));
+            // A couple of RNG draws keep per-iteration streams independent
+            // of the shared boot stream's consumption pattern.
+            let _: u64 = boot_rng.gen();
+        }
+        rows.push(LocalRow {
+            benchmark: spec.name.clone(),
+            language: spec.language,
+            cold_ms: Summary::from_values(&cold),
+            warm_ms: Summary::from_values(&warm),
+            instructions: instr / repetitions as f64,
+            cpu_utilization: cpu / repetitions as f64,
+            peak_memory_mb: peak,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<LocalRow> {
+        run_local_characterization(6, Scale::Test, 42)
+    }
+
+    #[test]
+    fn covers_all_thirteen_variants() {
+        let rows = rows();
+        assert_eq!(rows.len(), 13);
+    }
+
+    #[test]
+    fn cold_exceeds_warm_everywhere() {
+        for row in rows() {
+            assert!(
+                row.cold_ms.median() > row.warm_ms.median(),
+                "{}: cold {} <= warm {}",
+                row.benchmark,
+                row.cold_ms.median(),
+                row.warm_ms.median()
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_utilization_separates_io_bound_from_compute_bound() {
+        let rows = rows();
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r.benchmark == name && r.language == Language::Python)
+                .unwrap_or_else(|| panic!("row {name}"))
+        };
+        // Table 4: uploader ~25% CPU; graph kernels ~99%.
+        let uploader = find("uploader");
+        let bfs = find("graph-bfs");
+        assert!(
+            uploader.cpu_utilization < 0.6,
+            "uploader is I/O bound: {}",
+            uploader.cpu_utilization
+        );
+        assert!(
+            bfs.cpu_utilization > 0.9,
+            "graph-bfs is compute bound: {}",
+            bfs.cpu_utilization
+        );
+    }
+
+    #[test]
+    fn image_recognition_has_the_largest_cold_overhead() {
+        // The 250 MB pytorch package dominates local import time.
+        let rows = rows();
+        let overhead = |name: &str| {
+            let r = rows
+                .iter()
+                .find(|r| r.benchmark == name && r.language == Language::Python)
+                .unwrap();
+            r.cold_ms.median() - r.warm_ms.median()
+        };
+        let img = overhead("image-recognition");
+        for other in ["dynamic-html", "uploader", "compression", "graph-bfs"] {
+            assert!(
+                img > 2.0 * overhead(other),
+                "image-recognition {img} vs {other} {}",
+                overhead(other)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_local_characterization(3, Scale::Test, 9);
+        let b = run_local_characterization(3, Scale::Test, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+//! The paper's experiments (§6), one driver per module:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`local`] | Table 4 — local benchmark characterization |
+//! | [`perf_cost`] | Figure 3 (warm perf), Figure 5a (cost of 1M), Figure 5b (billed vs used) |
+//! | [`cold_start`] | Figure 4 — cold-start overhead ratios |
+//! | [`invocation_overhead`] | Figure 6 — invocation overhead vs payload, with clock sync |
+//! | [`eviction`] | Figure 7, Table 7, Equations 1–2 — container eviction model |
+//! | [`faas_vs_iaas`] | Table 5 — FaaS vs EC2 t2.micro |
+//! | [`break_even`] | Table 6 — FaaS/IaaS break-even request rates |
+
+pub mod break_even;
+pub mod cold_start;
+pub mod eviction;
+pub mod faas_vs_iaas;
+pub mod invocation_overhead;
+pub mod local;
+pub mod perf_cost;
+
+pub use break_even::{run_break_even, BreakEvenRow};
+pub use cold_start::{run_cold_start, ColdStartResult};
+pub use eviction::{run_eviction_model, EvictionExperimentConfig, EvictionModelResult};
+pub use faas_vs_iaas::{run_faas_vs_iaas, FaasVsIaasRow};
+pub use invocation_overhead::{run_invocation_overhead, InvocationOverheadResult};
+pub use local::{run_local_characterization, LocalRow};
+pub use perf_cost::{run_perf_cost, PerfCostResult, PerfCostSeries};

@@ -1,0 +1,42 @@
+//! # SeBS-RS — a serverless benchmark suite
+//!
+//! A Rust reproduction of *SeBS: A Serverless Benchmark Suite for
+//! Function-as-a-Service Computing* (Copik et al., Middleware 2021),
+//! running against deterministic simulations of AWS Lambda, Azure
+//! Functions and Google Cloud Functions.
+//!
+//! The suite ties together:
+//!
+//! * the thirteen benchmark applications of the paper's Table 3
+//!   (`sebs-workloads`),
+//! * a FaaS platform simulator with per-provider policy profiles
+//!   (`sebs-platform`),
+//! * the paper's statistical methodology — nonparametric confidence
+//!   intervals, adaptive sample sizes, model fitting (`sebs-stats`),
+//! * and the experiment drivers of the evaluation section
+//!   ([`experiments`]): local characterization (Table 4), Perf-Cost
+//!   (Figures 3–5, Tables 5–6), Invoc-Overhead (Figure 6) and
+//!   Eviction-Model (Figure 7, Equations 1–2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sebs::{Suite, SuiteConfig};
+//! use sebs_platform::ProviderKind;
+//! use sebs_workloads::{Language, Scale};
+//!
+//! let mut suite = Suite::new(SuiteConfig::default().with_seed(7));
+//! let handle = suite
+//!     .deploy(ProviderKind::Aws, "graph-bfs", Language::Python, 512, Scale::Test)
+//!     .expect("graph-bfs deploys on AWS");
+//! let record = suite.invoke(&handle);
+//! assert!(record.outcome.is_success());
+//! println!("cold invocation took {}", record.client_time);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod suite;
+
+pub use config::SuiteConfig;
+pub use suite::{DeployedBenchmark, Suite};

@@ -1,0 +1,64 @@
+//! Minimal CSV export for measurement rows.
+
+use crate::measurement::Measurement;
+
+/// Escapes a CSV field per RFC 4180 (quotes fields containing commas,
+/// quotes or newlines).
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders measurements as CSV with a fixed header; tags are flattened
+/// into a `key=value;key=value` column.
+pub fn to_csv(rows: &[Measurement]) -> String {
+    let mut out = String::from("experiment,benchmark,provider,metric,value,tags\n");
+    for m in rows {
+        let tags = m
+            .tags
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            escape(&m.experiment),
+            escape(&m.benchmark),
+            escape(&m.provider),
+            escape(&m.metric),
+            m.value,
+            escape(&tags),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn renders_rows_with_tags() {
+        let rows = vec![
+            Measurement::new("e", "bench", "aws", "time_ms", 1.5).with_tag("memory", "128"),
+            Measurement::new("e", "with,comma", "gcp", "cost", 0.25),
+        ];
+        let csv = to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "experiment,benchmark,provider,metric,value,tags");
+        assert_eq!(lines[1], "e,bench,aws,time_ms,1.5,memory=128");
+        assert!(lines[2].contains("\"with,comma\""));
+    }
+}

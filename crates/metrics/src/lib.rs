@@ -1,0 +1,17 @@
+//! Measurement records, result stores and report formatting.
+//!
+//! Experiments produce flat [`Measurement`] rows (experiment, benchmark,
+//! provider, configuration key/values, metric name, value). The
+//! [`ResultStore`] collects them, supports grouping and summarizing, and
+//! serializes to JSON/CSV — the suite's equivalent of the paper toolkit's
+//! cached experiment outputs. [`table::TextTable`] renders the aligned
+//! tables the `sebs-bench` binaries print for each paper table/figure.
+
+pub mod csv;
+pub mod measurement;
+pub mod store;
+pub mod table;
+
+pub use measurement::Measurement;
+pub use store::ResultStore;
+pub use table::TextTable;

@@ -1,0 +1,82 @@
+//! The flat measurement row.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured value with its full context.
+///
+/// # Example
+///
+/// ```
+/// use sebs_metrics::Measurement;
+///
+/// let m = Measurement::new("perf-cost", "thumbnailer", "aws", "client_time_ms", 65.2)
+///     .with_tag("memory_mb", "1024")
+///     .with_tag("start", "warm");
+/// assert_eq!(m.tag("memory_mb"), Some("1024"));
+/// assert_eq!(m.value, 65.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Experiment identifier (e.g. `perf-cost`, `eviction-model`).
+    pub experiment: String,
+    /// Benchmark name (e.g. `graph-bfs`), or `-` for platform metrics.
+    pub benchmark: String,
+    /// Provider name (`aws`, `azure`, `gcp`, `vm`).
+    pub provider: String,
+    /// Metric name (e.g. `client_time_ms`, `cost_usd`).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// Free-form configuration tags (memory, start kind, payload size…).
+    pub tags: Vec<(String, String)>,
+}
+
+impl Measurement {
+    /// Creates a measurement row.
+    pub fn new(
+        experiment: impl Into<String>,
+        benchmark: impl Into<String>,
+        provider: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Measurement {
+        Measurement {
+            experiment: experiment.into(),
+            benchmark: benchmark.into(),
+            provider: provider.into(),
+            metric: metric.into(),
+            value,
+            tags: Vec::new(),
+        }
+    }
+
+    /// Attaches a configuration tag.
+    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Measurement {
+        self.tags.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a tag value.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_tags() {
+        let m = Measurement::new("e", "b", "aws", "t", 1.5)
+            .with_tag("k", "v")
+            .with_tag("k2", "v2");
+        assert_eq!(m.experiment, "e");
+        assert_eq!(m.tag("k"), Some("v"));
+        assert_eq!(m.tag("k2"), Some("v2"));
+        assert_eq!(m.tag("missing"), None);
+    }
+}

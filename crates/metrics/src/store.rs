@@ -1,0 +1,156 @@
+//! Collecting and querying measurement rows.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::Measurement;
+
+/// An in-memory collection of measurements with filtering, grouping and
+/// JSON persistence.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultStore {
+    rows: Vec<Measurement>,
+}
+
+impl ResultStore {
+    /// Creates an empty store.
+    pub fn new() -> ResultStore {
+        ResultStore::default()
+    }
+
+    /// Adds one measurement.
+    pub fn push(&mut self, m: Measurement) {
+        self.rows.push(m);
+    }
+
+    /// Adds many measurements.
+    pub fn extend(&mut self, ms: impl IntoIterator<Item = Measurement>) {
+        self.rows.extend(ms);
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Measurement] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Values of `metric` matching the given filters (`None` = any).
+    pub fn values(
+        &self,
+        metric: &str,
+        benchmark: Option<&str>,
+        provider: Option<&str>,
+        tags: &[(&str, &str)],
+    ) -> Vec<f64> {
+        self.rows
+            .iter()
+            .filter(|m| m.metric == metric)
+            .filter(|m| benchmark.is_none_or(|b| m.benchmark == b))
+            .filter(|m| provider.is_none_or(|p| m.provider == p))
+            .filter(|m| tags.iter().all(|(k, v)| m.tag(k) == Some(*v)))
+            .map(|m| m.value)
+            .collect()
+    }
+
+    /// Groups values of `metric` by a tag's value (sorted by tag value).
+    pub fn group_by_tag(&self, metric: &str, tag: &str) -> BTreeMap<String, Vec<f64>> {
+        let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for m in self.rows.iter().filter(|m| m.metric == metric) {
+            if let Some(v) = m.tag(tag) {
+                groups.entry(v.to_string()).or_default().push(m.value);
+            }
+        }
+        groups
+    }
+
+    /// Serializes all rows to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the data model is plain.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.rows).expect("measurements are always serializable")
+    }
+
+    /// Restores a store from [`ResultStore::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(json: &str) -> Result<ResultStore, serde_json::Error> {
+        Ok(ResultStore {
+            rows: serde_json::from_str(json)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ResultStore {
+        let mut s = ResultStore::new();
+        for (mem, v) in [(128, 10.0), (128, 12.0), (1024, 2.0)] {
+            s.push(
+                Measurement::new("perf", "bfs", "aws", "time_ms", v)
+                    .with_tag("memory_mb", mem.to_string()),
+            );
+        }
+        s.push(Measurement::new("perf", "bfs", "gcp", "time_ms", 20.0));
+        s.push(Measurement::new("perf", "bfs", "aws", "cost_usd", 0.5));
+        s
+    }
+
+    #[test]
+    fn filtering() {
+        let s = sample_store();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.values("time_ms", None, None, &[]).len(), 4);
+        assert_eq!(s.values("time_ms", Some("bfs"), Some("aws"), &[]).len(), 3);
+        assert_eq!(
+            s.values("time_ms", None, Some("aws"), &[("memory_mb", "128")]),
+            vec![10.0, 12.0]
+        );
+        assert!(s.values("nope", None, None, &[]).is_empty());
+    }
+
+    #[test]
+    fn grouping() {
+        let s = sample_store();
+        let groups = s.group_by_tag("time_ms", "memory_mb");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups["128"], vec![10.0, 12.0]);
+        assert_eq!(groups["1024"], vec![2.0]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample_store();
+        let json = s.to_json();
+        let back = ResultStore::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(ResultStore::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = ResultStore::new();
+        s.extend(vec![
+            Measurement::new("e", "b", "p", "m", 1.0),
+            Measurement::new("e", "b", "p", "m", 2.0),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows()[1].value, 2.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text table rendering for the benchmark binaries.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use sebs_metrics::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Benchmark", "Median [ms]"]);
+/// t.row(vec!["graph-bfs".into(), "36.5".into()]);
+/// t.row(vec!["thumbnailer".into(), "65.0".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("graph-bfs"));
+/// assert!(rendered.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    pub fn new(headers: Vec<&str>) -> TextTable {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        TextTable {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut TextTable {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:<width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in widths.iter().take(cols) {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        write_row(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "value"]);
+        t.row(vec!["x".into(), "1".into()])
+            .row(vec!["longer".into(), "2.5".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6, "3 rules + header + 2 rows");
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(out.contains("| longer | 2.5   |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        TextTable::new(vec![]);
+    }
+}

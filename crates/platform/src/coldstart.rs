@@ -1,0 +1,244 @@
+//! Cold-start latency models (paper §6.2 Q2).
+//!
+//! A cold start is decomposed the way the paper's invocation-system model
+//! (§2 ❺) describes: infrastructure provisioning (scheduler picks a server,
+//! boots the sandbox), code-package fetch from the deployment store,
+//! language-runtime boot, and user-code initialization. The memory
+//! dependence differs per provider — the paper's novel observation is that
+//! more memory *shortens* cold starts on AWS (more CPU for initialization)
+//! but *lengthens* allocation on GCP (competition for a smaller pool of
+//! larger containers), while helping neither on Azure (dynamic memory).
+
+use rand::rngs::StdRng;
+use sebs_sim::{Dist, SimDuration};
+use sebs_workloads::Language;
+use serde::{Deserialize, Serialize};
+
+/// How cold-start latency reacts to the memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemoryEffect {
+    /// Larger memory ⇒ faster init (AWS): init scales with `1/share^p`.
+    FasterWithMemory {
+        /// Exponent `p` of the speedup.
+        exponent: f64,
+    },
+    /// Larger memory ⇒ slower allocation (GCP): provisioning scales with
+    /// `(memory/128)^p`.
+    SlowerWithMemory {
+        /// Exponent `p` of the slowdown.
+        exponent: f64,
+    },
+    /// Memory has no effect (Azure: memory is dynamic).
+    None,
+}
+
+/// A provider's cold-start model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartModel {
+    /// Provisioning/scheduling delay (ms).
+    pub provisioning_ms: Dist,
+    /// Deployment-package fetch bandwidth, bytes/second.
+    pub package_fetch_bps: f64,
+    /// Python runtime boot (ms).
+    pub python_boot_ms: Dist,
+    /// Node.js runtime boot (ms).
+    pub nodejs_boot_ms: Dist,
+    /// How memory affects the start.
+    pub memory_effect: MemoryEffect,
+    /// Extra unpredictable delay (ms) affecting *cold* invocations only —
+    /// the erratic cold behavior of Azure/GCP in Figure 6.
+    pub cold_noise_ms: Dist,
+}
+
+impl ColdStartModel {
+    /// AWS Lambda: fast, consistent cold starts that shrink with memory.
+    pub fn aws() -> ColdStartModel {
+        ColdStartModel {
+            provisioning_ms: Dist::shifted_lognormal(45.0, 3.2, 0.35),
+            package_fetch_bps: 220e6,
+            python_boot_ms: Dist::shifted_lognormal(120.0, 3.0, 0.3),
+            nodejs_boot_ms: Dist::shifted_lognormal(75.0, 2.7, 0.3),
+            memory_effect: MemoryEffect::FasterWithMemory { exponent: 0.6 },
+            cold_noise_ms: Dist::Constant(0.0),
+        }
+    }
+
+    /// Azure Functions: slower, highly variable cold starts.
+    pub fn azure() -> ColdStartModel {
+        ColdStartModel {
+            provisioning_ms: Dist::shifted_lognormal(350.0, 5.6, 0.8),
+            package_fetch_bps: 80e6,
+            python_boot_ms: Dist::shifted_lognormal(300.0, 4.6, 0.5),
+            nodejs_boot_ms: Dist::shifted_lognormal(200.0, 4.2, 0.5),
+            memory_effect: MemoryEffect::None,
+            cold_noise_ms: Dist::Mixture {
+                p: 0.25,
+                first: Box::new(Dist::shifted_lognormal(500.0, 6.5, 0.7)),
+                second: Box::new(Dist::Constant(0.0)),
+            },
+        }
+    }
+
+    /// GCP: cold starts that *grow* with the memory tier.
+    pub fn gcp() -> ColdStartModel {
+        ColdStartModel {
+            provisioning_ms: Dist::shifted_lognormal(110.0, 4.4, 0.5),
+            package_fetch_bps: 150e6,
+            python_boot_ms: Dist::shifted_lognormal(180.0, 3.6, 0.4),
+            nodejs_boot_ms: Dist::shifted_lognormal(120.0, 3.2, 0.4),
+            memory_effect: MemoryEffect::SlowerWithMemory { exponent: 0.35 },
+            cold_noise_ms: Dist::Mixture {
+                p: 0.15,
+                first: Box::new(Dist::shifted_lognormal(300.0, 6.0, 0.8)),
+                second: Box::new(Dist::Constant(0.0)),
+            },
+        }
+    }
+
+    /// Samples a full cold-start latency.
+    ///
+    /// `cpu_share` is the allocation's CPU share (for the AWS-style memory
+    /// speedup); `memory_mb` the configured memory (for the GCP slowdown);
+    /// `code_bytes` the deployment-package size; `init_work` abstract work
+    /// units of user-code initialization (imports, model loads) executed at
+    /// `ops_per_sec` before the handler runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample(
+        &self,
+        rng: &mut StdRng,
+        language: Language,
+        cpu_share: f64,
+        memory_mb: u32,
+        code_bytes: u64,
+        init_work: u64,
+        ops_per_sec: f64,
+    ) -> SimDuration {
+        let mut provisioning = self.provisioning_ms.sample_millis(rng);
+        let fetch = SimDuration::from_secs_f64(code_bytes as f64 / self.package_fetch_bps);
+        let mut boot = match language {
+            Language::Python => self.python_boot_ms.sample_millis(rng),
+            Language::NodeJs => self.nodejs_boot_ms.sample_millis(rng),
+        };
+        let mut init =
+            SimDuration::from_secs_f64(init_work as f64 / (ops_per_sec * cpu_share.max(1e-6)));
+        match self.memory_effect {
+            MemoryEffect::FasterWithMemory { exponent } => {
+                let factor = cpu_share.max(0.05).powf(exponent);
+                boot = boot.mul_f64(1.0 / factor);
+                init = init.mul_f64(1.0); // already divided by share
+            }
+            MemoryEffect::SlowerWithMemory { exponent } => {
+                let factor = (memory_mb as f64 / 128.0).powf(exponent);
+                provisioning = provisioning.mul_f64(factor);
+            }
+            MemoryEffect::None => {}
+        }
+        let noise = self.cold_noise_ms.sample_millis(rng);
+        provisioning + fetch + boot + init + noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimRng;
+
+    fn mean_cold(model: &ColdStartModel, memory_mb: u32, share: f64, code: u64) -> f64 {
+        let mut rng = SimRng::new(7).stream("cold");
+        let n = 300;
+        (0..n)
+            .map(|_| {
+                model
+                    .sample(&mut rng, Language::Python, share, memory_mb, code, 0, 6e9)
+                    .as_secs_f64()
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn aws_cold_start_shrinks_with_memory() {
+        let m = ColdStartModel::aws();
+        let small = mean_cold(&m, 128, 128.0 / 1792.0, 1_000_000);
+        let big = mean_cold(&m, 3008, 3008.0 / 1792.0, 1_000_000);
+        assert!(
+            small > 1.5 * big,
+            "AWS: 128 MB cold {small:.3}s should dwarf 3008 MB cold {big:.3}s"
+        );
+    }
+
+    #[test]
+    fn gcp_cold_start_grows_with_memory() {
+        let m = ColdStartModel::gcp();
+        let small = mean_cold(&m, 128, 128.0 / 2048.0, 1_000_000);
+        let big = mean_cold(&m, 4096, 2.0, 1_000_000);
+        assert!(
+            big > 1.2 * small,
+            "GCP: 4096 MB cold {big:.3}s should exceed 128 MB cold {small:.3}s"
+        );
+    }
+
+    #[test]
+    fn azure_cold_start_memory_agnostic_but_noisy() {
+        let m = ColdStartModel::azure();
+        let a = mean_cold(&m, 128, 1.0, 1_000_000);
+        let b = mean_cold(&m, 1536, 1.0, 1_000_000);
+        assert!((a - b).abs() / a < 0.15, "memory-insensitive: {a} vs {b}");
+        // Azure cold means are the slowest of the three.
+        let aws = mean_cold(&ColdStartModel::aws(), 1536, 1536.0 / 1792.0, 1_000_000);
+        assert!(a > 1.5 * aws);
+    }
+
+    #[test]
+    fn large_packages_dominate_cold_start() {
+        // The paper's image-recognition: 250 MB package makes cold starts
+        // ~10x a trivial package's.
+        let m = ColdStartModel::aws();
+        let small_pkg = mean_cold(&m, 1536, 1536.0 / 1792.0, 1_000_000);
+        let big_pkg = mean_cold(&m, 1536, 1536.0 / 1792.0, 250_000_000);
+        assert!(
+            big_pkg > 2.5 * small_pkg,
+            "250 MB package: {big_pkg:.3}s vs {small_pkg:.3}s"
+        );
+    }
+
+    #[test]
+    fn node_boots_faster_than_python() {
+        let m = ColdStartModel::aws();
+        let mut rng = SimRng::new(9).stream("boot");
+        let py: f64 = (0..200)
+            .map(|_| {
+                m.sample(&mut rng, Language::Python, 1.0, 1792, 0, 0, 6e9)
+                    .as_secs_f64()
+            })
+            .sum();
+        let js: f64 = (0..200)
+            .map(|_| {
+                m.sample(&mut rng, Language::NodeJs, 1.0, 1792, 0, 0, 6e9)
+                    .as_secs_f64()
+            })
+            .sum();
+        assert!(js < py);
+    }
+
+    #[test]
+    fn init_work_adds_compute_time() {
+        let m = ColdStartModel::aws();
+        let mut rng = SimRng::new(10).stream("init");
+        let without = m.sample(&mut rng, Language::Python, 1.0, 1792, 0, 0, 6e9);
+        let mut rng = SimRng::new(10).stream("init");
+        let with = m.sample(&mut rng, Language::Python, 1.0, 1792, 0, 6_000_000_000, 6e9);
+        assert!(with > without + SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = ColdStartModel::gcp();
+        let once = |seed: u64| {
+            let mut rng = SimRng::new(seed).stream("d");
+            m.sample(&mut rng, Language::Python, 0.5, 1024, 5_000_000, 0, 6e9)
+        };
+        assert_eq!(once(3), once(3));
+        assert_ne!(once(3), once(4));
+    }
+}

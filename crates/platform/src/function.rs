@@ -1,0 +1,104 @@
+//! Function deployment configuration.
+
+use std::fmt;
+
+use sebs_sim::SimDuration;
+use sebs_workloads::Language;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a deployed function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub u32);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn-{}", self.0)
+    }
+}
+
+/// Deployment configuration of one serverless function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionConfig {
+    /// Human-readable name (usually the benchmark name).
+    pub name: String,
+    /// Language runtime.
+    pub language: Language,
+    /// Requested memory in MB (validated against the provider's policy at
+    /// deployment).
+    pub memory_mb: u32,
+    /// Uncompressed code-package size in bytes.
+    pub code_package_bytes: u64,
+    /// Abstract work units of user-code initialization executed on a cold
+    /// start (imports, framework warm-up).
+    pub init_work: u64,
+    /// Function timeout; `None` uses the provider's maximum.
+    pub timeout: Option<SimDuration>,
+    /// Azure function app this function belongs to; functions sharing an
+    /// app share host instances (Table 2 / §3.3). Ignored by providers
+    /// without function apps.
+    pub app: Option<String>,
+}
+
+impl FunctionConfig {
+    /// A minimal configuration with the given name, language and memory.
+    pub fn new(name: impl Into<String>, language: Language, memory_mb: u32) -> FunctionConfig {
+        FunctionConfig {
+            name: name.into(),
+            language,
+            memory_mb,
+            code_package_bytes: 1_000_000,
+            init_work: 50_000_000,
+            timeout: None,
+            app: None,
+        }
+    }
+
+    /// Sets the code-package size.
+    pub fn with_code_package(mut self, bytes: u64) -> Self {
+        self.code_package_bytes = bytes;
+        self
+    }
+
+    /// Sets the cold-start initialization work.
+    pub fn with_init_work(mut self, work: u64) -> Self {
+        self.init_work = work;
+        self
+    }
+
+    /// Assigns the function to an Azure-style function app.
+    pub fn in_app(mut self, app: impl Into<String>) -> Self {
+        self.app = Some(app.into());
+        self
+    }
+
+    /// Sets an explicit timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let f = FunctionConfig::new("thumbnailer", Language::Python, 256)
+            .with_code_package(12_000_000)
+            .with_init_work(1_000_000)
+            .in_app("media-app")
+            .with_timeout(SimDuration::from_secs(30));
+        assert_eq!(f.name, "thumbnailer");
+        assert_eq!(f.memory_mb, 256);
+        assert_eq!(f.code_package_bytes, 12_000_000);
+        assert_eq!(f.init_work, 1_000_000);
+        assert_eq!(f.app.as_deref(), Some("media-app"));
+        assert_eq!(f.timeout, Some(SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(FunctionId(3).to_string(), "fn-3");
+    }
+}

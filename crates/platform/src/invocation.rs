@@ -1,0 +1,183 @@
+//! Invocation records — the platform-side measurement unit.
+//!
+//! Every invocation produces an [`InvocationRecord`] carrying the paper's
+//! three time levels (§5.1 "Benchmark, Provider and Client Time"):
+//!
+//! * **benchmark time** — work performed by the function body only,
+//! * **provider time** — benchmark time plus the sandbox/language-worker
+//!   overhead (and, on a cold start, initialization), what the cloud's own
+//!   measurement API would report,
+//! * **client time** — end-to-end latency observed by the invoking client,
+//!   including the trigger, network and scheduling.
+
+use sebs_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::billing::InvocationBill;
+use crate::container::ContainerId;
+use crate::function::FunctionId;
+
+/// Whether the invocation hit a warm sandbox or forced a cold start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartKind {
+    /// Reused a warm container.
+    Warm,
+    /// Booted a new container.
+    Cold,
+}
+
+/// Terminal status of an invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InvocationOutcome {
+    /// Completed successfully.
+    Success,
+    /// Killed: memory usage exceeded the allocation (GCP's strict OOM,
+    /// §6.2 Q3 "Reliability").
+    OutOfMemory {
+        /// Measured usage at the kill.
+        used_mb: u32,
+        /// The configured limit.
+        limit_mb: u32,
+    },
+    /// Exceeded the platform's execution time limit.
+    Timeout,
+    /// Rejected: platform concurrency limit reached.
+    Throttled,
+    /// Transient service unavailability (§6.2 Q3 "Availability").
+    ServiceUnavailable,
+    /// The payload exceeded the trigger's size limit.
+    PayloadTooLarge {
+        /// Offending payload size.
+        bytes: u64,
+        /// The trigger limit.
+        limit: u64,
+    },
+    /// The function body itself returned an error.
+    FunctionError(String),
+}
+
+impl InvocationOutcome {
+    /// `true` only for successful completions.
+    pub fn is_success(&self) -> bool {
+        matches!(self, InvocationOutcome::Success)
+    }
+}
+
+/// Full measurement record of one invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// The invoked function.
+    pub function: FunctionId,
+    /// Cold or warm.
+    pub start: StartKind,
+    /// Terminal status.
+    pub outcome: InvocationOutcome,
+    /// Submission time on the simulation clock.
+    pub submitted_at: SimTime,
+    /// Function-body execution time (compute + storage I/O).
+    pub benchmark_time: SimDuration,
+    /// Provider-reported time (benchmark + sandbox overhead + cold init).
+    pub provider_time: SimDuration,
+    /// End-to-end client latency.
+    pub client_time: SimDuration,
+    /// Abstract instructions executed by the kernel.
+    pub instructions: u64,
+    /// Time the body spent waiting on storage/external I/O.
+    pub io_time: SimDuration,
+    /// Measured memory usage in MB.
+    pub used_memory_mb: u32,
+    /// Configured memory in MB.
+    pub configured_memory_mb: u32,
+    /// Request payload size in bytes.
+    pub payload_bytes: u64,
+    /// Response size in bytes.
+    pub response_bytes: u64,
+    /// The serving container (if one was assigned).
+    pub container: Option<ContainerId>,
+    /// Number of invocations in flight in the same burst.
+    pub concurrency: u32,
+    /// The bill (zero-cost entries for failed invocations that are not
+    /// billed).
+    pub bill: InvocationBill,
+    /// Client clock reading when the request was sent (seconds).
+    pub t_send_client: f64,
+    /// *Server* clock reading when the function body started (seconds) —
+    /// offset from the client clock, as in the paper's §6.4 setup.
+    pub t_start_server: f64,
+    /// Client clock reading when the response arrived (seconds).
+    pub t_recv_client: f64,
+}
+
+impl InvocationRecord {
+    /// The invocation overhead the paper estimates in Figure 6: time from
+    /// client send to function start, computed from the (drift-corrected)
+    /// timestamps. `offset` is the estimated server-minus-client clock
+    /// offset in seconds.
+    pub fn invocation_overhead_secs(&self, offset: f64) -> f64 {
+        (self.t_start_server - offset) - self.t_send_client
+    }
+
+    /// Cold/warm ratio helper: client time in seconds.
+    pub fn client_secs(&self) -> f64 {
+        self.client_time.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::BillingModel;
+
+    fn record() -> InvocationRecord {
+        InvocationRecord {
+            function: FunctionId(0),
+            start: StartKind::Warm,
+            outcome: InvocationOutcome::Success,
+            submitted_at: SimTime::from_secs(1),
+            benchmark_time: SimDuration::from_millis(50),
+            provider_time: SimDuration::from_millis(60),
+            client_time: SimDuration::from_millis(200),
+            instructions: 1_000_000,
+            io_time: SimDuration::from_millis(10),
+            used_memory_mb: 100,
+            configured_memory_mb: 256,
+            payload_bytes: 1024,
+            response_bytes: 2048,
+            container: Some(ContainerId(1)),
+            concurrency: 1,
+            bill: BillingModel::aws().bill(SimDuration::from_millis(60), 256, 100, 2048),
+            t_send_client: 100.0,
+            t_start_server: 100.12,
+            t_recv_client: 100.2,
+        }
+    }
+
+    #[test]
+    fn outcome_success_check() {
+        assert!(InvocationOutcome::Success.is_success());
+        assert!(!InvocationOutcome::Timeout.is_success());
+        assert!(!InvocationOutcome::OutOfMemory {
+            used_mb: 300,
+            limit_mb: 256
+        }
+        .is_success());
+    }
+
+    #[test]
+    fn overhead_uses_drift_corrected_timestamps() {
+        let r = record();
+        // True server-client offset 0.05 s → overhead = 0.12 − 0.05 = 0.07.
+        let est = r.invocation_overhead_secs(0.05);
+        assert!((est - 0.07).abs() < 1e-12);
+        // Ignoring drift overestimates.
+        assert!(r.invocation_overhead_secs(0.0) > est);
+    }
+
+    #[test]
+    fn time_levels_are_ordered() {
+        let r = record();
+        assert!(r.benchmark_time <= r.provider_time);
+        assert!(r.provider_time <= r.client_time);
+        assert!((r.client_secs() - 0.2).abs() < 1e-12);
+    }
+}

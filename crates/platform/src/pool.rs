@@ -1,0 +1,296 @@
+//! Warm-container pools per function (paper §2 ❺, the server-side cache of
+//! execution environments).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sebs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::container::{Container, ContainerId, ContainerState};
+use crate::eviction::EvictionPolicy;
+
+/// How a container was obtained for an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Acquired {
+    /// An idle warm container was reused.
+    Warm(ContainerId),
+    /// A new container had to be created (cold start).
+    Cold(ContainerId),
+}
+
+impl Acquired {
+    /// The container id regardless of temperature.
+    pub fn id(&self) -> ContainerId {
+        match self {
+            Acquired::Warm(id) | Acquired::Cold(id) => *id,
+        }
+    }
+
+    /// `true` for a cold acquisition.
+    pub fn is_cold(&self) -> bool {
+        matches!(self, Acquired::Cold(_))
+    }
+}
+
+/// The pool of containers for one deployed function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerPool {
+    containers: Vec<Container>,
+    policy: EvictionPolicy,
+    next_id: u64,
+    next_slot: u64,
+    /// Total cold starts served (statistics).
+    pub cold_starts: u64,
+    /// Total warm hits served (statistics).
+    pub warm_hits: u64,
+}
+
+impl ContainerPool {
+    /// Creates an empty pool with the given eviction policy.
+    pub fn new(policy: EvictionPolicy) -> ContainerPool {
+        ContainerPool {
+            containers: Vec::new(),
+            policy,
+            next_id: 0,
+            next_slot: 0,
+            cold_starts: 0,
+            warm_hits: 0,
+        }
+    }
+
+    /// Applies the eviction policy at `now`. Call before serving requests
+    /// after simulated time has passed.
+    pub fn advance(&mut self, now: SimTime, rng: &mut StdRng) {
+        let all = std::mem::take(&mut self.containers);
+        // Busy containers are never evicted mid-flight.
+        let (busy, idle): (Vec<_>, Vec<_>) = all
+            .into_iter()
+            .partition(|c| c.state == ContainerState::Busy);
+        self.containers = busy;
+        self.containers
+            .extend(self.policy.survivors(idle, now, rng));
+        if self.containers.is_empty() {
+            // A fully drained pool restarts its slot sequence, matching the
+            // paper's per-batch D_init semantics.
+            self.next_slot = 0;
+        }
+    }
+
+    /// Acquires a container for an invocation at `now`.
+    ///
+    /// `spurious_cold` is the provider's probability of ignoring a warm
+    /// container (GCP's unexpected cold starts); `deterministic` disables
+    /// that roll entirely (AWS).
+    pub fn acquire(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        spurious_cold: f64,
+        deterministic: bool,
+    ) -> Acquired {
+        self.advance(now, rng);
+        let force_cold = !deterministic && spurious_cold > 0.0 && rng.gen::<f64>() < spurious_cold;
+        if !force_cold {
+            if let Some(c) = self
+                .containers
+                .iter_mut()
+                .filter(|c| c.state == ContainerState::Idle)
+                .min_by_key(|c| c.slot)
+            {
+                c.begin();
+                self.warm_hits += 1;
+                return Acquired::Warm(c.id);
+            }
+        }
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let mut c = Container::new(id, slot, now);
+        c.begin();
+        self.containers.push(c);
+        self.cold_starts += 1;
+        Acquired::Cold(id)
+    }
+
+    /// Marks the invocation on `id` finished at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container does not exist (it must not have been
+    /// evicted while busy).
+    pub fn release(&mut self, id: ContainerId, now: SimTime) {
+        let c = self
+            .containers
+            .iter_mut()
+            .find(|c| c.id == id)
+            .expect("released container must exist");
+        c.finish(now);
+    }
+
+    /// Number of warm (idle or busy) containers after advancing to `now`.
+    pub fn warm_count(&mut self, now: SimTime, rng: &mut StdRng) -> usize {
+        self.advance(now, rng);
+        self.containers.len()
+    }
+
+    /// Number of containers without advancing time.
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// `true` when the pool holds no containers.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// Number of idle containers right now.
+    pub fn idle_count(&self) -> usize {
+        self.containers
+            .iter()
+            .filter(|c| c.state == ContainerState::Idle)
+            .count()
+    }
+
+    /// Kills every container — the suite's "enforce cold start" switch
+    /// (SeBS forces cold starts by updating the function configuration).
+    pub fn evict_all(&mut self) {
+        self.containers.clear();
+        self.next_slot = 0;
+    }
+
+    /// The eviction policy in force.
+    pub fn policy(&self) -> &EvictionPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::{SimDuration, SimRng};
+
+    fn rng() -> StdRng {
+        SimRng::new(2).stream("pool")
+    }
+
+    fn aws_pool() -> ContainerPool {
+        ContainerPool::new(EvictionPolicy::HalfLife {
+            period: SimDuration::from_secs(380),
+        })
+    }
+
+    #[test]
+    fn first_acquire_is_cold_then_warm() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 0.0, true);
+        assert!(a.is_cold());
+        pool.release(a.id(), t0 + SimDuration::from_millis(100));
+        let b = pool.acquire(t0 + SimDuration::from_secs(1), &mut r, 0.0, true);
+        assert!(!b.is_cold());
+        assert_eq!(a.id(), b.id(), "AWS reuses deterministically");
+        assert_eq!(pool.cold_starts, 1);
+        assert_eq!(pool.warm_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_acquires_spawn_new_containers() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 0.0, true);
+        let b = pool.acquire(t0, &mut r, 0.0, true);
+        assert!(a.is_cold() && b.is_cold());
+        assert_ne!(a.id(), b.id());
+        assert_eq!(pool.len(), 2);
+        pool.release(a.id(), t0 + SimDuration::from_millis(50));
+        // A third request while b is busy reuses a's container.
+        let c = pool.acquire(t0 + SimDuration::from_millis(60), &mut r, 0.0, true);
+        assert_eq!(c.id(), a.id());
+        assert!(!c.is_cold());
+    }
+
+    #[test]
+    fn eviction_follows_equation_one() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        // Warm 8 containers.
+        let ids: Vec<_> = (0..8).map(|_| pool.acquire(t0, &mut r, 0.0, true)).collect();
+        for a in &ids {
+            pool.release(a.id(), t0 + SimDuration::from_millis(10));
+        }
+        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(100), &mut r), 8);
+        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(390), &mut r), 4);
+        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(770), &mut r), 2);
+        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(1150), &mut r), 1);
+        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(1530), &mut r), 1, "slot 0 survives forever");
+    }
+
+    #[test]
+    fn busy_containers_survive_eviction() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 0.0, true);
+        // Never released: still busy hours later.
+        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(10_000), &mut r), 1);
+        pool.release(a.id(), t0 + SimDuration::from_secs(10_000));
+    }
+
+    #[test]
+    fn spurious_cold_starts_on_nondeterministic_platforms() {
+        let mut pool = ContainerPool::new(EvictionPolicy::Never);
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 0.0, false);
+        pool.release(a.id(), t0);
+        // With p = 1.0 every acquire is cold despite the warm container.
+        let b = pool.acquire(t0 + SimDuration::from_secs(1), &mut r, 1.0, false);
+        assert!(b.is_cold());
+        assert!(pool.len() >= 2, "container count grows, as on GCP");
+    }
+
+    #[test]
+    fn deterministic_flag_suppresses_spurious_colds() {
+        let mut pool = ContainerPool::new(EvictionPolicy::Never);
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 1.0, true);
+        pool.release(a.id(), t0);
+        let b = pool.acquire(t0 + SimDuration::from_secs(1), &mut r, 1.0, true);
+        assert!(!b.is_cold(), "AWS ignores the spurious-cold probability");
+    }
+
+    #[test]
+    fn evict_all_forces_cold() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 0.0, true);
+        pool.release(a.id(), t0);
+        pool.evict_all();
+        assert!(pool.is_empty());
+        let b = pool.acquire(t0 + SimDuration::from_secs(1), &mut r, 0.0, true);
+        assert!(b.is_cold());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exist")]
+    fn releasing_unknown_container_panics() {
+        let mut pool = aws_pool();
+        pool.release(ContainerId(42), SimTime::ZERO);
+    }
+
+    #[test]
+    fn idle_count_tracks_state() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let a = pool.acquire(SimTime::ZERO, &mut r, 0.0, true);
+        assert_eq!(pool.idle_count(), 0);
+        pool.release(a.id(), SimTime::ZERO);
+        assert_eq!(pool.idle_count(), 1);
+    }
+}

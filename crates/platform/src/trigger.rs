@@ -1,0 +1,164 @@
+//! Trigger types (paper §2 ❶).
+//!
+//! The paper's platform model begins every function lifetime with a
+//! *trigger*. The toolkit supports two invocation paths — **HTTP
+//! endpoints** (all providers; used throughout the evaluation) and the
+//! **cloud SDK** (AWS and GCP) — and the abstract model also lists
+//! storage-event and timer triggers. Triggers differ in latency (an HTTP
+//! API gateway sits in front of the function) and in billing (AWS meters
+//! HTTP API requests in 512 kB units, §6.3 Q4).
+
+use sebs_sim::{Dist, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How an invocation reaches the function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TriggerKind {
+    /// An HTTP request through the provider's API gateway — the trigger
+    /// the paper uses for all experiments.
+    #[default]
+    Http,
+    /// A direct SDK invocation (AWS/GCP; Azure functions are HTTP-only).
+    Sdk,
+    /// A storage event (new object in a bucket); no client RTT — the
+    /// event originates inside the cloud.
+    StorageEvent,
+    /// A timer/cron firing; no client RTT.
+    Timer,
+}
+
+impl TriggerKind {
+    /// Whether the request travels over the client's wide-area connection.
+    pub fn crosses_wan(self) -> bool {
+        matches!(self, TriggerKind::Http | TriggerKind::Sdk)
+    }
+
+    /// Whether the provider's HTTP API gateway (with its metered billing)
+    /// fronts the invocation.
+    pub fn uses_api_gateway(self) -> bool {
+        matches!(self, TriggerKind::Http)
+    }
+}
+
+/// Latency model of the trigger path in front of the sandbox.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerModel {
+    /// API-gateway processing overhead (ms) on HTTP triggers.
+    pub gateway_ms: Dist,
+    /// SDK/control-plane processing overhead (ms).
+    pub sdk_ms: Dist,
+    /// Event-delivery latency (ms) for storage events and timers — the
+    /// paper notes these can lag noticeably behind the causing event.
+    pub event_delivery_ms: Dist,
+    /// Whether SDK invocation is offered at all (Azure: no).
+    pub supports_sdk: bool,
+}
+
+impl TriggerModel {
+    /// AWS: fast gateway, SDK offered.
+    pub fn aws() -> TriggerModel {
+        TriggerModel {
+            gateway_ms: Dist::shifted_lognormal(1.5, 0.3, 0.4),
+            sdk_ms: Dist::shifted_lognormal(0.8, 0.0, 0.4),
+            event_delivery_ms: Dist::shifted_lognormal(40.0, 3.2, 0.6),
+            supports_sdk: true,
+        }
+    }
+
+    /// Azure: HTTP only, slower front door.
+    pub fn azure() -> TriggerModel {
+        TriggerModel {
+            gateway_ms: Dist::shifted_lognormal(3.0, 1.2, 0.6),
+            sdk_ms: Dist::Constant(0.0),
+            event_delivery_ms: Dist::shifted_lognormal(120.0, 4.0, 0.8),
+            supports_sdk: false,
+        }
+    }
+
+    /// GCP: HTTP and SDK.
+    pub fn gcp() -> TriggerModel {
+        TriggerModel {
+            gateway_ms: Dist::shifted_lognormal(2.0, 0.7, 0.5),
+            sdk_ms: Dist::shifted_lognormal(1.0, 0.2, 0.4),
+            event_delivery_ms: Dist::shifted_lognormal(80.0, 3.6, 0.7),
+            supports_sdk: true,
+        }
+    }
+
+    /// Resolves the requested trigger against provider support: SDK falls
+    /// back to HTTP where it is not offered (the toolkit does the same).
+    pub fn resolve(&self, requested: TriggerKind) -> TriggerKind {
+        if requested == TriggerKind::Sdk && !self.supports_sdk {
+            TriggerKind::Http
+        } else {
+            requested
+        }
+    }
+
+    /// Samples the trigger-path overhead for a (resolved) trigger kind.
+    pub fn overhead<R: rand::RngCore>(&self, rng: &mut R, kind: TriggerKind) -> SimDuration {
+        match kind {
+            TriggerKind::Http => self.gateway_ms.sample_millis(rng),
+            TriggerKind::Sdk => self.sdk_ms.sample_millis(rng),
+            TriggerKind::StorageEvent | TriggerKind::Timer => {
+                self.event_delivery_ms.sample_millis(rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimRng;
+
+    #[test]
+    fn wan_and_gateway_classification() {
+        assert!(TriggerKind::Http.crosses_wan());
+        assert!(TriggerKind::Sdk.crosses_wan());
+        assert!(!TriggerKind::StorageEvent.crosses_wan());
+        assert!(!TriggerKind::Timer.crosses_wan());
+        assert!(TriggerKind::Http.uses_api_gateway());
+        assert!(!TriggerKind::Sdk.uses_api_gateway());
+    }
+
+    #[test]
+    fn azure_has_no_sdk_trigger() {
+        let azure = TriggerModel::azure();
+        assert_eq!(azure.resolve(TriggerKind::Sdk), TriggerKind::Http);
+        assert_eq!(azure.resolve(TriggerKind::Http), TriggerKind::Http);
+        let aws = TriggerModel::aws();
+        assert_eq!(aws.resolve(TriggerKind::Sdk), TriggerKind::Sdk);
+    }
+
+    #[test]
+    fn default_trigger_is_http() {
+        assert_eq!(TriggerKind::default(), TriggerKind::Http);
+    }
+
+    #[test]
+    fn event_triggers_lag_http_triggers() {
+        let m = TriggerModel::aws();
+        let mut rng = SimRng::new(1).stream("trig");
+        let http: f64 = (0..200)
+            .map(|_| m.overhead(&mut rng, TriggerKind::Http).as_secs_f64())
+            .sum();
+        let event: f64 = (0..200)
+            .map(|_| m.overhead(&mut rng, TriggerKind::StorageEvent).as_secs_f64())
+            .sum();
+        assert!(event > 5.0 * http, "event {event} vs http {http}");
+    }
+
+    #[test]
+    fn sdk_is_cheaper_than_gateway() {
+        let m = TriggerModel::gcp();
+        let mut rng = SimRng::new(2).stream("trig");
+        let http: f64 = (0..200)
+            .map(|_| m.overhead(&mut rng, TriggerKind::Http).as_secs_f64())
+            .sum();
+        let sdk: f64 = (0..200)
+            .map(|_| m.overhead(&mut rng, TriggerKind::Sdk).as_secs_f64())
+            .sum();
+        assert!(sdk < http);
+    }
+}

@@ -1,0 +1,187 @@
+//! The IaaS alternative: a rented virtual machine (paper §6.2 Q4, §6.3 Q3).
+//!
+//! The paper compares Lambda against an AWS EC2 **t2.micro** instance
+//! (1 vCPU, 1 GB, $0.0116/hour) running the same benchmarks in the local
+//! Docker environment, with either instance-local storage (MinIO) or S3.
+//! [`VirtualMachine`] reproduces that setup: a constantly-warm executor
+//! with fixed hourly cost, full CPU, and a choice of storage backends.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sebs_sim::{SimDuration, SimRng};
+use sebs_storage::SimObjectStore;
+use sebs_workloads::{InvocationCtx, Payload, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Which storage the VM's services use (Table 5 compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmStorage {
+    /// Self-deployed MinIO on the same instance — near-zero latency.
+    Local,
+    /// The provider's object storage (S3) — cloud latencies, like FaaS.
+    Cloud,
+}
+
+/// One measured VM execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmExecution {
+    /// Wall-clock execution time.
+    pub duration: SimDuration,
+    /// Kernel instructions executed.
+    pub instructions: u64,
+    /// Time spent on storage I/O.
+    pub io_time: SimDuration,
+}
+
+/// A rented VM running the benchmark in a warm Docker container.
+pub struct VirtualMachine {
+    storage: SimObjectStore,
+    rng: StdRng,
+    /// Work units per second of the instance's vCPU.
+    ops_per_sec: f64,
+    /// Hourly rental price in USD.
+    pub usd_per_hour: f64,
+    /// Memory capacity in MB.
+    pub memory_mb: u32,
+}
+
+impl std::fmt::Debug for VirtualMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualMachine")
+            .field("usd_per_hour", &self.usd_per_hour)
+            .field("memory_mb", &self.memory_mb)
+            .finish()
+    }
+}
+
+impl VirtualMachine {
+    /// An AWS t2.micro (1 vCPU, 1 GB, $0.0116/h) with the chosen storage.
+    pub fn t2_micro(storage: VmStorage, seed: u64) -> VirtualMachine {
+        VirtualMachine {
+            storage: match storage {
+                VmStorage::Local => SimObjectStore::local_minio_model(),
+                VmStorage::Cloud => SimObjectStore::default_model(),
+            },
+            rng: SimRng::new(seed).stream("vm"),
+            // Same silicon family as Lambda's hosts: one full vCPU.
+            ops_per_sec: 6.0e9,
+            usd_per_hour: 0.0116,
+            memory_mb: 1024,
+        }
+    }
+
+    /// The VM's storage handle, for `prepare`.
+    pub fn storage_mut(&mut self) -> &mut SimObjectStore {
+        &mut self.storage
+    }
+
+    /// Prepares a workload on this VM. The VM's service process is
+    /// long-lived, so loaded artifacts (e.g. the inference model) stay
+    /// resident — the `model-cached` convention is flipped accordingly.
+    pub fn prepare(&mut self, workload: &dyn Workload, scale: sebs_workloads::Scale) -> Payload {
+        let mut rng = self.rng.clone();
+        self.rng.gen::<u64>();
+        let mut payload = workload.prepare(scale, &mut rng, &mut self.storage);
+        for p in &mut payload.params {
+            if p.0 == "model-cached" {
+                p.1 = "true".into();
+            }
+        }
+        payload
+    }
+
+    /// Runs one warm execution (the service process is always resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload itself fails — VM comparisons only make
+    /// sense on succeeding runs.
+    pub fn execute(&mut self, workload: &dyn Workload, payload: &Payload) -> VmExecution {
+        let mut rng = self.rng.clone();
+        self.rng.gen::<u64>();
+        let mut ctx = InvocationCtx::new(&mut self.storage, &mut rng);
+        workload
+            .execute(payload, &mut ctx)
+            .expect("VM execution failed");
+        let compute =
+            SimDuration::from_secs_f64(ctx.counters().instructions as f64 / self.ops_per_sec);
+        VmExecution {
+            duration: compute + ctx.io_time(),
+            instructions: ctx.counters().instructions,
+            io_time: ctx.io_time(),
+        }
+    }
+
+    /// Sustainable requests/hour at 100% utilization for the measured
+    /// execution time (the paper's Table 6 "Request/h" rows).
+    pub fn requests_per_hour(&self, execution: &VmExecution) -> f64 {
+        3600.0 / execution.duration.as_secs_f64()
+    }
+
+    /// Cost of running this VM for an hour, regardless of utilization.
+    pub fn hourly_cost(&self) -> f64 {
+        self.usd_per_hour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_workloads::templating::DynamicHtml;
+    use sebs_workloads::uploader::Uploader;
+    use sebs_workloads::{Language, Scale};
+
+    #[test]
+    fn local_storage_beats_cloud_storage() {
+        // Table 5: "IaaS, Local" vs "IaaS, S3" — cloud storage slows the
+        // storage-bound benchmarks down.
+        let wl = Uploader::new(Language::Python);
+        let mut local = VirtualMachine::t2_micro(VmStorage::Local, 3);
+        let mut cloud = VirtualMachine::t2_micro(VmStorage::Cloud, 3);
+        let p1 = local.prepare(&wl, Scale::Test);
+        let p2 = cloud.prepare(&wl, Scale::Test);
+        let e1 = local.execute(&wl, &p1);
+        let e2 = cloud.execute(&wl, &p2);
+        assert!(
+            e2.io_time > e1.io_time,
+            "cloud storage {:?} must have more I/O wait than local {:?}",
+            e2.io_time,
+            e1.io_time
+        );
+        assert!(e2.duration > e1.duration);
+    }
+
+    #[test]
+    fn requests_per_hour_inverse_of_duration() {
+        let vm = VirtualMachine::t2_micro(VmStorage::Local, 1);
+        let e = VmExecution {
+            duration: SimDuration::from_millis(100),
+            instructions: 0,
+            io_time: SimDuration::ZERO,
+        };
+        assert!((vm.requests_per_hour(&e) - 36_000.0).abs() < 1e-9);
+        assert!((vm.hourly_cost() - 0.0116).abs() < 1e-12);
+    }
+
+    #[test]
+    fn executions_are_reproducible_per_seed() {
+        let wl = DynamicHtml::new(Language::Python);
+        let run = |seed| {
+            let mut vm = VirtualMachine::t2_micro(VmStorage::Local, seed);
+            let p = vm.prepare(&wl, Scale::Test);
+            vm.execute(&wl, &p).duration
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn repeated_executions_stay_warm() {
+        // No cold starts on a VM: consecutive runs have similar durations.
+        let wl = DynamicHtml::new(Language::Python);
+        let mut vm = VirtualMachine::t2_micro(VmStorage::Local, 5);
+        let p = vm.prepare(&wl, Scale::Test);
+        let a = vm.execute(&wl, &p).duration.as_secs_f64();
+        let b = vm.execute(&wl, &p).duration.as_secs_f64();
+        assert!((a - b).abs() / a < 0.5);
+    }
+}

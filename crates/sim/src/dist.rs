@@ -1,0 +1,316 @@
+//! Probability distributions for latency and noise modelling.
+//!
+//! The platform model expresses every stochastic latency (cold-start boot
+//! time, storage round trips, scheduler delays, network RTT…) as a [`Dist`]
+//! sampled on a component-private RNG stream. Distributions are plain data
+//! (serde-serializable) so provider profiles can be described declaratively
+//! and stored alongside experiment results.
+//!
+//! Normal and log-normal variates are generated with the Box–Muller
+//! transform so that the crate needs no dependency beyond `rand`.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::unit_f64;
+use crate::time::SimDuration;
+
+/// A distribution over non-negative real values (interpreted by callers as
+/// milliseconds, bytes, ratios, …). Samples are clamped to be ≥ 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean (`1/λ`).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Normal distribution, truncated below zero.
+    Normal {
+        /// Mean of the untruncated distribution.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))`. Heavy right tail; the workhorse for
+    /// cloud latency modelling (cf. the outliers/stragglers in paper Fig. 3).
+    LogNormal {
+        /// Mean of the underlying normal (log-space).
+        mu: f64,
+        /// Standard deviation of the underlying normal (log-space).
+        sigma: f64,
+    },
+    /// A constant floor plus another distribution: `base + dist`.
+    Shifted {
+        /// The floor added to every sample.
+        base: f64,
+        /// The stochastic part.
+        dist: Box<Dist>,
+    },
+    /// Mixture of two distributions: with probability `p` sample from
+    /// `first`, otherwise from `second`. Models bimodal behaviour such as
+    /// GCP's spurious cold starts (paper §6.2 Q3 "Consistency").
+    Mixture {
+        /// Probability of drawing from `first`.
+        p: f64,
+        /// Distribution drawn with probability `p`.
+        first: Box<Dist>,
+        /// Distribution drawn with probability `1 - p`.
+        second: Box<Dist>,
+    },
+    /// Empirical distribution: samples uniformly from the given values.
+    Empirical {
+        /// Observed values to resample from.
+        values: Vec<f64>,
+    },
+}
+
+impl Dist {
+    /// Convenience constructor for a shifted log-normal, the common shape of
+    /// cloud service latencies: a deterministic floor plus a heavy tail.
+    pub fn shifted_lognormal(base: f64, mu: f64, sigma: f64) -> Dist {
+        Dist::Shifted {
+            base,
+            dist: Box::new(Dist::LogNormal { mu, sigma }),
+        }
+    }
+
+    /// Draws one sample, clamped to be non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is [`Dist::Empirical`] with no values.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * unit_f64(rng),
+            Dist::Exponential { mean } => {
+                let u = 1.0 - unit_f64(rng); // in (0, 1]
+                -mean * u.ln()
+            }
+            Dist::Normal { mean, std_dev } => mean + std_dev * standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::Shifted { base, dist } => base + dist.sample(rng),
+            Dist::Mixture { p, first, second } => {
+                if unit_f64(rng) < *p {
+                    first.sample(rng)
+                } else {
+                    second.sample(rng)
+                }
+            }
+            Dist::Empirical { values } => {
+                assert!(!values.is_empty(), "empirical distribution has no values");
+                values[(unit_f64(rng) * values.len() as f64) as usize % values.len()]
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Draws one sample interpreted as milliseconds and converts it to a
+    /// [`SimDuration`].
+    pub fn sample_millis<R: RngCore>(&self, rng: &mut R) -> SimDuration {
+        SimDuration::from_millis_f64(self.sample(rng))
+    }
+
+    /// The distribution's mean, where it has a closed form. Used by tests
+    /// and by analytic capacity planning in the break-even experiment.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::Normal { mean, .. } => *mean, // ignores the ≥0 truncation
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Shifted { base, dist } => base + dist.mean(),
+            Dist::Mixture { p, first, second } => p * first.mean() + (1.0 - p) * second.mean(),
+            Dist::Empirical { values } => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Scales the distribution by a constant factor, preserving its shape.
+    /// Used to derive e.g. slower cold-start distributions for larger code
+    /// packages.
+    pub fn scaled(&self, factor: f64) -> Dist {
+        match self {
+            Dist::Constant(v) => Dist::Constant(v * factor),
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            Dist::Exponential { mean } => Dist::Exponential {
+                mean: mean * factor,
+            },
+            Dist::Normal { mean, std_dev } => Dist::Normal {
+                mean: mean * factor,
+                std_dev: std_dev * factor,
+            },
+            Dist::LogNormal { mu, sigma } => Dist::LogNormal {
+                mu: mu + factor.ln(),
+                sigma: *sigma,
+            },
+            Dist::Shifted { base, dist } => Dist::Shifted {
+                base: base * factor,
+                dist: Box::new(dist.scaled(factor)),
+            },
+            Dist::Mixture { p, first, second } => Dist::Mixture {
+                p: *p,
+                first: Box::new(first.scaled(factor)),
+                second: Box::new(second.scaled(factor)),
+            },
+            Dist::Empirical { values } => Dist::Empirical {
+                values: values.iter().map(|v| v * factor).collect(),
+            },
+        }
+    }
+}
+
+/// A standard normal variate via the Box–Muller transform.
+fn standard_normal<R: RngCore>(rng: &mut R) -> f64 {
+    let u1: f64 = (1.0 - unit_f64(rng)).max(f64::MIN_POSITIVE); // (0, 1]
+    let u2: f64 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn sample_mean(d: &Dist, n: usize) -> f64 {
+        let mut rng = SimRng::new(42).stream("dist-test");
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(3.25);
+        let mut rng = SimRng::new(0).stream("c");
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.25);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let mut rng = SimRng::new(0).stream("u");
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&v));
+        }
+        assert!((sample_mean(&d, 20_000) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::Exponential { mean: 5.0 };
+        assert!((sample_mean(&d, 50_000) - 5.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn normal_mean_and_truncation() {
+        let d = Dist::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
+        assert!((sample_mean(&d, 50_000) - 10.0).abs() < 0.1);
+        // Heavily negative normals clamp at zero.
+        let neg = Dist::Normal {
+            mean: -100.0,
+            std_dev: 1.0,
+        };
+        let mut rng = SimRng::new(0).stream("n");
+        assert_eq!(neg.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
+        let expected = d.mean();
+        assert!((sample_mean(&d, 100_000) - expected).abs() / expected < 0.03);
+    }
+
+    #[test]
+    fn shifted_adds_floor() {
+        let d = Dist::shifted_lognormal(100.0, 0.0, 0.0001);
+        let mut rng = SimRng::new(0).stream("s");
+        let v = d.sample(&mut rng);
+        assert!((100.0..102.0).contains(&v));
+        assert!((d.mean() - 101.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mixture_mixes() {
+        let d = Dist::Mixture {
+            p: 0.25,
+            first: Box::new(Dist::Constant(0.0)),
+            second: Box::new(Dist::Constant(1.0)),
+        };
+        let m = sample_mean(&d, 50_000);
+        assert!((m - 0.75).abs() < 0.01, "mixture mean {m}");
+        assert!((d.mean() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_resamples_values() {
+        let d = Dist::Empirical {
+            values: vec![1.0, 2.0, 3.0],
+        };
+        let mut rng = SimRng::new(0).stream("e");
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert!(v == 1.0 || v == 2.0 || v == 3.0);
+        }
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empirical distribution has no values")]
+    fn empty_empirical_panics() {
+        let d = Dist::Empirical { values: vec![] };
+        let mut rng = SimRng::new(0).stream("e");
+        let _ = d.sample(&mut rng);
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let d = Dist::Uniform { lo: 1.0, hi: 3.0 }.scaled(2.0);
+        assert_eq!(d, Dist::Uniform { lo: 2.0, hi: 6.0 });
+        let ln = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.3,
+        }
+        .scaled(4.0);
+        assert!((ln.mean() - Dist::LogNormal { mu: 0.0, sigma: 0.3 }.mean() * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_millis_converts() {
+        let d = Dist::Constant(2.5);
+        let mut rng = SimRng::new(0).stream("m");
+        assert_eq!(d.sample_millis(&mut rng).as_micros(), 2500);
+    }
+
+    #[test]
+    fn dist_is_serde() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Dist>();
+    }
+}

@@ -1,0 +1,273 @@
+//! Nonparametric confidence intervals for the median.
+//!
+//! Following Le Boudec and Hoefler–Belli (the paper's §4.1 methodology), the
+//! interval for the median of `n` i.i.d. samples is built from order
+//! statistics: the interval `[x_(l), x_(u)]` covers the true median with
+//! probability `P(l ≤ B ≤ u−1)` where `B ~ Binomial(n, ½)`. We choose the
+//! symmetric ranks that achieve at least the requested coverage.
+//!
+//! The paper grows N until the 95% interval lies within ±5% of the median
+//! (N = 200 sufficed on AWS); [`ConfidenceInterval::is_within_of_median`]
+//! implements that stopping rule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// Supported confidence levels (the paper reports 95% and 99%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfidenceLevel {
+    /// 95% two-sided coverage.
+    P95,
+    /// 99% two-sided coverage.
+    P99,
+}
+
+impl ConfidenceLevel {
+    /// The two-sided coverage probability.
+    pub fn coverage(self) -> f64 {
+        match self {
+            ConfidenceLevel::P95 => 0.95,
+            ConfidenceLevel::P99 => 0.99,
+        }
+    }
+}
+
+/// A two-sided nonparametric confidence interval for the median.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower interval endpoint (a sample value).
+    pub lo: f64,
+    /// Upper interval endpoint (a sample value).
+    pub hi: f64,
+    /// The sample median the interval brackets.
+    pub median: f64,
+    /// Achieved coverage probability (≥ the requested level).
+    pub achieved: f64,
+    /// Confidence level the interval was built for.
+    pub level: ConfidenceLevel,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when both endpoints are within `fraction` (e.g. `0.05`) of the
+    /// median — the paper's adaptive-sampling stopping rule.
+    ///
+    /// A zero median is only "within" if the interval is a point at zero.
+    pub fn is_within_of_median(&self, fraction: f64) -> bool {
+        if self.median == 0.0 {
+            return self.lo == 0.0 && self.hi == 0.0;
+        }
+        let m = self.median.abs();
+        (self.median - self.lo).abs() <= fraction * m
+            && (self.hi - self.median).abs() <= fraction * m
+    }
+}
+
+/// Computes the nonparametric median confidence interval of `values`.
+///
+/// Returns `None` when the sample is too small for the requested coverage
+/// (e.g. fewer than 6 samples for 95%), mirroring the paper's requirement to
+/// gather enough repetitions before reporting.
+///
+/// # Example
+///
+/// ```
+/// use sebs_stats::{median_ci, ConfidenceLevel};
+///
+/// let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+/// let ci = median_ci(&values, ConfidenceLevel::P95).unwrap();
+/// assert!(ci.lo <= ci.median && ci.median <= ci.hi);
+/// assert!(ci.achieved >= 0.95);
+/// ```
+pub fn median_ci(values: &[f64], level: ConfidenceLevel) -> Option<ConfidenceInterval> {
+    let summary = Summary::from_values(values);
+    let n = summary.len();
+    let target = level.coverage();
+
+    // Walk outwards from the middle order statistics until the interval
+    // [x_(lo+1), x_(hi+1)] (1-indexed) reaches the requested coverage
+    // P(lo < B ≤ hi), B ~ Binomial(n, ½) counting samples below the median.
+    let probs = binomial_pmf_half(n);
+    let (mut lo_idx, mut hi_idx) = if n.is_multiple_of(2) {
+        (n / 2 - 1, n / 2)
+    } else {
+        (n / 2, n / 2)
+    };
+
+    loop {
+        // Coverage of [x_(lo_idx+1), x_(hi_idx+1)] (1-indexed) is
+        // P(lo_idx+1 ≤ B ≤ hi_idx) for even counting; use the standard
+        // formula P(lo ≤ B < hi+1) − corrections. We use the well-known
+        // result: coverage = P(lo_idx < B < hi_idx + 1) where B counts
+        // samples below the median, i.e. sum of pmf over [lo_idx+1, hi_idx].
+        let coverage: f64 = probs[(lo_idx + 1)..=hi_idx.min(n - 1)]
+            .iter()
+            .sum::<f64>()
+            .max(0.0);
+        if coverage >= target {
+            let vals = summary.values();
+            return Some(ConfidenceInterval {
+                lo: vals[lo_idx],
+                hi: vals[hi_idx],
+                median: summary.median(),
+                achieved: coverage,
+                level,
+            });
+        }
+        if lo_idx == 0 && hi_idx == n - 1 {
+            return None; // cannot reach the requested coverage with n samples
+        }
+        lo_idx = lo_idx.saturating_sub(1);
+        if hi_idx < n - 1 {
+            hi_idx += 1;
+        }
+    }
+}
+
+/// Minimum sample count for which a median CI at `level` exists at all.
+/// The widest interval `[x_(1), x_(n)]` has coverage `1 − 2·(½)^n` (the
+/// probability that not all samples land on one side of the median).
+pub fn min_samples(level: ConfidenceLevel) -> usize {
+    let mut n = 2;
+    loop {
+        let cov = 1.0 - 2.0 * 0.5f64.powi(n as i32);
+        if cov >= level.coverage() {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+/// PMF of `Binomial(n, ½)` for k = 0..=n, computed in log space.
+fn binomial_pmf_half(n: usize) -> Vec<f64> {
+    let ln_half = 0.5f64.ln();
+    (0..=n)
+        .map(|k| (ln_choose(n, k) + n as f64 * ln_half).exp())
+        .collect()
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use sebs_sim::SimRng;
+
+    #[test]
+    fn interval_brackets_median() {
+        let values: Vec<f64> = (0..200).map(|v| (v as f64).sin() * 10.0 + 50.0).collect();
+        for level in [ConfidenceLevel::P95, ConfidenceLevel::P99] {
+            let ci = median_ci(&values, level).unwrap();
+            assert!(ci.lo <= ci.median && ci.median <= ci.hi);
+            assert!(ci.achieved >= level.coverage());
+            assert!(ci.width() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn p99_interval_at_least_as_wide_as_p95() {
+        let values: Vec<f64> = (0..101).map(|v| v as f64).collect();
+        let c95 = median_ci(&values, ConfidenceLevel::P95).unwrap();
+        let c99 = median_ci(&values, ConfidenceLevel::P99).unwrap();
+        assert!(c99.width() >= c95.width());
+    }
+
+    #[test]
+    fn too_few_samples_returns_none() {
+        assert!(median_ci(&[1.0, 2.0, 3.0], ConfidenceLevel::P95).is_none());
+        assert!(median_ci(&[1.0, 2.0, 3.0, 4.0, 5.0], ConfidenceLevel::P99).is_none());
+    }
+
+    #[test]
+    fn min_samples_matches_ci_existence() {
+        for level in [ConfidenceLevel::P95, ConfidenceLevel::P99] {
+            let n = min_samples(level);
+            let enough: Vec<f64> = (0..n).map(|v| v as f64).collect();
+            let short: Vec<f64> = (0..n - 1).map(|v| v as f64).collect();
+            assert!(median_ci(&enough, level).is_some(), "n={n} should work");
+            assert!(
+                median_ci(&short, level).is_none(),
+                "n-1={} should fail",
+                n - 1
+            );
+        }
+    }
+
+    #[test]
+    fn stopping_rule() {
+        // A tight sample: CI well within 5% of median.
+        let tight: Vec<f64> = (0..200).map(|i| 100.0 + (i % 5) as f64 * 0.1).collect();
+        let ci = median_ci(&tight, ConfidenceLevel::P95).unwrap();
+        assert!(ci.is_within_of_median(0.05));
+
+        // A wildly dispersed sample: CI too wide.
+        let wide: Vec<f64> = (0..20).map(|i| (i as f64 + 1.0) * 37.0).collect();
+        let ci = median_ci(&wide, ConfidenceLevel::P95).unwrap();
+        assert!(!ci.is_within_of_median(0.05));
+    }
+
+    #[test]
+    fn zero_median_stopping_rule() {
+        let zeros = vec![0.0; 50];
+        let ci = median_ci(&zeros, ConfidenceLevel::P95).unwrap();
+        assert!(ci.is_within_of_median(0.05));
+        let mut mixed = vec![0.0; 40];
+        mixed.extend(vec![100.0; 39]);
+        let ci = median_ci(&mixed, ConfidenceLevel::P95).unwrap();
+        assert!(!ci.is_within_of_median(0.05));
+    }
+
+    /// Empirical coverage check: the 95% CI must contain the true median in
+    /// roughly ≥95% of repeated experiments.
+    #[test]
+    fn empirical_coverage() {
+        let true_median = 0.0f64; // symmetric distribution around 0
+        let mut hits = 0;
+        let trials = 400;
+        let mut rng = SimRng::new(2024).stream("coverage");
+        for _ in 0..trials {
+            let values: Vec<f64> = (0..51).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let ci = median_ci(&values, ConfidenceLevel::P95).unwrap();
+            if ci.lo <= true_median && true_median <= ci.hi {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / trials as f64;
+        assert!(
+            coverage >= 0.93,
+            "empirical coverage {coverage} below nominal 0.95 minus tolerance"
+        );
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for n in [1usize, 5, 50, 200] {
+            let sum: f64 = binomial_pmf_half(n).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "n={n} sum={sum}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ci_endpoints_are_sample_values(values in proptest::collection::vec(0.0f64..1e3, 10..150)) {
+            if let Some(ci) = median_ci(&values, ConfidenceLevel::P95) {
+                prop_assert!(values.iter().any(|v| (*v - ci.lo).abs() < 1e-12));
+                prop_assert!(values.iter().any(|v| (*v - ci.hi).abs() < 1e-12));
+                prop_assert!(ci.lo <= ci.hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Min-RTT clock-drift estimation (paper §6.4).
+//!
+//! Client and cloud timestamps come from different clocks, so the
+//! Invoc-Overhead experiment must estimate the offset between them. The
+//! paper follows Hoefler–Schneider–Lumsdaine: exchange ping-pong messages,
+//! observe that round-trip times follow an asymmetric distribution, and keep
+//! exchanging *until no lower RTT is seen for N consecutive iterations*
+//! (N = 10, chosen because the relative difference between the lowest
+//! observable connection time and the minimum after 10 non-decreasing
+//! iterations was ≈5%).
+//!
+//! Over the minimal-RTT exchange, the offset estimate is
+//! `θ = t_server − (t_send + RTT_min / 2)`.
+
+use serde::{Deserialize, Serialize};
+
+/// One ping-pong exchange: client send time, server receive time (server
+/// clock) and client receive time, all in seconds on their own clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PingPong {
+    /// Client clock when the request was sent.
+    pub t_send: f64,
+    /// Server clock when the request was observed remotely.
+    pub t_server: f64,
+    /// Client clock when the response arrived.
+    pub t_recv: f64,
+}
+
+impl PingPong {
+    /// Round-trip time on the client clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_recv < t_send` (a malformed exchange).
+    pub fn rtt(&self) -> f64 {
+        assert!(
+            self.t_recv >= self.t_send,
+            "ping-pong receive before send: {} < {}",
+            self.t_recv,
+            self.t_send
+        );
+        self.t_recv - self.t_send
+    }
+
+    /// Clock-offset estimate assuming symmetric one-way delays.
+    pub fn offset(&self) -> f64 {
+        self.t_server - (self.t_send + self.rtt() / 2.0)
+    }
+}
+
+/// Outcome of the synchronization protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncOutcome {
+    /// Estimated server-minus-client clock offset, seconds.
+    pub offset_secs: f64,
+    /// The minimal observed round-trip time, seconds.
+    pub min_rtt_secs: f64,
+    /// Number of exchanges consumed before the stopping rule fired.
+    pub exchanges: usize,
+    /// Whether the stopping rule fired (vs. running out of samples).
+    pub converged: bool,
+}
+
+/// Streaming implementation of the min-RTT stopping rule.
+///
+/// Feed exchanges with [`ClockSync::observe`]; the protocol stops once `n`
+/// consecutive exchanges fail to improve the minimal RTT.
+///
+/// # Example
+///
+/// ```
+/// use sebs_stats::clocksync::{ClockSync, PingPong};
+///
+/// let mut sync = ClockSync::new(3);
+/// // RTTs: 10ms, 8ms, then no improvement for 3 exchanges → converged.
+/// for (i, rtt) in [0.010, 0.008, 0.009, 0.009, 0.009].iter().enumerate() {
+///     let t_send = i as f64;
+///     sync.observe(PingPong { t_send, t_server: t_send + rtt / 2.0 + 5.0, t_recv: t_send + rtt });
+///     if sync.is_converged() { break; }
+/// }
+/// let out = sync.finish();
+/// assert!(out.converged);
+/// assert!((out.offset_secs - 5.0).abs() < 1e-9);
+/// assert!((out.min_rtt_secs - 0.008).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockSync {
+    n_consecutive: usize,
+    best: Option<PingPong>,
+    since_improvement: usize,
+    exchanges: usize,
+}
+
+impl ClockSync {
+    /// Creates the protocol with the given stopping threshold (the paper
+    /// uses `n = 10`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_consecutive` is zero.
+    pub fn new(n_consecutive: usize) -> Self {
+        assert!(n_consecutive > 0, "stopping threshold must be positive");
+        ClockSync {
+            n_consecutive,
+            best: None,
+            since_improvement: 0,
+            exchanges: 0,
+        }
+    }
+
+    /// Records one exchange. Returns `true` if the protocol is now
+    /// converged.
+    pub fn observe(&mut self, p: PingPong) -> bool {
+        self.exchanges += 1;
+        match &self.best {
+            Some(b) if p.rtt() >= b.rtt() => {
+                self.since_improvement += 1;
+            }
+            _ => {
+                self.best = Some(p);
+                self.since_improvement = 0;
+            }
+        }
+        self.is_converged()
+    }
+
+    /// Whether `n` consecutive non-improving exchanges have been seen.
+    pub fn is_converged(&self) -> bool {
+        self.best.is_some() && self.since_improvement >= self.n_consecutive
+    }
+
+    /// Finalizes the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no exchange was ever observed.
+    pub fn finish(self) -> SyncOutcome {
+        let best = self
+            .best
+            .expect("clock sync finished without any exchanges");
+        SyncOutcome {
+            offset_secs: best.offset(),
+            min_rtt_secs: best.rtt(),
+            exchanges: self.exchanges,
+            converged: self.since_improvement >= self.n_consecutive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exchange(t_send: f64, rtt: f64, offset: f64, asym: f64) -> PingPong {
+        // One-way delay out = rtt/2 + asym, back = rtt/2 − asym.
+        PingPong {
+            t_send,
+            t_server: t_send + rtt / 2.0 + asym + offset,
+            t_recv: t_send + rtt,
+        }
+    }
+
+    #[test]
+    fn offset_recovered_with_symmetric_delays() {
+        let p = exchange(100.0, 0.02, 3.5, 0.0);
+        assert!((p.offset() - 3.5).abs() < 1e-12);
+        assert!((p.rtt() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetry_bounded_by_half_rtt() {
+        // Error of the symmetric estimate is exactly the asymmetry.
+        let p = exchange(0.0, 0.02, 1.0, 0.004);
+        assert!((p.offset() - 1.0).abs() <= 0.004 + 1e-12);
+    }
+
+    #[test]
+    fn stopping_rule_requires_consecutive_failures() {
+        let mut s = ClockSync::new(2);
+        assert!(!s.observe(exchange(0.0, 0.010, 0.0, 0.0)));
+        assert!(!s.observe(exchange(1.0, 0.011, 0.0, 0.0))); // 1 fail
+        assert!(!s.observe(exchange(2.0, 0.009, 0.0, 0.0))); // improvement resets
+        assert!(!s.observe(exchange(3.0, 0.009, 0.0, 0.0))); // ties do not improve
+        assert!(s.observe(exchange(4.0, 0.012, 0.0, 0.0))); // 2 consecutive fails
+        let out = s.finish();
+        assert!(out.converged);
+        assert_eq!(out.exchanges, 5);
+        assert!((out.min_rtt_secs - 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconverged_finish_reports_false() {
+        let mut s = ClockSync::new(10);
+        s.observe(exchange(0.0, 0.02, 2.0, 0.0));
+        let out = s.finish();
+        assert!(!out.converged);
+        assert_eq!(out.exchanges, 1);
+        assert!((out.offset_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "without any exchanges")]
+    fn finish_without_exchanges_panics() {
+        ClockSync::new(1).finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_threshold_panics() {
+        let _ = ClockSync::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "receive before send")]
+    fn malformed_exchange_panics() {
+        let p = PingPong {
+            t_send: 2.0,
+            t_server: 2.0,
+            t_recv: 1.0,
+        };
+        let _ = p.rtt();
+    }
+
+    #[test]
+    fn min_rtt_exchange_gives_best_offset_estimate() {
+        // With asymmetric noise added to larger RTTs, the minimal-RTT
+        // exchange has the least asymmetry and thus the best estimate.
+        let truth = 7.0;
+        let mut s = ClockSync::new(3);
+        let noisy = [
+            (0.030, 0.010),
+            (0.020, 0.005),
+            (0.010, 0.001),
+            (0.015, 0.004),
+            (0.018, 0.006),
+            (0.025, 0.008),
+        ];
+        for (i, (rtt, asym)) in noisy.iter().enumerate() {
+            s.observe(exchange(i as f64, *rtt, truth, *asym));
+        }
+        let out = s.finish();
+        assert!(out.converged);
+        assert!((out.offset_secs - truth).abs() <= 0.001 + 1e-12);
+    }
+}

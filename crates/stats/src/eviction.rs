@@ -1,0 +1,244 @@
+//! Fitting the container-eviction half-life model (paper Equation 1).
+//!
+//! The Eviction-Model experiment (§6.5) submits `D_init` invocations, waits
+//! `ΔT`, and counts how many containers `D_warm` are still warm. The paper
+//! finds AWS evicts *half* of the existing containers every `P = 380 s`,
+//! independent of memory, execution time and language:
+//!
+//! ```text
+//! D_warm = D_init · 2^(−p),   p = ⌊ΔT / P⌋            (Equation 1)
+//! ```
+//!
+//! [`fit_eviction_model`] recovers `P` from observations by grid search and
+//! reports the R² of the fit (the paper reports R² > 0.99). Equation 2's
+//! time-optimal warm batch size is provided by [`optimal_batch_size`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::regression::r_squared;
+
+/// One data point of the eviction experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictionObservation {
+    /// Number of initially warmed containers (`D_init`).
+    pub d_init: u32,
+    /// Wait time before re-probing, seconds (`ΔT`).
+    pub delta_t_secs: f64,
+    /// Containers still warm after the wait (`D_warm`).
+    pub d_warm: u32,
+}
+
+/// The fitted eviction model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictionFit {
+    /// Fitted eviction period `P` in seconds.
+    pub period_secs: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+impl EvictionFit {
+    /// Model prediction `D_init · 2^(−⌊ΔT/P⌋)`.
+    pub fn predict(&self, d_init: u32, delta_t_secs: f64) -> f64 {
+        predict(d_init, delta_t_secs, self.period_secs)
+    }
+}
+
+/// Evaluates Equation 1 for a candidate period.
+pub fn predict(d_init: u32, delta_t_secs: f64, period_secs: f64) -> f64 {
+    if period_secs <= 0.0 {
+        return 0.0;
+    }
+    let p = (delta_t_secs / period_secs).floor().max(0.0);
+    d_init as f64 * 0.5f64.powf(p)
+}
+
+/// Fits the eviction period `P` by minimizing squared error over a grid.
+///
+/// The grid spans `[min_period, max_period]` seconds at 1-second resolution
+/// (the experiment's `ΔT` resolution, Table 7), refined to 0.1 s around the
+/// best coarse value. Returns `None` for empty input.
+///
+/// # Example
+///
+/// ```
+/// use sebs_stats::{fit_eviction_model, EvictionObservation};
+///
+/// // Perfect Equation-1 data with P = 380 s, ΔT probed every 60 s.
+/// let obs: Vec<EvictionObservation> = (1..=8)
+///     .flat_map(|d| (1..=25).map(move |k| {
+///         let dt = 60.0 * k as f64;
+///         EvictionObservation {
+///             d_init: d * 2,
+///             delta_t_secs: dt,
+///             d_warm: ((d * 2) as f64 * 0.5f64.powi(dt as i32 / 380)).round() as u32,
+///         }
+///     }))
+///     .collect();
+/// let fit = fit_eviction_model(&obs, 10.0, 1000.0).unwrap();
+/// assert!((fit.period_secs - 380.0).abs() < 15.0, "fitted {}", fit.period_secs);
+/// assert!(fit.r_squared > 0.99);
+/// ```
+pub fn fit_eviction_model(
+    observations: &[EvictionObservation],
+    min_period: f64,
+    max_period: f64,
+) -> Option<EvictionFit> {
+    if observations.is_empty() || min_period <= 0.0 || max_period < min_period {
+        return None;
+    }
+    let sse = |period: f64| -> f64 {
+        observations
+            .iter()
+            .map(|o| {
+                let e = o.d_warm as f64 - predict(o.d_init, o.delta_t_secs, period);
+                e * e
+            })
+            .sum()
+    };
+    let mut best_p = min_period;
+    let mut best_sse = f64::INFINITY;
+    let mut p = min_period;
+    while p <= max_period {
+        let s = sse(p);
+        if s < best_sse {
+            best_sse = s;
+            best_p = p;
+        }
+        p += 1.0;
+    }
+    // Fine pass around the coarse optimum.
+    let lo = (best_p - 1.0).max(min_period);
+    let hi = (best_p + 1.0).min(max_period);
+    let mut p = lo;
+    while p <= hi {
+        let s = sse(p);
+        if s < best_sse {
+            best_sse = s;
+            best_p = p;
+        }
+        p += 0.1;
+    }
+    let observed: Vec<f64> = observations.iter().map(|o| o.d_warm as f64).collect();
+    let predicted: Vec<f64> = observations
+        .iter()
+        .map(|o| predict(o.d_init, o.delta_t_secs, best_p))
+        .collect();
+    Some(EvictionFit {
+        period_secs: best_p,
+        r_squared: r_squared(&observed, &predicted),
+        n: observations.len(),
+    })
+}
+
+/// Equation 2: the time-optimal initial batch size `D_init = n · t / P` for
+/// running `n` function instances of runtime `t` (seconds) while keeping
+/// containers warm, given eviction period `P`.
+///
+/// # Panics
+///
+/// Panics if `period_secs` is not positive.
+pub fn optimal_batch_size(n_instances: u64, runtime_secs: f64, period_secs: f64) -> f64 {
+    assert!(period_secs > 0.0, "eviction period must be positive");
+    n_instances as f64 * runtime_secs / period_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn synth(period: f64, noise: impl Fn(usize) -> f64) -> Vec<EvictionObservation> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        for d_init in [2u32, 4, 8, 16, 20] {
+            for k in 0..8 {
+                let dt = 60.0 + 200.0 * k as f64;
+                let exact = predict(d_init, dt, period);
+                let d_warm = (exact + noise(i)).round().max(0.0) as u32;
+                out.push(EvictionObservation {
+                    d_init,
+                    delta_t_secs: dt,
+                    d_warm,
+                });
+                i += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_the_aws_period() {
+        let obs = synth(380.0, |_| 0.0);
+        let fit = fit_eviction_model(&obs, 10.0, 1600.0).unwrap();
+        // Any period in the same "floor bucket" structure is acceptable;
+        // the fit must reproduce the data and be near 380.
+        assert!(
+            (fit.period_secs - 380.0).abs() < 25.0,
+            "period {}",
+            fit.period_secs
+        );
+        assert!(fit.r_squared > 0.99, "r2 {}", fit.r_squared);
+        assert_eq!(fit.n, obs.len());
+    }
+
+    #[test]
+    fn noise_tolerant_fit() {
+        let obs = synth(380.0, |i| if i % 3 == 0 { 0.6 } else { -0.4 });
+        let fit = fit_eviction_model(&obs, 10.0, 1600.0).unwrap();
+        assert!((fit.period_secs - 380.0).abs() < 40.0);
+        assert!(fit.r_squared > 0.94, "paper tolerates R² ≥ 0.94 with noise");
+    }
+
+    #[test]
+    fn predict_halves_per_period() {
+        assert_eq!(predict(16, 0.0, 380.0), 16.0);
+        assert_eq!(predict(16, 379.9, 380.0), 16.0);
+        assert_eq!(predict(16, 380.0, 380.0), 8.0);
+        assert_eq!(predict(16, 760.0, 380.0), 4.0);
+        assert_eq!(predict(16, 1140.0, 380.0), 2.0);
+        assert_eq!(predict(16, 0.0, 0.0), 0.0, "degenerate period");
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert!(fit_eviction_model(&[], 1.0, 10.0).is_none());
+        let obs = synth(100.0, |_| 0.0);
+        assert!(fit_eviction_model(&obs, -1.0, 10.0).is_none());
+        assert!(fit_eviction_model(&obs, 10.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn optimal_batch_size_equation_two() {
+        // n = 380 instances of 1 s functions with P = 380 s → batch of 1.
+        assert_eq!(optimal_batch_size(380, 1.0, 380.0), 1.0);
+        // 1000 × 1.9 s / 380 s = 5.
+        assert_eq!(optimal_batch_size(1000, 1.9, 380.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn optimal_batch_rejects_bad_period() {
+        let _ = optimal_batch_size(1, 1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn fitted_model_never_predicts_negative(period in 50.0f64..800.0) {
+            let obs = synth(period, |_| 0.0);
+            let fit = fit_eviction_model(&obs, 10.0, 1600.0).unwrap();
+            for o in &obs {
+                prop_assert!(fit.predict(o.d_init, o.delta_t_secs) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn exact_data_fits_near_perfectly(period in 100.0f64..700.0) {
+            let obs = synth(period, |_| 0.0);
+            let fit = fit_eviction_model(&obs, 10.0, 1600.0).unwrap();
+            prop_assert!(fit.r_squared > 0.99, "period {} fitted {} r2 {}", period, fit.period_secs, fit.r_squared);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Statistical methodology for SeBS-RS.
+//!
+//! The paper follows Hoefler & Belli's guidelines for scientific
+//! benchmarking (§4.1): report medians with 95%/99% **nonparametric
+//! confidence intervals**, and grow the sample count until the interval is
+//! within 5% of the median. This crate implements that machinery, plus the
+//! two model-fitting procedures used in the evaluation:
+//!
+//! * ordinary least squares with (adjusted) R² for the payload-latency model
+//!   of Figure 6 ([`regression`]),
+//! * the container-eviction half-life model `D_warm = D_init · 2^−⌊ΔT/P⌋`
+//!   of Equation 1 ([`eviction`]),
+//!
+//! and the min-RTT clock-drift estimation protocol the paper borrows from
+//! Hoefler, Schneider & Lumsdaine for comparing client/server timestamps
+//! across machines ([`clocksync`]).
+
+pub mod ci;
+pub mod clocksync;
+pub mod eviction;
+pub mod regression;
+pub mod summary;
+
+pub use ci::{median_ci, ConfidenceInterval, ConfidenceLevel};
+pub use clocksync::{ClockSync, SyncOutcome};
+pub use eviction::{fit_eviction_model, EvictionFit, EvictionObservation};
+pub use regression::{linear_fit, LinearFit};
+pub use summary::Summary;

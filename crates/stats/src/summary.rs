@@ -1,0 +1,241 @@
+//! Order statistics and summary descriptors of a sample.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a one-dimensional sample.
+///
+/// Percentiles use linear interpolation between closest ranks, matching the
+/// convention of the whisker plots in the paper's Figure 3 (2nd–98th
+/// percentile whiskers).
+///
+/// # Example
+///
+/// ```
+/// use sebs_stats::Summary;
+///
+/// let s = Summary::from_values(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// assert_eq!(s.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Summary {
+    /// Builds a summary from an unsorted slice, ignoring NaNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite values remain.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        assert!(!sorted.is_empty(), "summary of an empty (or all-NaN) sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite values were filtered"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / if sorted.len() > 1 { n - 1.0 } else { 1.0 };
+        Summary {
+            sorted,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Number of (finite) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when there are no samples; never the case for a constructed
+    /// summary, provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sample arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (Bessel-corrected).
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("summary is never empty")
+    }
+
+    /// Sample median (the 50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The `p`-th percentile, `0 ≤ p ≤ 100`, with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Interquartile range (p75 − p25).
+    pub fn iqr(&self) -> f64 {
+        self.percentile(75.0) - self.percentile(25.0)
+    }
+
+    /// Coefficient of variation (std-dev / mean); `None` for zero mean.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean)
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} median={:.3} mean={:.3} sd={:.3} [p2={:.3}, p98={:.3}]",
+            self.len(),
+            self.median(),
+            self.mean(),
+            self.std_dev(),
+            self.percentile(2.0),
+            self.percentile(98.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 4.5);
+        assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_values(&[3.5]);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.percentile(0.0), 3.5);
+        assert_eq!(s.percentile(100.0), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let s = Summary::from_values(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(25.0), 20.0);
+        assert_eq!(s.percentile(50.0), 30.0);
+        assert_eq!(s.percentile(100.0), 50.0);
+        assert_eq!(s.percentile(62.5), 35.0);
+        assert_eq!(s.iqr(), 20.0);
+    }
+
+    #[test]
+    fn even_sample_median_is_midpoint() {
+        let s = Summary::from_values(&[1.0, 2.0]);
+        assert_eq!(s.median(), 1.5);
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        let s = Summary::from_values(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_values(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_percentile_panics() {
+        Summary::from_values(&[1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        assert!(Summary::from_values(&[0.0, 0.0]).cv().is_none());
+        let s = Summary::from_values(&[1.0, 3.0]);
+        assert!((s.cv().unwrap() - s.std_dev() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_median() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("median=2.000"), "{text}");
+    }
+
+    proptest! {
+        #[test]
+        fn median_between_min_and_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::from_values(&values);
+            prop_assert!(s.min() <= s.median() && s.median() <= s.max());
+        }
+
+        #[test]
+        fn percentiles_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            let s = Summary::from_values(&values);
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
+        }
+
+        #[test]
+        fn mean_is_translation_equivariant(values in proptest::collection::vec(-1e3f64..1e3, 1..50),
+                                           shift in -100.0f64..100.0) {
+            let a = Summary::from_values(&values).mean();
+            let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+            let b = Summary::from_values(&shifted).mean();
+            prop_assert!((a + shift - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The sandbox's local temporary disk (paper Table 2, last row).
+//!
+//! AWS Lambda gives every sandbox 500 MB of `/tmp` which *also* has to hold
+//! the (uncompressed) code package; GCP counts temporary files against the
+//! function's memory allocation; Azure mounts Azure Files. [`LocalDisk`]
+//! models the capacity accounting and sequential read/write throughput.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sebs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Errors from local-disk operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskError {
+    /// Writing the file would exceed the disk capacity.
+    OutOfSpace {
+        /// Bytes requested by the write.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// The file does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::OutOfSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of disk space: requested {requested} B, available {available} B"
+            ),
+            DiskError::NotFound(p) => write!(f, "no such file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A capacity-limited local disk with fixed sequential throughput.
+///
+/// Only sizes are tracked (workload file contents live in the workload
+/// itself); the disk answers *how long* I/O takes and *whether it fits*.
+///
+/// # Example
+///
+/// ```
+/// use sebs_storage::LocalDisk;
+///
+/// // AWS Lambda: 500 MB /tmp that already holds a 250 MB code package.
+/// let mut disk = LocalDisk::new(500_000_000, 300e6, 150e6);
+/// disk.write("/var/task/package", 250_000_000)?;
+/// assert_eq!(disk.available(), 250_000_000);
+/// let t = disk.write("/tmp/video.mp4", 150_000_000)?;
+/// assert!(t.as_millis() == 1000, "150 MB at 150 MB/s");
+/// # Ok::<(), sebs_storage::DiskError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalDisk {
+    capacity: u64,
+    used: u64,
+    files: HashMap<String, u64>,
+    read_bps: f64,
+    write_bps: f64,
+}
+
+impl LocalDisk {
+    /// Creates a disk with `capacity` bytes and sequential read/write
+    /// throughput in bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a throughput is not strictly positive.
+    pub fn new(capacity: u64, read_bps: f64, write_bps: f64) -> Self {
+        assert!(
+            read_bps > 0.0 && write_bps > 0.0,
+            "disk throughput must be positive"
+        );
+        LocalDisk {
+            capacity,
+            used: 0,
+            files: HashMap::new(),
+            read_bps,
+            write_bps,
+        }
+    }
+
+    /// Writes (or overwrites) a file of `bytes`, returning the write time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::OutOfSpace`] if the file does not fit.
+    pub fn write(&mut self, path: &str, bytes: u64) -> Result<SimDuration, DiskError> {
+        let old = self.files.get(path).copied().unwrap_or(0);
+        let needed = self.used - old + bytes;
+        if needed > self.capacity {
+            return Err(DiskError::OutOfSpace {
+                requested: bytes,
+                available: self.capacity - (self.used - old),
+            });
+        }
+        self.used = needed;
+        self.files.insert(path.to_string(), bytes);
+        Ok(SimDuration::from_secs_f64(bytes as f64 / self.write_bps))
+    }
+
+    /// Reads a file, returning its size and the read time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::NotFound`] if the file does not exist.
+    pub fn read(&self, path: &str) -> Result<(u64, SimDuration), DiskError> {
+        let size = *self
+            .files
+            .get(path)
+            .ok_or_else(|| DiskError::NotFound(path.to_string()))?;
+        Ok((
+            size,
+            SimDuration::from_secs_f64(size as f64 / self.read_bps),
+        ))
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&mut self, path: &str) -> bool {
+        if let Some(size) = self.files.remove(path) {
+            self.used -= size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes in use.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_delete_cycle() {
+        let mut d = LocalDisk::new(1000, 100.0, 50.0);
+        let wt = d.write("/tmp/a", 500).unwrap();
+        assert_eq!(wt.as_secs_f64(), 10.0, "500 B at 50 B/s");
+        let (size, rt) = d.read("/tmp/a").unwrap();
+        assert_eq!(size, 500);
+        assert_eq!(rt.as_secs_f64(), 5.0, "500 B at 100 B/s");
+        assert_eq!(d.used(), 500);
+        assert_eq!(d.available(), 500);
+        assert!(d.delete("/tmp/a"));
+        assert_eq!(d.used(), 0);
+        assert!(!d.delete("/tmp/a"));
+    }
+
+    #[test]
+    fn capacity_enforced_with_clear_error() {
+        let mut d = LocalDisk::new(100, 1.0, 1.0);
+        d.write("/tmp/a", 80).unwrap();
+        let err = d.write("/tmp/b", 30).unwrap_err();
+        assert_eq!(
+            err,
+            DiskError::OutOfSpace {
+                requested: 30,
+                available: 20
+            }
+        );
+        assert!(err.to_string().contains("30"));
+    }
+
+    #[test]
+    fn overwrite_reuses_space() {
+        let mut d = LocalDisk::new(100, 1.0, 1.0);
+        d.write("/tmp/a", 90).unwrap();
+        // Overwriting with a bigger file that fits once the old one is gone.
+        d.write("/tmp/a", 100).unwrap();
+        assert_eq!(d.used(), 100);
+        assert_eq!(d.file_count(), 1);
+    }
+
+    #[test]
+    fn read_missing_file() {
+        let d = LocalDisk::new(100, 1.0, 1.0);
+        assert_eq!(
+            d.read("/nope").unwrap_err(),
+            DiskError::NotFound("/nope".into())
+        );
+    }
+
+    #[test]
+    fn aws_code_package_scenario() {
+        // The paper's image-recognition deployment: 250 MB uncompressed
+        // PyTorch package inside the 500 MB limit, leaving room for the model.
+        let mut d = LocalDisk::new(500_000_000, 300e6, 150e6);
+        d.write("/var/task", 250_000_000).unwrap();
+        assert!(d.write("/tmp/resnet50.pth", 200_000_000).is_ok());
+        assert!(d.write("/tmp/frames", 100_000_000).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn zero_throughput_rejected() {
+        let _ = LocalDisk::new(10, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Ephemeral in-memory key-value storage (paper §2 ❹).
+//!
+//! Models the Redis-class stores used to pass payloads between function
+//! invocations: microsecond-scale latency, memory-capacity-bound, and
+//! *ephemeral* — contents vanish when the backing instance is recycled.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use sebs_sim::{Dist, SimDuration};
+
+/// An in-memory key-value store with bounded capacity.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use sebs_storage::EphemeralKv;
+/// use sebs_sim::SimRng;
+///
+/// let mut kv = EphemeralKv::new(1024);
+/// let mut rng = SimRng::new(0).stream("kv");
+/// assert!(kv.set(&mut rng, "state", Bytes::from_static(b"intermediate")).is_some());
+/// let (value, latency) = kv.get(&mut rng, "state").unwrap();
+/// assert_eq!(&value[..], b"intermediate");
+/// assert!(latency.as_micros() < 5_000, "ephemeral storage is fast");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EphemeralKv {
+    data: HashMap<String, Bytes>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    latency_ms: Dist,
+}
+
+impl EphemeralKv {
+    /// Creates a store with the given memory capacity in bytes and the
+    /// default sub-millisecond latency model.
+    pub fn new(capacity_bytes: u64) -> Self {
+        EphemeralKv {
+            data: HashMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            latency_ms: Dist::shifted_lognormal(0.2, -1.5, 0.4),
+        }
+    }
+
+    /// Overrides the per-operation latency distribution (milliseconds).
+    pub fn with_latency(mut self, latency_ms: Dist) -> Self {
+        self.latency_ms = latency_ms;
+        self
+    }
+
+    /// Stores a value. Returns the operation latency, or `None` when the
+    /// value would exceed the remaining capacity (the serverless
+    /// anti-pattern limit the paper mentions: non-scaling storage).
+    pub fn set(&mut self, rng: &mut StdRng, key: &str, value: Bytes) -> Option<SimDuration> {
+        let new_size = value.len() as u64;
+        let old_size = self.data.get(key).map_or(0, |v| v.len() as u64);
+        if self.used_bytes - old_size + new_size > self.capacity_bytes {
+            return None;
+        }
+        self.used_bytes = self.used_bytes - old_size + new_size;
+        self.data.insert(key.to_string(), value);
+        Some(self.latency_ms.sample_millis(rng))
+    }
+
+    /// Fetches a value with its latency; `None` when the key is absent.
+    pub fn get(&mut self, rng: &mut StdRng, key: &str) -> Option<(Bytes, SimDuration)> {
+        let v = self.data.get(key)?.clone();
+        Some((v, self.latency_ms.sample_millis(rng)))
+    }
+
+    /// Removes a key, freeing its space. Returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        if let Some(v) = self.data.remove(key) {
+            self.used_bytes -= v.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops all contents — the backing instance was recycled.
+    pub fn wipe(&mut self) {
+        self.data.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimRng;
+
+    fn rng() -> StdRng {
+        SimRng::new(3).stream("kv");
+        SimRng::new(3).stream("kv")
+    }
+
+    #[test]
+    fn set_get_delete() {
+        let mut kv = EphemeralKv::new(100);
+        let mut r = rng();
+        assert!(kv.set(&mut r, "a", Bytes::from_static(b"12345")).is_some());
+        assert_eq!(kv.used_bytes(), 5);
+        assert_eq!(kv.len(), 1);
+        let (v, _) = kv.get(&mut r, "a").unwrap();
+        assert_eq!(&v[..], b"12345");
+        assert!(kv.delete("a"));
+        assert!(!kv.delete("a"));
+        assert!(kv.is_empty());
+        assert_eq!(kv.used_bytes(), 0);
+        assert!(kv.get(&mut r, "a").is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut kv = EphemeralKv::new(10);
+        let mut r = rng();
+        assert!(kv.set(&mut r, "a", Bytes::from(vec![0u8; 8])).is_some());
+        assert!(
+            kv.set(&mut r, "b", Bytes::from(vec![0u8; 4])).is_none(),
+            "over capacity"
+        );
+        // Overwriting the same key with a smaller value succeeds.
+        assert!(kv.set(&mut r, "a", Bytes::from(vec![0u8; 2])).is_some());
+        assert_eq!(kv.used_bytes(), 2);
+        assert!(kv.set(&mut r, "b", Bytes::from(vec![0u8; 8])).is_some());
+        assert_eq!(kv.capacity_bytes(), 10);
+    }
+
+    #[test]
+    fn overwrite_accounting_is_exact() {
+        let mut kv = EphemeralKv::new(100);
+        let mut r = rng();
+        kv.set(&mut r, "k", Bytes::from(vec![0u8; 60])).unwrap();
+        kv.set(&mut r, "k", Bytes::from(vec![0u8; 70])).unwrap();
+        assert_eq!(kv.used_bytes(), 70);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn wipe_models_instance_recycling() {
+        let mut kv = EphemeralKv::new(100);
+        let mut r = rng();
+        kv.set(&mut r, "a", Bytes::from_static(b"x")).unwrap();
+        kv.set(&mut r, "b", Bytes::from_static(b"y")).unwrap();
+        kv.wipe();
+        assert!(kv.is_empty());
+        assert!(kv.get(&mut r, "a").is_none());
+    }
+
+    #[test]
+    fn latency_is_sub_millisecond_by_default() {
+        let mut kv = EphemeralKv::new(1000);
+        let mut r = rng();
+        let lat = kv.set(&mut r, "a", Bytes::from_static(b"v")).unwrap();
+        assert!(lat.as_micros() < 3_000, "got {lat}");
+    }
+
+    #[test]
+    fn custom_latency_model() {
+        let mut kv = EphemeralKv::new(1000).with_latency(Dist::Constant(7.0));
+        let mut r = rng();
+        let lat = kv.set(&mut r, "a", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(lat.as_millis(), 7);
+    }
+}

@@ -1,0 +1,409 @@
+//! The workload abstraction and its instrumentation context.
+//!
+//! A [`Workload`] is a deterministic function from a payload to a response,
+//! executed inside an [`InvocationCtx`] that plays the role of the paper's
+//! local measurement harness (§5.1): it counts work ("instructions"),
+//! tracks peak memory (the USS analogue) and accumulates simulated storage
+//! I/O time. CPU utilization — the ratio of compute time to wall-clock time
+//! that exposes I/O-bound applications in Table 4 — falls out of the
+//! counters: the platform computes it as `cpu_time / (cpu_time + io_time)`.
+
+use std::fmt;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use sebs_storage::{ObjectStorage, StorageError};
+use sebs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Implementation language of the benchmark (paper Table 3 ships Python and
+/// Node.js variants). The language determines the sandbox's runtime-startup
+/// cost and a relative execution-speed factor in the platform model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Language {
+    /// CPython 3.7 profile.
+    #[default]
+    Python,
+    /// Node.js 10 profile.
+    NodeJs,
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Language::Python => f.write_str("python"),
+            Language::NodeJs => f.write_str("nodejs"),
+        }
+    }
+}
+
+
+/// Input-size selector for a benchmark, mirroring SeBS's test/small/large
+/// input generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scale {
+    /// Smoke-test size: milliseconds of work.
+    Test,
+    /// The size used for the paper-shaped experiments.
+    Small,
+    /// A heavyweight input.
+    Large,
+}
+
+/// Static description of a benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name, e.g. `graph-bfs`.
+    pub name: String,
+    /// Implementation language profile.
+    pub language: Language,
+    /// Third-party dependencies the original implementation needs
+    /// (informational; our kernels are self-contained).
+    pub dependencies: Vec<String>,
+    /// Size of the deployment package in bytes (drives cold-start cost;
+    /// the paper's image-recognition ships 250 MB).
+    pub code_package_bytes: u64,
+    /// Default memory configuration in MB.
+    pub default_memory_mb: u32,
+}
+
+/// The request payload delivered through a trigger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Payload {
+    /// Opaque request body (its size rides through the trigger model).
+    pub body: Bytes,
+    /// Named parameters for the kernel.
+    pub params: Vec<(String, String)>,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload {
+            body: Bytes::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// A payload with only parameters.
+    pub fn with_params(params: Vec<(String, String)>) -> Self {
+        Payload {
+            body: Bytes::new(),
+            params,
+        }
+    }
+
+    /// Looks up a parameter by key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Payload size in bytes (body only, as on the wire).
+    pub fn size_bytes(&self) -> u64 {
+        self.body.len() as u64
+    }
+}
+
+/// The response a function returns to its trigger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Response body returned to the client (eats into egress pricing —
+    /// paper §6.3 Q4: graph-bfs returns ≈78 kB, thumbnailer ≈3 kB).
+    pub body: Bytes,
+    /// Human-readable result summary for logs.
+    pub summary: String,
+}
+
+impl Response {
+    /// Builds a response from raw bytes and a summary line.
+    pub fn new(body: impl Into<Bytes>, summary: impl Into<String>) -> Self {
+        Response {
+            body: body.into(),
+            summary: summary.into(),
+        }
+    }
+
+    /// Response size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.body.len() as u64
+    }
+}
+
+/// Errors a workload can raise during execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadError {
+    /// A required storage object was missing or a storage call failed.
+    Storage(String),
+    /// The payload was malformed for this benchmark.
+    BadPayload(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Storage(e) => write!(f, "storage failure: {e}"),
+            WorkloadError::BadPayload(e) => write!(f, "bad payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<StorageError> for WorkloadError {
+    fn from(e: StorageError) -> Self {
+        WorkloadError::Storage(e.to_string())
+    }
+}
+
+/// Abstract resource counters filled in by a kernel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkCounters {
+    /// Abstract compute work units ("instructions").
+    pub instructions: u64,
+    /// Bytes read from persistent storage.
+    pub storage_bytes_read: u64,
+    /// Bytes written to persistent storage.
+    pub storage_bytes_written: u64,
+    /// Number of storage requests issued.
+    pub storage_requests: u64,
+}
+
+/// Per-invocation instrumentation context.
+///
+/// Owns the mutable view of the environment (storage handle, RNG) plus the
+/// counters the platform converts into time, memory and cost.
+pub struct InvocationCtx<'a> {
+    storage: &'a mut dyn ObjectStorage,
+    rng: &'a mut StdRng,
+    counters: WorkCounters,
+    io_time: SimDuration,
+    current_alloc: u64,
+    peak_alloc: u64,
+}
+
+impl<'a> fmt::Debug for InvocationCtx<'a> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InvocationCtx")
+            .field("counters", &self.counters)
+            .field("io_time", &self.io_time)
+            .field("peak_alloc", &self.peak_alloc)
+            .finish()
+    }
+}
+
+impl<'a> InvocationCtx<'a> {
+    /// Creates a context over the sandbox's storage handle and RNG stream.
+    pub fn new(storage: &'a mut dyn ObjectStorage, rng: &'a mut StdRng) -> Self {
+        InvocationCtx {
+            storage,
+            rng,
+            counters: WorkCounters::default(),
+            io_time: SimDuration::ZERO,
+            current_alloc: 0,
+            peak_alloc: 0,
+        }
+    }
+
+    /// Adds `n` abstract work units (the kernel's "instructions executed").
+    pub fn work(&mut self, n: u64) {
+        self.counters.instructions += n;
+    }
+
+    /// Records `bytes` of live allocation; pairs with [`InvocationCtx::free`].
+    pub fn alloc(&mut self, bytes: u64) {
+        self.current_alloc += bytes;
+        self.peak_alloc = self.peak_alloc.max(self.current_alloc);
+    }
+
+    /// Releases `bytes` of live allocation (saturating).
+    pub fn free(&mut self, bytes: u64) {
+        self.current_alloc = self.current_alloc.saturating_sub(bytes);
+    }
+
+    /// Downloads an object, accounting latency and counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StorageError`] as [`WorkloadError::Storage`].
+    pub fn storage_get(&mut self, bucket: &str, key: &str) -> Result<Bytes, WorkloadError> {
+        let (data, latency) = self.storage.get(self.rng, bucket, key)?;
+        self.io_time += latency;
+        self.counters.storage_requests += 1;
+        self.counters.storage_bytes_read += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Uploads an object, accounting latency and counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StorageError`] as [`WorkloadError::Storage`].
+    pub fn storage_put(
+        &mut self,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<(), WorkloadError> {
+        let size = data.len() as u64;
+        let latency = self.storage.put(self.rng, bucket, key, data)?;
+        self.io_time += latency;
+        self.counters.storage_requests += 1;
+        self.counters.storage_bytes_written += size;
+        Ok(())
+    }
+
+    /// Adds external (non-storage) I/O wait, e.g. the uploader's download
+    /// from an origin server.
+    pub fn external_io(&mut self, wait: SimDuration) {
+        self.io_time += wait;
+    }
+
+    /// The RNG stream for data-dependent randomness inside kernels.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> WorkCounters {
+        self.counters
+    }
+
+    /// Simulated time spent waiting on storage and external I/O.
+    pub fn io_time(&self) -> SimDuration {
+        self.io_time
+    }
+
+    /// Peak tracked allocation in bytes (the USS analogue).
+    pub fn peak_alloc_bytes(&self) -> u64 {
+        self.peak_alloc
+    }
+
+    /// Currently tracked live allocation in bytes.
+    pub fn live_alloc_bytes(&self) -> u64 {
+        self.current_alloc
+    }
+}
+
+/// A deterministic serverless benchmark.
+pub trait Workload {
+    /// Static metadata.
+    fn spec(&self) -> WorkloadSpec;
+
+    /// Prepares the environment: uploads any input objects to `storage` and
+    /// returns the invocation payload for the given input scale.
+    fn prepare(
+        &self,
+        scale: Scale,
+        rng: &mut StdRng,
+        storage: &mut dyn ObjectStorage,
+    ) -> Payload;
+
+    /// Runs the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] on malformed payloads or storage failures.
+    fn execute(
+        &self,
+        payload: &Payload,
+        ctx: &mut InvocationCtx<'_>,
+    ) -> Result<Response, WorkloadError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimRng;
+    use sebs_storage::SimObjectStore;
+
+    fn setup() -> (SimObjectStore, StdRng) {
+        (SimObjectStore::local_minio_model(), SimRng::new(5).stream("h"))
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (mut store, mut rng) = setup();
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        ctx.work(100);
+        ctx.work(50);
+        assert_eq!(ctx.counters().instructions, 150);
+    }
+
+    #[test]
+    fn alloc_tracks_peak_not_current() {
+        let (mut store, mut rng) = setup();
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        ctx.alloc(1000);
+        ctx.alloc(500);
+        ctx.free(1200);
+        ctx.alloc(100);
+        assert_eq!(ctx.peak_alloc_bytes(), 1500);
+        assert_eq!(ctx.live_alloc_bytes(), 400);
+        // Over-freeing saturates instead of underflowing.
+        ctx.free(10_000);
+        assert_eq!(ctx.live_alloc_bytes(), 0);
+    }
+
+    #[test]
+    fn storage_roundtrip_counts_io() {
+        let (mut store, mut rng) = setup();
+        store.create_bucket("b");
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        ctx.storage_put("b", "k", Bytes::from(vec![9u8; 64])).unwrap();
+        let data = ctx.storage_get("b", "k").unwrap();
+        assert_eq!(data.len(), 64);
+        let c = ctx.counters();
+        assert_eq!(c.storage_requests, 2);
+        assert_eq!(c.storage_bytes_written, 64);
+        assert_eq!(c.storage_bytes_read, 64);
+        assert!(ctx.io_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn storage_errors_become_workload_errors() {
+        let (mut store, mut rng) = setup();
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        let err = ctx.storage_get("missing", "k").unwrap_err();
+        assert!(matches!(err, WorkloadError::Storage(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn external_io_adds_wait() {
+        let (mut store, mut rng) = setup();
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        ctx.external_io(SimDuration::from_millis(25));
+        assert_eq!(ctx.io_time().as_millis(), 25);
+    }
+
+    #[test]
+    fn payload_params() {
+        let p = Payload::with_params(vec![("size".into(), "big".into())]);
+        assert_eq!(p.param("size"), Some("big"));
+        assert_eq!(p.param("nope"), None);
+        assert_eq!(p.size_bytes(), 0);
+        assert_eq!(Payload::empty().params.len(), 0);
+    }
+
+    #[test]
+    fn response_size() {
+        let r = Response::new(vec![0u8; 78_000], "graph data");
+        assert_eq!(r.size_bytes(), 78_000);
+        assert_eq!(r.summary, "graph data");
+    }
+
+    #[test]
+    fn language_display() {
+        assert_eq!(Language::Python.to_string(), "python");
+        assert_eq!(Language::NodeJs.to_string(), "nodejs");
+    }
+
+    #[test]
+    fn scale_orders() {
+        assert!(Scale::Test < Scale::Small && Scale::Small < Scale::Large);
+    }
+}

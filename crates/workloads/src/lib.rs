@@ -1,0 +1,40 @@
+//! The SeBS benchmark applications (paper Table 3), implemented as native
+//! Rust kernels.
+//!
+//! | Category   | Benchmark            | Module        | Kernel |
+//! |------------|----------------------|---------------|--------|
+//! | Webapps    | `dynamic-html`       | [`templating`]| template engine rendering a page from a context |
+//! | Webapps    | `uploader`           | [`uploader`]  | fetch from a (simulated) URL, upload to storage |
+//! | Multimedia | `thumbnailer`        | [`image`]     | bilinear down-scaling of an in-memory raster |
+//! | Multimedia | `video-processing`   | [`video`]     | per-frame watermark + palette-quantized GIF encode |
+//! | Utilities  | `compression`        | [`compress`]  | LZ77 + canonical Huffman archive round-trip |
+//! | Utilities  | `data-vis`           | [`squiggle`]  | DNA squiggle visualization (the DNAVisualization.org backend) |
+//! | Inference  | `image-recognition`  | [`inference`] | integer CNN (conv/pool/fc) forward pass, weights fetched from storage |
+//! | Scientific | `graph-bfs`          | [`graph::bfs`]| direction-optimizing BFS |
+//! | Scientific | `graph-pagerank`     | [`graph::pagerank`] | power-iteration PageRank |
+//! | Scientific | `graph-mst`          | [`graph::mst`]| Borůvka minimum spanning tree |
+//!
+//! Each kernel is a *real* computation over deterministic synthetic inputs,
+//! instrumented through [`harness::InvocationCtx`]: it counts abstract work
+//! units (the simulator's "instructions"), tracks peak memory, and accounts
+//! simulated storage I/O time. The platform layer turns those counters into
+//! execution time under a given CPU/memory allocation, which is how the
+//! suite reproduces the paper's Table 4 profile differences (CPU-bound
+//! graph kernels at 99% utilization vs. the I/O-bound uploader at 25%).
+
+pub mod compress;
+pub mod graph;
+pub mod harness;
+pub mod image;
+pub mod inference;
+pub mod registry;
+pub mod squiggle;
+pub mod templating;
+pub mod uploader;
+pub mod video;
+
+pub use harness::{
+    InvocationCtx, Language, Payload, Response, Scale, WorkCounters, Workload, WorkloadError,
+    WorkloadSpec,
+};
+pub use registry::{all_workloads, workload_by_name, Category};

@@ -1,0 +1,210 @@
+//! `uploader`: fetch a file from a URL and upload it to cloud storage
+//! (paper Table 3, Webapps; original uses the `request` library).
+//!
+//! The paper classifies this benchmark as network-bound: Table 4 reports
+//! only ≈25% CPU utilization, with most of the wall clock spent waiting on
+//! the origin download and the storage upload. Our kernel reproduces that
+//! profile: the "download" is a simulated external transfer whose duration
+//! is size / origin-bandwidth, the upload goes through the object store,
+//! and the CPU work is a light checksum pass over the payload.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::RngCore;
+use sebs_sim::SimDuration;
+use sebs_storage::ObjectStorage;
+
+use crate::harness::{
+    InvocationCtx, Language, Payload, Response, Scale, Workload, WorkloadError, WorkloadSpec,
+};
+
+/// Output bucket the benchmark uploads into.
+pub const BUCKET: &str = "uploader-output";
+
+/// The `uploader` benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uploader {
+    /// Language variant.
+    pub language: Language,
+}
+
+impl Uploader {
+    /// Creates the benchmark in the given language variant.
+    pub fn new(language: Language) -> Self {
+        Uploader { language }
+    }
+
+    /// Download size per scale; the SeBS default fetches a ~6 MB PDF.
+    fn size_for(scale: Scale) -> usize {
+        match scale {
+            Scale::Test => 64 * 1024,
+            Scale::Small => 6 * 1024 * 1024,
+            Scale::Large => 128 * 1024 * 1024,
+        }
+    }
+
+    /// Origin server bandwidth in bytes/second (external to the cloud).
+    const ORIGIN_BANDWIDTH: f64 = 40e6;
+}
+
+impl Workload for Uploader {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "uploader".into(),
+            language: self.language,
+            dependencies: match self.language {
+                Language::Python => vec![],
+                Language::NodeJs => vec!["request".into()],
+            },
+            code_package_bytes: 1_100_000,
+            default_memory_mb: 128,
+        }
+    }
+
+    fn prepare(
+        &self,
+        scale: Scale,
+        _rng: &mut StdRng,
+        storage: &mut dyn ObjectStorage,
+    ) -> Payload {
+        storage.create_bucket(BUCKET);
+        Payload::with_params(vec![
+            (
+                "url".into(),
+                "https://example.org/dataset/archive.bin".into(),
+            ),
+            ("size".into(), Self::size_for(scale).to_string()),
+        ])
+    }
+
+    fn execute(
+        &self,
+        payload: &Payload,
+        ctx: &mut InvocationCtx<'_>,
+    ) -> Result<Response, WorkloadError> {
+        let size: usize = payload
+            .param("size")
+            .ok_or_else(|| WorkloadError::BadPayload("missing `size`".into()))?
+            .parse()
+            .map_err(|e| WorkloadError::BadPayload(format!("bad `size`: {e}")))?;
+        let url = payload
+            .param("url")
+            .ok_or_else(|| WorkloadError::BadPayload("missing `url`".into()))?
+            .to_string();
+
+        // "Download" from the origin: an external transfer the cloud cannot
+        // accelerate; generates the actual bytes we later upload.
+        let download_time =
+            SimDuration::from_secs_f64(size as f64 / Self::ORIGIN_BANDWIDTH);
+        ctx.external_io(download_time);
+        let mut data = vec![0u8; size];
+        ctx.rng().fill_bytes(&mut data);
+        ctx.alloc(size as u64);
+
+        // Light CPU pass: streaming checksum. The interpreted original
+        // spends ~17 ops/byte on buffer copies plus hashing (Table 4 lists
+        // uploader at 104M instructions for the ~6 MB default download).
+        let mut checksum: u64 = 0xcbf29ce484222325;
+        for &b in &data {
+            checksum ^= b as u64;
+            checksum = checksum.wrapping_mul(0x100000001b3);
+        }
+        ctx.work(17 * size as u64);
+
+        // A stable key per upload target: repeated benchmark invocations
+        // overwrite rather than accumulate (the object store is in-memory;
+        // unbounded content-addressed keys would leak across a 200-sample
+        // experiment). The checksum rides along in the response instead.
+        let key = "upload-latest.bin";
+        ctx.storage_put(BUCKET, key, Bytes::from(data))?;
+        ctx.free(size as u64);
+
+        let body = format!(
+            "{{\"url\":\"{url}\",\"key\":\"{key}\",\"sha\":\"{checksum:016x}\",\"bytes\":{size}}}"
+        );
+        Ok(Response::new(body, format!("uploaded {size} bytes as {key}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimRng;
+    use sebs_storage::SimObjectStore;
+
+    fn run(scale: Scale) -> (Response, sebs_storage::StorageStats, SimDuration, u64) {
+        let wl = Uploader::new(Language::Python);
+        let mut store = SimObjectStore::default_model();
+        let mut rng = SimRng::new(9).stream("upl");
+        let payload = wl.prepare(scale, &mut rng, &mut store);
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        let resp = wl.execute(&payload, &mut ctx).unwrap();
+        let io = ctx.io_time();
+        let instr = ctx.counters().instructions;
+        (resp, store.stats(), io, instr)
+    }
+
+    #[test]
+    fn uploads_object_of_requested_size() {
+        let (resp, stats, _, _) = run(Scale::Test);
+        assert_eq!(stats.puts, 1);
+        assert_eq!(stats.bytes_in, 64 * 1024);
+        assert!(resp.summary.contains("uploaded 65536 bytes"));
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert!(body.contains("\"bytes\":65536"));
+    }
+
+    #[test]
+    fn io_dominates_compute() {
+        // The paper's Table 4 shows uploader at ~25% CPU: I/O time must be
+        // a large multiple of what its instruction count suggests.
+        let (_, _, io, instr) = run(Scale::Small);
+        // At a nominal 1e9 simple-ops/s interpreter rate the checksum pass is
+        // ~instr/1e9 seconds of CPU.
+        let cpu_secs = instr as f64 / 1e9;
+        assert!(
+            io.as_secs_f64() > 2.0 * cpu_secs,
+            "io {io} vs cpu {cpu_secs}s must be I/O-bound"
+        );
+    }
+
+    #[test]
+    fn missing_params_rejected() {
+        let wl = Uploader::default();
+        let mut store = SimObjectStore::default_model();
+        let mut rng = SimRng::new(9).stream("upl");
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        let err = wl.execute(&Payload::empty(), &mut ctx).unwrap_err();
+        assert!(matches!(err, WorkloadError::BadPayload(_)));
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_key_is_stable() {
+        let (a, _, _, _) = run(Scale::Test);
+        let (b, _, _, _) = run(Scale::Test);
+        assert_eq!(a.body, b.body, "same seed, same checksum");
+        let body = std::str::from_utf8(&a.body).unwrap();
+        assert!(body.contains("upload-latest.bin"));
+        assert!(body.contains("\"sha\""));
+    }
+
+    #[test]
+    fn repeated_runs_do_not_accumulate_objects() {
+        let wl = Uploader::new(Language::Python);
+        let mut store = SimObjectStore::default_model();
+        let mut rng = SimRng::new(9).stream("upl");
+        let payload = wl.prepare(Scale::Test, &mut rng, &mut store);
+        for _ in 0..5 {
+            let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+            wl.execute(&payload, &mut ctx).unwrap();
+        }
+        assert_eq!(store.object_count(), 1, "uploads overwrite one key");
+    }
+
+    #[test]
+    fn larger_scale_moves_more_bytes() {
+        let (_, small, _, _) = run(Scale::Test);
+        let (_, big, _, _) = run(Scale::Small);
+        assert!(big.bytes_in > 10 * small.bytes_in);
+    }
+}

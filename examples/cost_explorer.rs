@@ -1,0 +1,94 @@
+//! Cost explorer: sweep memory configurations for a workload, print the
+//! cost/performance trade-off (Figure 5a's data) and the FaaS-vs-IaaS
+//! break-even rate (Table 6's analysis).
+//!
+//! ```sh
+//! cargo run -p sebs-examples --bin cost_explorer [benchmark]
+//! ```
+
+use sebs::experiments::run_break_even;
+use sebs::{Suite, SuiteConfig};
+use sebs_metrics::TextTable;
+use sebs_platform::{ProviderKind, StartKind};
+use sebs_sim::SimDuration;
+use sebs_workloads::{Language, Scale};
+
+fn main() {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "image-recognition".to_string());
+    let mut suite = Suite::new(SuiteConfig::default().with_seed(99).with_samples(60));
+    let memories = [256u32, 512, 1024, 1536, 2048, 3008];
+
+    println!("cost/performance sweep for `{benchmark}` on the AWS profile:");
+    let mut table = TextTable::new(vec![
+        "Mem [MB]",
+        "Warm median [ms]",
+        "Cost of 1M [$]",
+        "$ per speedup",
+    ]);
+    let mut baseline_ms = None;
+    let mut baseline_cost = None;
+    for memory in memories {
+        let Ok(handle) = suite.deploy(
+            ProviderKind::Aws,
+            &benchmark,
+            Language::Python,
+            memory,
+            Scale::Small,
+        ) else {
+            continue;
+        };
+        suite.invoke(&handle); // warm up
+        let mut times = Vec::new();
+        let mut costs = Vec::new();
+        while times.len() < suite.config().samples {
+            for r in suite.invoke_burst(&handle, suite.config().batch_size) {
+                if r.outcome.is_success() && r.start == StartKind::Warm {
+                    times.push(r.provider_time.as_millis_f64());
+                    costs.push(r.bill.total_usd());
+                }
+            }
+            suite.advance(ProviderKind::Aws, SimDuration::from_secs(2));
+        }
+        let median = sebs_stats::Summary::from_values(&times).median();
+        let cost_m = costs.iter().sum::<f64>() / costs.len() as f64 * 1e6;
+        let baseline_ms = *baseline_ms.get_or_insert(median);
+        let baseline_cost = *baseline_cost.get_or_insert(cost_m);
+        table.row(vec![
+            memory.to_string(),
+            format!("{median:.1}"),
+            format!("{cost_m:.2}"),
+            format!(
+                "{:.2}x cost for {:.2}x speed",
+                cost_m / baseline_cost,
+                baseline_ms / median
+            ),
+        ]);
+    }
+    print!("{table}");
+
+    // Break-even vs a t2.micro.
+    if let Some(row) = run_break_even(
+        &mut suite,
+        ProviderKind::Aws,
+        &benchmark,
+        Language::Python,
+        &memories,
+        40,
+        Scale::Small,
+        99,
+    ) {
+        println!(
+            "\nbreak-even vs a ${:.4}/h t2.micro:\n  Eco  ({} MB, ${:.2}/M): {:.0} requests/hour\n  Perf ({} MB, ${:.2}/M): {:.0} requests/hour\n  (the VM sustains {:.0} req/h at 100% utilization with local storage)",
+            row.vm_usd_per_hour,
+            row.eco_memory_mb,
+            row.eco_cost_million,
+            row.eco_break_even_rph(),
+            row.perf_memory_mb,
+            row.perf_cost_million,
+            row.perf_break_even_rph(),
+            row.iaas_local_rph,
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Eviction study: drive the Eviction-Model experiment on the AWS profile,
+//! fit Equation 1, and use Equation 2 to plan a container-warming schedule.
+//!
+//! ```sh
+//! cargo run -p sebs-examples --bin eviction_study
+//! ```
+
+use sebs::experiments::{run_eviction_model, EvictionExperimentConfig};
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::ProviderKind;
+
+fn main() {
+    let mut suite = Suite::new(SuiteConfig::default().with_seed(2021));
+    let config = EvictionExperimentConfig::paper_default(ProviderKind::Aws);
+    println!(
+        "probing warm-container survival: D_init in {:?}, ΔT in {:?} s",
+        config.d_init, config.delta_t_secs
+    );
+    let result = run_eviction_model(&mut suite, config);
+
+    // A few raw observations.
+    println!("\nsample observations (D_init=16):");
+    for obs in result
+        .observations
+        .iter()
+        .filter(|o| o.d_init == 16)
+        .take(10)
+    {
+        println!(
+            "  ΔT = {:>5.0} s -> {:2} containers still warm",
+            obs.delta_t_secs, obs.d_warm
+        );
+    }
+
+    let fit = result.fit.expect("the sweep fits Equation 1");
+    println!(
+        "\nfitted model: D_warm = D_init * 2^-floor(ΔT / {:.1} s), R^2 = {:.4}",
+        fit.period_secs, fit.r_squared
+    );
+
+    // Equation 2: plan a warming schedule.
+    for (n, t) in [(1000u64, 1.9f64), (380, 1.0), (10_000, 0.25)] {
+        let batch = result.optimal_batch(n, t).expect("model fitted");
+        println!(
+            "to keep {n} instances of a {t} s function warm, re-invoke in \
+             batches of D_init = {batch:.1}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Function chains and ephemeral storage (paper §2 ❹): passing
+//! intermediate state between consecutive function invocations through
+//! (a) persistent object storage and (b) a Redis-class ephemeral KV store,
+//! and comparing end-to-end pipeline latency.
+//!
+//! The pipeline: `data-vis` produces a squiggle plot, a second function
+//! (`compression`-style) packs it, a third uploads the archive. Stages run
+//! as separate invocations on the simulated AWS profile; only the state
+//! hand-off differs.
+//!
+//! ```sh
+//! cargo run -p sebs-examples --bin function_chain
+//! ```
+
+use bytes::Bytes;
+use sebs_platform::{FaasPlatform, FunctionConfig, ProviderProfile};
+use sebs_sim::{SimDuration, SimRng};
+use sebs_storage::{EphemeralKv, ObjectStorage};
+use sebs_workloads::compress::compress;
+use sebs_workloads::squiggle::{squiggle, to_json};
+use sebs_workloads::templating::DynamicHtml;
+use sebs_workloads::{Language, Scale};
+
+fn main() {
+    let mut rng = SimRng::new(808).stream("chain");
+
+    // Stage payload: a DNA sequence visualization (~100 kB intermediate).
+    let seq: Vec<u8> = (0..60_000).map(|i| b"ACGT"[(i * 7 + i / 13) % 4]).collect();
+    let plot = to_json(&squiggle(&seq)).into_bytes();
+    let (packed, _) = compress(&plot);
+    println!(
+        "pipeline state: {} bases -> {} B plot -> {} B archive",
+        seq.len(),
+        plot.len(),
+        packed.len()
+    );
+
+    // (a) Hand-off through persistent object storage.
+    let mut store = sebs_storage::SimObjectStore::default_model();
+    store.create_bucket("chain");
+    let mut persistent = SimDuration::ZERO;
+    persistent += store
+        .put(&mut rng, "chain", "stage1", Bytes::from(plot.clone()))
+        .expect("bucket exists");
+    let (_, get1) = store.get(&mut rng, "chain", "stage1").expect("written");
+    persistent += get1;
+    persistent += store
+        .put(&mut rng, "chain", "stage2", Bytes::from(packed.clone()))
+        .expect("bucket exists");
+    let (_, get2) = store.get(&mut rng, "chain", "stage2").expect("written");
+    persistent += get2;
+
+    // (b) Hand-off through ephemeral in-memory storage.
+    let mut kv = EphemeralKv::new(64 * 1024 * 1024);
+    let mut ephemeral = SimDuration::ZERO;
+    ephemeral += kv
+        .set(&mut rng, "stage1", Bytes::from(plot.clone()))
+        .expect("fits");
+    ephemeral += kv.get(&mut rng, "stage1").expect("present").1;
+    ephemeral += kv
+        .set(&mut rng, "stage2", Bytes::from(packed.clone()))
+        .expect("fits");
+    ephemeral += kv.get(&mut rng, "stage2").expect("present").1;
+
+    println!("\nstate hand-off latency across the 3-stage chain:");
+    println!("  persistent object storage : {persistent}");
+    println!("  ephemeral key-value store : {ephemeral}");
+    println!(
+        "  speedup: {:.1}x  (the paper's motivation for ephemeral storage — \
+         at the price of losing durability and elasticity)",
+        persistent.as_secs_f64() / ephemeral.as_secs_f64()
+    );
+
+    // The compute stages themselves, on the platform, for the full picture.
+    let mut platform = FaasPlatform::new(ProviderProfile::aws(), 808);
+    let wl = DynamicHtml::new(Language::Python);
+    let fid = platform
+        .deploy(FunctionConfig::new("stage", Language::Python, 512))
+        .expect("deploys");
+    let payload = platform.prepare(&wl, Scale::Test);
+    platform.invoke(fid, &wl, &payload); // cold
+    platform.advance(SimDuration::from_secs(1));
+    let warm = platform.invoke(fid, &wl, &payload);
+    println!(
+        "\nfor reference, one warm stage invocation costs {} end to end — \
+         with {} hand-offs per request, the storage choice decides whether \
+         chaining is viable.",
+        warm.client_time, 2
+    );
+
+    // Ephemeral contents vanish with the backing instance.
+    kv.wipe();
+    assert!(kv.is_empty());
+    println!("\n(ephemeral store wiped — state does not survive instance recycling)");
+}

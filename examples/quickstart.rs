@@ -1,0 +1,60 @@
+//! Quickstart: deploy one benchmark to the simulated AWS profile, invoke
+//! it cold and warm, and print timings and the bill.
+//!
+//! ```sh
+//! cargo run -p sebs-examples --bin quickstart
+//! ```
+
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::ProviderKind;
+use sebs_sim::SimDuration;
+use sebs_workloads::{Language, Scale};
+
+fn main() {
+    // A suite holds one simulated platform per provider; everything is
+    // deterministic under the chosen seed.
+    let mut suite = Suite::new(SuiteConfig::default().with_seed(42));
+
+    // Deploy the thumbnailer at 1024 MB; `prepare` uploads the input image
+    // to the simulated object storage and returns the invocation payload.
+    let handle = suite
+        .deploy(
+            ProviderKind::Aws,
+            "thumbnailer",
+            Language::Python,
+            1024,
+            Scale::Small,
+        )
+        .expect("thumbnailer deploys on AWS");
+
+    // First invocation: a cold start.
+    let cold = suite.invoke(&handle);
+    println!("cold start:");
+    print_record(&cold);
+
+    // One second later the container is warm.
+    suite.advance(ProviderKind::Aws, SimDuration::from_secs(1));
+    let warm = suite.invoke(&handle);
+    println!("\nwarm invocation:");
+    print_record(&warm);
+
+    println!(
+        "\ncold/warm client-time ratio: {:.2}x",
+        cold.client_time.as_secs_f64() / warm.client_time.as_secs_f64()
+    );
+}
+
+fn print_record(r: &sebs_platform::InvocationRecord) {
+    println!("  outcome        : {:?}", r.outcome);
+    println!("  benchmark time : {}", r.benchmark_time);
+    println!("  provider time  : {}", r.provider_time);
+    println!("  client time    : {}", r.client_time);
+    println!("  memory used    : {} MB of {} MB", r.used_memory_mb, r.configured_memory_mb);
+    println!("  response size  : {} B", r.response_bytes);
+    println!(
+        "  billed         : {} at {} MB -> ${:.8}",
+        r.bill.billed_duration,
+        r.bill.billed_memory_mb,
+        r.bill.total_usd()
+    );
+}

@@ -1,0 +1,75 @@
+//! Reproducibility: whole experiments are bit-identical under the same
+//! seed — the property the paper's methodology section demands and cloud
+//! platforms cannot offer.
+
+use sebs::experiments::{
+    run_eviction_model, run_invocation_overhead, run_local_characterization, run_perf_cost,
+    EvictionExperimentConfig,
+};
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::ProviderKind;
+use sebs_workloads::{Language, Scale};
+
+#[test]
+fn perf_cost_is_reproducible() {
+    let run = |seed: u64| {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        run_perf_cost(
+            &mut s,
+            &[("thumbnailer", Language::Python)],
+            &[ProviderKind::Aws, ProviderKind::Gcp],
+            &[512],
+            Scale::Test,
+        )
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78), "different seeds differ");
+}
+
+#[test]
+fn eviction_model_is_reproducible() {
+    let run = |seed: u64| {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        let mut config = EvictionExperimentConfig::paper_default(ProviderKind::Aws);
+        config.d_init = vec![4, 16];
+        run_eviction_model(&mut s, config).observations
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn invocation_overhead_is_reproducible() {
+    let run = |seed: u64| {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        let r = run_invocation_overhead(&mut s, ProviderKind::Azure, &[1_000, 2_000_000], 3);
+        (r.sync, r.points)
+    };
+    assert_eq!(run(9), run(9));
+}
+
+#[test]
+fn local_characterization_is_reproducible() {
+    assert_eq!(
+        run_local_characterization(4, Scale::Test, 31),
+        run_local_characterization(4, Scale::Test, 31)
+    );
+}
+
+#[test]
+fn provider_salting_decorrelates_platforms() {
+    // The same suite seed must not make AWS and GCP draw identical noise.
+    let mut s = Suite::new(SuiteConfig::fast().with_seed(123));
+    let a = s
+        .deploy(ProviderKind::Aws, "graph-bfs", Language::Python, 512, Scale::Test)
+        .unwrap();
+    let g = s
+        .deploy(ProviderKind::Gcp, "graph-bfs", Language::Python, 512, Scale::Test)
+        .unwrap();
+    let ra = s.invoke(&a);
+    let rg = s.invoke(&g);
+    assert_ne!(ra.client_time, rg.client_time);
+    assert_ne!(
+        s.platform_mut(ProviderKind::Aws).server_clock().offset_secs(),
+        s.platform_mut(ProviderKind::Gcp).server_clock().offset_secs()
+    );
+}

@@ -1,0 +1,156 @@
+//! Failure-injection integration tests: OOM kills, availability errors,
+//! throttling and payload rejection — the §6.2 Q3 reliability findings.
+
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::{
+    FaasPlatform, FunctionConfig, InvocationOutcome, ProviderKind, ProviderProfile,
+};
+use sebs_workloads::inference::ImageRecognition;
+use sebs_workloads::{Language, Scale, Workload};
+
+#[test]
+fn gcp_kills_memory_hungry_functions_near_the_limit() {
+    // Paper: image-recognition failed with OOM on GCP at 512 MB while the
+    // identical workload ran fine on AWS (lenient accounting).
+    // Our Small-scale model artifact is ~100 MB; run it at a 128 MB tier
+    // on GCP (strict) and on AWS at the same allocation.
+    let wl = ImageRecognition::new(Language::Python);
+    let spec = wl.spec();
+
+    let mut gcp = FaasPlatform::new(ProviderProfile::gcp(), 11);
+    // GCP's 100 MB package limit would reject the real 250 MB package;
+    // the paper's deployment ships a trimmed build.
+    let gcp_fid = gcp
+        .deploy(
+            FunctionConfig::new(&spec.name, Language::Python, 128)
+                .with_code_package(90_000_000),
+        )
+        .expect("trimmed package deploys");
+    let payload = gcp.prepare(&wl, Scale::Small);
+    let record = gcp.invoke(gcp_fid, &wl, &payload);
+    assert!(
+        matches!(record.outcome, InvocationOutcome::OutOfMemory { .. }),
+        "GCP must OOM-kill the 100 MB model in 128 MB: {:?}",
+        record.outcome
+    );
+
+    let mut aws = FaasPlatform::new(ProviderProfile::aws(), 11);
+    let aws_fid = aws
+        .deploy(
+            FunctionConfig::new(&spec.name, Language::Python, 128)
+                .with_code_package(240_000_000),
+        )
+        .expect("deploys under the 250 MB limit");
+    let payload = aws.prepare(&wl, Scale::Small);
+    let record = aws.invoke(aws_fid, &wl, &payload);
+    assert!(
+        record.outcome.is_success(),
+        "AWS's lenient accounting tolerates the same footprint: {:?}",
+        record.outcome
+    );
+}
+
+#[test]
+fn oom_reports_usage_and_limit() {
+    let mut gcp = FaasPlatform::new(ProviderProfile::gcp(), 12);
+    let wl = ImageRecognition::new(Language::Python);
+    let fid = gcp
+        .deploy(
+            FunctionConfig::new("img", Language::Python, 128).with_code_package(50_000_000),
+        )
+        .expect("deploys");
+    let payload = gcp.prepare(&wl, Scale::Small);
+    match gcp.invoke(fid, &wl, &payload).outcome {
+        InvocationOutcome::OutOfMemory { used_mb, limit_mb } => {
+            assert_eq!(limit_mb, 128);
+            assert!(used_mb > limit_mb, "used {used_mb} must exceed {limit_mb}");
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn bursts_above_the_concurrency_limit_throttle_the_tail() {
+    let mut s = Suite::new(SuiteConfig::fast().with_seed(13));
+    let handle = s
+        .deploy(ProviderKind::Gcp, "dynamic-html", Language::Python, 128, Scale::Test)
+        .expect("deploys");
+    let records = s.invoke_burst(&handle, 130);
+    let throttled: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.outcome, InvocationOutcome::Throttled))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(throttled.len(), 30, "GCP's limit is 100 concurrent");
+    assert!(
+        throttled.iter().all(|&i| i >= 100),
+        "only the tail beyond the limit is rejected"
+    );
+}
+
+#[test]
+fn azure_bursts_degrade_and_sometimes_fail() {
+    // §6.2 Q3 Availability: concurrent invocations occasionally fail on
+    // Azure; sequential invocations on the same deployment do not.
+    let mut s = Suite::new(SuiteConfig::fast().with_seed(14));
+    let handle = s
+        .deploy(ProviderKind::Azure, "compression", Language::Python, 512, Scale::Test)
+        .expect("deploys");
+    let mut failures = 0;
+    for _ in 0..6 {
+        let records = s.invoke_burst(&handle, 40);
+        failures += records
+            .iter()
+            .filter(|r| matches!(r.outcome, InvocationOutcome::ServiceUnavailable))
+            .count();
+        s.advance(ProviderKind::Azure, sebs_sim::SimDuration::from_secs(5));
+    }
+    assert!(failures > 0, "240 concurrent Azure calls should drop a few");
+
+    // Sequential: no availability failures.
+    for _ in 0..20 {
+        s.advance(ProviderKind::Azure, sebs_sim::SimDuration::from_secs(2));
+        let r = s.invoke(&handle);
+        assert!(
+            !matches!(r.outcome, InvocationOutcome::ServiceUnavailable),
+            "sequential Azure calls stay available"
+        );
+    }
+}
+
+#[test]
+fn oversized_payloads_bounce_at_the_trigger() {
+    let mut s = Suite::new(SuiteConfig::fast().with_seed(15));
+    let handle = s
+        .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 128, Scale::Test)
+        .expect("deploys");
+    let mut big = handle.clone();
+    big.payload.body = bytes::Bytes::from(vec![0u8; 6_500_000]);
+    let record = s.invoke(&big);
+    assert!(matches!(
+        record.outcome,
+        InvocationOutcome::PayloadTooLarge { limit: 6_000_000, .. }
+    ));
+    assert_eq!(record.response_bytes, 0);
+    assert_eq!(record.bill.total_usd(), 0.0, "rejected calls are not billed");
+}
+
+#[test]
+fn failed_invocations_do_not_warm_the_pool_estimate() {
+    // Throttled calls never acquire a container.
+    let mut s = Suite::new(SuiteConfig::fast().with_seed(16));
+    let handle = s
+        .deploy(ProviderKind::Gcp, "dynamic-html", Language::Python, 128, Scale::Test)
+        .expect("deploys");
+    let records = s.invoke_burst(&handle, 120);
+    let served = records
+        .iter()
+        .filter(|r| r.container.is_some())
+        .count();
+    let pool = s
+        .platform_mut(ProviderKind::Gcp)
+        .warm_containers(handle.function);
+    assert_eq!(pool, served, "pool holds exactly the served containers");
+    assert!(pool <= 100);
+}

@@ -1,0 +1,241 @@
+//! Golden shape tests: the paper's headline findings must hold on the
+//! simulated platforms — not the absolute numbers, but who wins, by
+//! roughly what factor, and where the crossovers fall.
+
+use sebs::experiments::{
+    run_cold_start, run_eviction_model, run_invocation_overhead, run_perf_cost,
+    EvictionExperimentConfig,
+};
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::{ProviderKind, StartKind};
+use sebs_workloads::{Language, Scale};
+
+fn suite(seed: u64) -> Suite {
+    Suite::new(SuiteConfig::fast().with_seed(seed))
+}
+
+/// Paper conclusion (1): "AWS is considerably faster in almost all
+/// scenarios" — checked on provider time across three benchmark classes.
+#[test]
+fn aws_is_fastest_across_benchmark_classes() {
+    let mut s = suite(1);
+    let result = run_perf_cost(
+        &mut s,
+        &[
+            ("thumbnailer", Language::Python),
+            ("compression", Language::Python),
+            ("graph-bfs", Language::Python),
+        ],
+        &[ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp],
+        &[1024],
+        Scale::Test,
+    );
+    for benchmark in ["thumbnailer", "compression", "graph-bfs"] {
+        let time = |p: ProviderKind| {
+            result
+                .series(p, benchmark, 1024, StartKind::Warm)
+                .map(|s| s.median_provider_ms())
+                .unwrap_or(f64::INFINITY)
+        };
+        let aws = time(ProviderKind::Aws);
+        assert!(
+            aws <= time(ProviderKind::Azure) && aws <= time(ProviderKind::Gcp),
+            "{benchmark}: aws {aws} azure {} gcp {}",
+            time(ProviderKind::Azure),
+            time(ProviderKind::Gcp)
+        );
+    }
+}
+
+/// Paper conclusion (2): "Azure suffers from high variance" — its warm
+/// client-time coefficient of variation dwarfs AWS's.
+#[test]
+fn azure_has_the_highest_variance() {
+    let mut s = suite(2);
+    let result = run_perf_cost(
+        &mut s,
+        &[("graph-bfs", Language::Python)],
+        &[ProviderKind::Aws, ProviderKind::Azure],
+        &[512],
+        Scale::Test,
+    );
+    let cv = |p: ProviderKind| {
+        let series = result.series(p, "graph-bfs", 512, StartKind::Warm).unwrap();
+        series.client_summary().cv().unwrap()
+    };
+    assert!(
+        cv(ProviderKind::Azure) > 3.0 * cv(ProviderKind::Aws),
+        "azure cv {} vs aws cv {}",
+        cv(ProviderKind::Azure),
+        cv(ProviderKind::Aws)
+    );
+}
+
+/// Paper §6.2 Q3 "Consistency": consecutive warm calls always hit warm
+/// containers on AWS; GCP shows unexpected cold starts and container
+/// counts growing past the concurrency in flight.
+#[test]
+fn gcp_spurious_cold_starts_grow_the_pool() {
+    let mut s = suite(3);
+    let aws = s
+        .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 256, Scale::Test)
+        .unwrap();
+    let gcp = s
+        .deploy(ProviderKind::Gcp, "dynamic-html", Language::Python, 256, Scale::Test)
+        .unwrap();
+    let mut aws_colds = 0;
+    let mut gcp_colds = 0;
+    s.invoke(&aws);
+    s.invoke(&gcp);
+    for _ in 0..100 {
+        s.advance(ProviderKind::Aws, sebs_sim::SimDuration::from_secs(1));
+        s.advance(ProviderKind::Gcp, sebs_sim::SimDuration::from_secs(1));
+        if s.invoke(&aws).start == StartKind::Cold {
+            aws_colds += 1;
+        }
+        if s.invoke(&gcp).start == StartKind::Cold {
+            gcp_colds += 1;
+        }
+    }
+    assert_eq!(aws_colds, 0, "AWS warm reuse is deterministic");
+    assert!(gcp_colds >= 3, "GCP shows spurious colds: {gcp_colds}");
+    assert!(gcp_colds <= 40, "but they stay the exception: {gcp_colds}");
+    let gcp_pool = s.platform_mut(ProviderKind::Gcp).warm_containers(gcp.function);
+    assert!(
+        gcp_pool > 1,
+        "GCP's container count grows beyond concurrency: {gcp_pool}"
+    );
+}
+
+/// Paper Figure 4: image-recognition's cold/warm ratio is the largest;
+/// compression's long runs make cold starts negligible.
+#[test]
+fn cold_start_impact_orders_by_benchmark() {
+    let mut s = suite(4);
+    let perf = run_perf_cost(
+        &mut s,
+        &[
+            ("image-recognition", Language::Python),
+            ("compression", Language::Python),
+        ],
+        &[ProviderKind::Aws],
+        &[1536],
+        Scale::Small,
+    );
+    let ratios = run_cold_start(&perf);
+    let ratio = |name: &str| {
+        ratios
+            .iter()
+            .find(|r| r.benchmark == name)
+            .unwrap()
+            .ratio
+            .median()
+    };
+    assert!(
+        ratio("image-recognition") > 2.0 * ratio("compression"),
+        "img {} vs compression {}",
+        ratio("image-recognition"),
+        ratio("compression")
+    );
+    assert!(
+        ratio("compression") < 2.0,
+        "cold start is negligible for long-running functions: {}",
+        ratio("compression")
+    );
+}
+
+/// Paper §6.5 / Equation 1: the AWS eviction fit is application-agnostic
+/// with period ≈ 380 s and R² > 0.99.
+#[test]
+fn eviction_model_end_to_end() {
+    let mut s = suite(5);
+    let mut config = EvictionExperimentConfig::paper_default(ProviderKind::Aws);
+    config.d_init = vec![2, 8, 20];
+    let result = run_eviction_model(&mut s, config);
+    let fit = result.fit.expect("fits");
+    assert!((fit.period_secs - 380.0).abs() < 2.0, "P = {}", fit.period_secs);
+    assert!(fit.r_squared > 0.99, "R² = {}", fit.r_squared);
+}
+
+/// Paper §6.4 Q2: warm invocation latency is linear in the payload size
+/// on every provider.
+#[test]
+fn payload_latency_linear_on_all_providers() {
+    for (i, provider) in [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp]
+        .into_iter()
+        .enumerate()
+    {
+        let mut s = suite(6 + i as u64);
+        let result = run_invocation_overhead(
+            &mut s,
+            provider,
+            &[1_000, 1_000_000, 3_000_000, 5_900_000],
+            4,
+        );
+        let fit = result.warm_fit.expect("enough warm points");
+        assert!(
+            fit.adjusted_r_squared > 0.8,
+            "{provider}: warm R² {}",
+            fit.adjusted_r_squared
+        );
+        assert!(fit.slope > 0.0);
+    }
+}
+
+/// Paper §6.2 Q3: "function runtime is not the primary source of
+/// variation" — Python and Node.js deployments of the same benchmark land
+/// within tens of percent of each other.
+#[test]
+fn language_runtimes_perform_similarly() {
+    let mut s = suite(20);
+    let mut direct = |lang: Language| {
+        let h = s
+            .deploy(ProviderKind::Aws, "thumbnailer", lang, 1024, Scale::Test)
+            .expect("deploys");
+        s.invoke(&h); // warm
+        s.advance(ProviderKind::Aws, sebs_sim::SimDuration::from_secs(1));
+        let mut xs = Vec::new();
+        for _ in 0..10 {
+            s.advance(ProviderKind::Aws, sebs_sim::SimDuration::from_secs(1));
+            let r = s.invoke(&h);
+            if r.outcome.is_success() {
+                xs.push(r.benchmark_time.as_millis_f64());
+            }
+        }
+        sebs_stats::Summary::from_values(&xs).median()
+    };
+    let py = direct(Language::Python);
+    let js = direct(Language::NodeJs);
+    let ratio = py.max(js) / py.min(js);
+    assert!(
+        ratio < 1.4,
+        "languages within tens of percent: py {py} vs js {js}"
+    );
+}
+
+/// Paper §6.2 Q1: execution time decreases with memory until a plateau.
+#[test]
+fn memory_curve_has_a_plateau() {
+    let mut s = suite(9);
+    let result = run_perf_cost(
+        &mut s,
+        &[("image-recognition", Language::Python)],
+        &[ProviderKind::Aws],
+        &[128, 512, 1792, 3008],
+        Scale::Test,
+    );
+    let t = |mem: u32| {
+        result
+            .series(ProviderKind::Aws, "image-recognition", mem, StartKind::Warm)
+            .unwrap()
+            .median_benchmark_ms()
+    };
+    assert!(t(128) > t(512), "steep part of the curve");
+    assert!(t(512) > t(1792), "still improving");
+    let flat = (t(1792) - t(3008)) / t(1792);
+    let steep = (t(128) - t(512)) / t(128);
+    assert!(
+        steep > 2.0 * flat,
+        "the curve flattens: steep {steep:.3} vs flat {flat:.3}"
+    );
+}

@@ -1,0 +1,95 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! seeds, configurations and workloads.
+
+use proptest::prelude::*;
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::billing::BillingModel;
+use sebs_platform::{ProviderKind, ProviderProfile};
+use sebs_sim::SimDuration;
+use sebs_workloads::{Language, Scale};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Time levels are totally ordered for every provider, seed and memory.
+    #[test]
+    fn time_levels_ordered(seed in 0u64..1000, mem_idx in 0usize..3,
+                           provider_idx in 0usize..3) {
+        let provider = [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp][provider_idx];
+        let memory = [256u32, 512, 1024][mem_idx];
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        let handle = s
+            .deploy(provider, "dynamic-html", Language::Python, memory, Scale::Test)
+            .expect("dynamic-html deploys everywhere");
+        for _ in 0..3 {
+            let r = s.invoke(&handle);
+            prop_assert!(r.benchmark_time <= r.provider_time);
+            prop_assert!(r.provider_time <= r.client_time);
+            prop_assert!(r.t_recv_client >= r.t_send_client);
+            s.advance(provider, SimDuration::from_secs(1));
+        }
+    }
+
+    /// Billing is monotone in duration and never negative.
+    #[test]
+    fn billing_monotone(ms_a in 1u64..100_000, ms_b in 1u64..100_000,
+                        mem in 128u32..3008, used in 10u32..3008,
+                        resp in 0u64..10_000_000) {
+        let (lo, hi) = if ms_a <= ms_b { (ms_a, ms_b) } else { (ms_b, ms_a) };
+        for model in [BillingModel::aws(), BillingModel::azure(), BillingModel::gcp()] {
+            let cheap = model.bill(SimDuration::from_millis(lo), mem, used, resp);
+            let dear = model.bill(SimDuration::from_millis(hi), mem, used, resp);
+            prop_assert!(cheap.total_usd() >= 0.0);
+            prop_assert!(dear.compute_usd >= cheap.compute_usd,
+                "longer runs cost at least as much");
+            prop_assert!(dear.billed_duration >= cheap.billed_duration);
+        }
+    }
+
+    /// The warm-container count never exceeds the number of containers
+    /// ever created, and eviction only shrinks it while idle.
+    #[test]
+    fn pool_counts_monotone_under_idle(seed in 0u64..500, burst in 1usize..12) {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        let handle = s
+            .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 256, Scale::Test)
+            .expect("deploys");
+        let records = s.invoke_burst(&handle, burst);
+        let served = records.iter().filter(|r| r.container.is_some()).count();
+        let mut last = s.platform_mut(ProviderKind::Aws).warm_containers(handle.function);
+        prop_assert!(last <= served);
+        for _ in 0..6 {
+            s.advance(ProviderKind::Aws, SimDuration::from_secs(200));
+            let now = s.platform_mut(ProviderKind::Aws).warm_containers(handle.function);
+            prop_assert!(now <= last, "idle pools never grow: {now} > {last}");
+            last = now;
+        }
+    }
+
+    /// CPU shares and compute rates are monotone in memory for
+    /// proportional-CPU providers.
+    #[test]
+    fn compute_rate_monotone_in_memory(m1 in 128u32..3008, m2 in 128u32..3008) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        for profile in [ProviderProfile::aws(), ProviderProfile::gcp()] {
+            prop_assert!(
+                profile.compute_rate(lo, Language::Python)
+                    <= profile.compute_rate(hi, Language::Python) + 1e-9
+            );
+            prop_assert!(profile.io_scale(lo) <= profile.io_scale(hi) + 1e-9);
+        }
+    }
+
+    /// Response bodies of successful invocations are identical across
+    /// providers for deterministic kernels given the same payload.
+    #[test]
+    fn costs_and_times_are_finite(seed in 0u64..300) {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        let handle = s
+            .deploy(ProviderKind::Azure, "data-vis", Language::Python, 512, Scale::Test)
+            .expect("deploys");
+        let r = s.invoke(&handle);
+        prop_assert!(r.bill.total_usd().is_finite());
+        prop_assert!(r.client_time < SimDuration::from_secs(3600));
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end integration: every benchmark of Table 3 deploys and runs on
+//! every provider profile that admits it, through the full stack
+//! (suite → platform → sandbox pools → workload kernels → storage).
+
+use sebs::{Suite, SuiteConfig};
+use sebs_platform::{ProviderKind, StartKind};
+use sebs_sim::SimDuration;
+use sebs_workloads::{all_workloads, Scale};
+
+fn suite() -> Suite {
+    Suite::new(SuiteConfig::fast().with_seed(12345))
+}
+
+#[test]
+fn every_benchmark_runs_on_aws() {
+    let mut s = suite();
+    for reg in all_workloads() {
+        let spec = reg.workload.spec();
+        let handle = s
+            .deploy(
+                ProviderKind::Aws,
+                &spec.name,
+                spec.language,
+                spec.default_memory_mb.max(128),
+                Scale::Test,
+            )
+            .unwrap_or_else(|e| panic!("{} failed to deploy: {e}", spec.name));
+        let record = s.invoke(&handle);
+        assert!(
+            record.outcome.is_success(),
+            "{} ({}) failed: {:?}",
+            spec.name,
+            spec.language,
+            record.outcome
+        );
+        assert_eq!(record.start, StartKind::Cold);
+        assert!(record.benchmark_time > SimDuration::ZERO);
+        assert!(record.bill.total_usd() > 0.0);
+    }
+}
+
+#[test]
+fn providers_reject_what_their_policies_reject() {
+    let mut s = suite();
+    for reg in all_workloads() {
+        let spec = reg.workload.spec();
+        for provider in [ProviderKind::Azure, ProviderKind::Gcp] {
+            let result = s.deploy(
+                provider,
+                &spec.name,
+                spec.language,
+                spec.default_memory_mb.max(128),
+                Scale::Test,
+            );
+            // GCP's 100 MB package limit excludes the large benchmarks;
+            // its memory tiers exclude 1536 MB. Everything else deploys.
+            match (&result, provider) {
+                (Err(_), ProviderKind::Gcp) => {
+                    let too_big = spec.code_package_bytes > 100_000_000;
+                    let bad_tier =
+                        ![128, 256, 512, 1024, 2048, 4096].contains(&spec.default_memory_mb);
+                    assert!(
+                        too_big || bad_tier,
+                        "{}: rejected on GCP without a policy reason",
+                        spec.name
+                    );
+                }
+                (Err(e), _) => panic!("{}: unexpected rejection on {provider}: {e}", spec.name),
+                (Ok(handle), _) => {
+                    let record = s.invoke(handle);
+                    assert!(
+                        record.outcome.is_success()
+                            || !matches!(
+                                record.outcome,
+                                sebs_platform::InvocationOutcome::FunctionError(_)
+                            ),
+                        "{} on {provider}: {:?}",
+                        spec.name,
+                        record.outcome
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_chains_reuse_one_container_on_aws() {
+    let mut s = suite();
+    let handle = s
+        .deploy(
+            ProviderKind::Aws,
+            "dynamic-html",
+            sebs_workloads::Language::Python,
+            256,
+            Scale::Test,
+        )
+        .expect("deploys");
+    let first = s.invoke(&handle);
+    let mut container = first.container;
+    for _ in 0..10 {
+        s.advance(ProviderKind::Aws, SimDuration::from_secs(30));
+        let r = s.invoke(&handle);
+        assert_eq!(r.start, StartKind::Warm, "paper: AWS always hits warm");
+        assert_eq!(r.container, container, "same sandbox every time");
+        container = r.container;
+    }
+}
+
+#[test]
+fn response_sizes_flow_through_to_egress_costs() {
+    // graph-bfs returns its distance array; thumbnailer a small image —
+    // the egress cost difference of §6.3 Q4 must be visible end to end.
+    let mut s = suite();
+    let bfs = s
+        .deploy(
+            ProviderKind::Gcp,
+            "graph-bfs",
+            sebs_workloads::Language::Python,
+            512,
+            Scale::Small,
+        )
+        .expect("deploys");
+    let thumb = s
+        .deploy(
+            ProviderKind::Gcp,
+            "thumbnailer",
+            sebs_workloads::Language::Python,
+            512,
+            Scale::Test,
+        )
+        .expect("deploys");
+    let r_bfs = s.invoke(&bfs);
+    let r_thumb = s.invoke(&thumb);
+    assert!(r_bfs.response_bytes > 60_000, "bfs returns the distances");
+    assert!(r_bfs.response_bytes > r_thumb.response_bytes);
+    assert!(r_bfs.bill.egress_usd > r_thumb.bill.egress_usd);
+}
+
+#[test]
+fn storage_stats_accumulate_across_invocations() {
+    let mut s = suite();
+    let handle = s
+        .deploy(
+            ProviderKind::Aws,
+            "thumbnailer",
+            sebs_workloads::Language::Python,
+            512,
+            Scale::Test,
+        )
+        .expect("deploys");
+    let before = {
+        use sebs_storage::ObjectStorage;
+        s.platform_mut(ProviderKind::Aws).storage_mut().stats()
+    };
+    for _ in 0..3 {
+        s.advance(ProviderKind::Aws, SimDuration::from_secs(1));
+        assert!(s.invoke(&handle).outcome.is_success());
+    }
+    let after = {
+        use sebs_storage::ObjectStorage;
+        s.platform_mut(ProviderKind::Aws).storage_mut().stats()
+    };
+    assert!(after.gets >= before.gets + 3, "one input download per run");
+    assert!(after.puts >= before.puts + 3, "one thumbnail upload per run");
+}
