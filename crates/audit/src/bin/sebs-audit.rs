@@ -1,0 +1,88 @@
+//! CLI for the workspace hermeticity & determinism audit.
+//!
+//! ```text
+//! cargo run -p sebs-audit -- --workspace [--format json|text] [--root DIR]
+//! ```
+//!
+//! Exits 0 on a clean tree, 1 when findings remain, 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sebs_audit::{audit_workspace, find_workspace_root};
+
+const USAGE: &str = "usage: sebs-audit [--workspace] [--format json|text] [--root DIR]";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    help: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        help: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The default and only mode; accepted for forward compatibility.
+            "--workspace" => {}
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects json|text, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => return Err("--root expects a directory".into()),
+            },
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let root = match opts.root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            find_workspace_root(&cwd)
+        }
+    };
+    match audit_workspace(&root) {
+        Ok(report) => {
+            if opts.json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("audit failed: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! `sebs-audit` — dependency-free hermeticity & determinism linting.
+//!
+//! The workspace promises two properties that ordinary tests cannot enforce:
+//! it builds **offline** (no registry dependencies anywhere) and it runs
+//! **deterministically** (no wall clocks, ambient randomness or hash-order
+//! iteration in the simulation core). This crate checks both statically with
+//! a hand-rolled scanner — no `syn`, no `toml`, no dependencies at all — so
+//! the auditor itself can never violate the policy it enforces.
+//!
+//! Use it as a library (the CI gate runs [`audit_workspace`] in-process):
+//!
+//! ```no_run
+//! let report = sebs_audit::audit_workspace(std::path::Path::new(".")).unwrap();
+//! assert!(report.findings.is_empty(), "{}", report.to_text());
+//! ```
+//!
+//! or as a binary: `cargo run -p sebs-audit -- --workspace [--format json]`.
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod toml;
+
+pub use report::Report;
+pub use rules::{Allow, Finding, Rule, ALLOW_WINDOW};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".claude", "node_modules"];
+
+/// Audits every `Cargo.toml` and `*.rs` file under `root`.
+///
+/// Findings covered by an `audit:allow` comment are moved into the report's
+/// allow accounting instead of being reported as violations. Results are
+/// sorted by (file, line, rule) so output is stable across runs.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files.
+pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rel_str.ends_with("Cargo.toml") {
+            findings.extend(rules::audit_manifest(&rel_str, &source));
+        } else {
+            let (f, a) = rules::audit_rust_source(&rel_str, &source);
+            findings.extend(f);
+            allows.extend(a);
+        }
+    }
+
+    let (suppressed, live): (Vec<Finding>, Vec<Finding>) = findings
+        .into_iter()
+        .partition(|f| rules::is_suppressed(f, &allows));
+    let mut report = Report {
+        findings: live,
+        allows,
+        suppressed_count: suppressed.len(),
+        files_scanned: files.len(),
+    };
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`; falls back to `start` when none is found.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            let doc = toml::TomlDoc::parse(&text);
+            if doc.sections_where(|n| n == "workspace").next().is_some() {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_audit_runs_on_this_repo() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        let report = audit_workspace(&root).expect("workspace is readable");
+        assert!(report.files_scanned > 50, "walker found the workspace");
+    }
+}

@@ -1,0 +1,177 @@
+//! Report assembly and rendering (text and stable JSON).
+
+use crate::rules::{Allow, Finding, Rule};
+use std::fmt::Write;
+
+/// The result of auditing a workspace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Unsuppressed violations, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every `audit:allow` comment found, sorted by (file, line).
+    pub allows: Vec<Allow>,
+    /// Number of findings that were covered by an allow.
+    pub suppressed_count: usize,
+    /// Number of files inspected.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings for one rule.
+    pub fn findings_for(&self, rule: Rule) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// Number of allows naming `rule`.
+    pub fn allow_count(&self, rule: Rule) -> usize {
+        self.allows.iter().filter(|a| a.rule == rule.name()).count()
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}: {}:{}: {}",
+                f.rule.name(),
+                f.file,
+                f.line,
+                f.snippet
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} finding(s), {} suppressed by {} allow(s), {} file(s) scanned",
+            self.findings.len(),
+            self.suppressed_count,
+            self.allows.len(),
+            self.files_scanned
+        );
+        for rule in Rule::all() {
+            let allows = self.allow_count(rule);
+            if allows > 0 {
+                let _ = writeln!(out, "  allow({}) x{}", rule.name(), allows);
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report with a stable field order, so byte-identical
+    /// trees produce byte-identical reports.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(f.rule.name()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.snippet)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            );
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.suppressed_count, self.files_scanned
+        );
+        out
+    }
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: Rule::WallClock,
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                snippet: "let t = Instant::now(); // \"quote\"".into(),
+            }],
+            allows: vec![Allow {
+                rule: "panic-hygiene".into(),
+                file: "crates/y/src/lib.rs".into(),
+                line: 9,
+                reason: "documented invariant".into(),
+            }],
+            suppressed_count: 1,
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn text_mentions_rule_file_and_counts() {
+        let text = sample().to_text();
+        assert!(text.contains("wall-clock: crates/x/src/lib.rs:3:"));
+        assert!(text.contains("1 finding(s), 1 suppressed by 1 allow(s)"));
+        assert!(text.contains("allow(panic-hygiene) x1"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b, "same report renders byte-identically");
+        assert!(a.contains(r#""rule": "wall-clock""#));
+        assert!(a.contains(r#"\"quote\""#));
+        assert!(a.contains(r#""suppressed": 1"#));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        let json = r.to_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"allows\": []"));
+    }
+}

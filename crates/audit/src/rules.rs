@@ -1,0 +1,430 @@
+//! The audit rule families and the suppression mechanism.
+//!
+//! Four families, mirroring the workspace policy documented in DESIGN.md:
+//!
+//! * **registry-deps** — every dependency in every manifest must resolve
+//!   inside the repository (`path = …` or `workspace = true`); registry
+//!   version strings and git dependencies break offline builds.
+//! * **wall-clock** — `Instant::now` / `SystemTime::now` are forbidden
+//!   outside the cloud clock shim; simulated components must take time from
+//!   the virtual clock so runs are reproducible.
+//! * **ambient-randomness** — OS-seeded randomness (`thread_rng`,
+//!   `from_entropy`, `getrandom`, `RandomState`, any `rand::` path) is
+//!   forbidden; all randomness flows from a [`SimRng`] seed.
+//! * **hash-iteration** — `HashMap`/`HashSet` are forbidden in the
+//!   deterministic core crates (sim, platform, storage, core) because their
+//!   iteration order varies run to run; `BTreeMap`/`BTreeSet` replace them.
+//! * **panic-hygiene** — `.unwrap()` / `.expect(` in non-test library code
+//!   must either be refactored away or carry an explicit
+//!   `audit:allow(panic-hygiene)` justification.
+//!
+//! A finding can be suppressed with a comment:
+//!
+//! ```text
+//! // audit:allow(rule-name): why this occurrence is sound
+//! ```
+//!
+//! which covers the same line and the next [`ALLOW_WINDOW`] lines. Every
+//! allow is counted and carried in the report so suppressions stay visible.
+
+use crate::scan::{contains_token, scan_rust, ScannedLine};
+use crate::toml::{TomlDoc, TomlValue};
+
+/// How many lines below an `audit:allow` comment it still applies to.
+pub const ALLOW_WINDOW: usize = 6;
+
+/// The rule families the auditor enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    RegistryDeps,
+    WallClock,
+    AmbientRandomness,
+    HashIteration,
+    PanicHygiene,
+}
+
+impl Rule {
+    /// The stable kebab-case name used in reports and allow comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RegistryDeps => "registry-deps",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRandomness => "ambient-randomness",
+            Rule::HashIteration => "hash-iteration",
+            Rule::PanicHygiene => "panic-hygiene",
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::RegistryDeps,
+            Rule::WallClock,
+            Rule::AmbientRandomness,
+            Rule::HashIteration,
+            Rule::PanicHygiene,
+        ]
+    }
+}
+
+/// One policy violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One `audit:allow` suppression that was honoured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Extracts `audit:allow(rule): reason` records from scanned comment text.
+///
+/// The marker must open the comment (`// audit:allow(…)`), so prose that
+/// merely *mentions* the syntax — like this crate's own documentation —
+/// is not treated as a suppression.
+pub fn parse_allows(file: &str, lines: &[ScannedLine]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        let Some(rest) = l.comment.trim_start().strip_prefix("audit:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Allow {
+            rule,
+            file: file.to_string(),
+            line: idx + 1,
+            reason,
+        });
+    }
+    out
+}
+
+/// `true` when `finding` falls in some allow's window.
+pub fn is_suppressed(finding: &Finding, allows: &[Allow]) -> bool {
+    allows.iter().any(|a| {
+        a.rule == finding.rule.name()
+            && a.file == finding.file
+            && finding.line >= a.line
+            && finding.line <= a.line + ALLOW_WINDOW
+    })
+}
+
+/// Scope switches for one Rust file, derived from its workspace path.
+#[derive(Debug, Clone, Copy)]
+pub struct FileScope {
+    /// Wall-clock calls are legal here (the cloud clock shim).
+    pub clock_shim: bool,
+    /// File is library code: under `crates/*/src/` but not `src/bin/`.
+    pub library: bool,
+    /// File belongs to a crate whose iteration order must be deterministic.
+    pub deterministic_core: bool,
+}
+
+impl FileScope {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(path: &str) -> FileScope {
+        let in_crate_src = path.starts_with("crates/")
+            && path.split('/').nth(2) == Some("src");
+        FileScope {
+            clock_shim: path == "crates/cloud/src/clock.rs",
+            library: in_crate_src && !path.contains("/src/bin/"),
+            deterministic_core: ["sim", "platform", "storage", "core"]
+                .iter()
+                .any(|c| in_crate_src && path.split('/').nth(1) == Some(*c)),
+        }
+    }
+}
+
+const WALL_CLOCK_TOKENS: [&str; 2] = ["Instant::now", "SystemTime::now"];
+const RANDOMNESS_TOKENS: [&str; 5] = [
+    "rand::",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+const PANIC_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
+
+/// Audits one Rust source file; returns raw findings (suppression is applied
+/// by the caller so allows can be accounted for centrally).
+pub fn audit_rust_source(path: &str, source: &str) -> (Vec<Finding>, Vec<Allow>) {
+    let lines = scan_rust(source);
+    let allows = parse_allows(path, &lines);
+    let scope = FileScope::classify(path);
+    let test_lines = test_block_lines(&lines);
+    let mut findings = Vec::new();
+
+    let originals: Vec<&str> = source.lines().collect();
+    let snippet = |idx: usize| -> String {
+        originals
+            .get(idx)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    for (idx, l) in lines.iter().enumerate() {
+        let mut push = |rule: Rule| {
+            findings.push(Finding {
+                rule,
+                file: path.to_string(),
+                line: idx + 1,
+                snippet: snippet(idx),
+            })
+        };
+        if !scope.clock_shim {
+            for pat in WALL_CLOCK_TOKENS {
+                if contains_token(&l.code, pat) {
+                    push(Rule::WallClock);
+                }
+            }
+        }
+        for pat in RANDOMNESS_TOKENS {
+            if contains_token(&l.code, pat) {
+                push(Rule::AmbientRandomness);
+            }
+        }
+        if scope.deterministic_core {
+            for pat in HASH_TOKENS {
+                if contains_token(&l.code, pat) {
+                    push(Rule::HashIteration);
+                }
+            }
+        }
+        if scope.library && !test_lines[idx] {
+            for pat in PANIC_TOKENS {
+                if contains_token(&l.code, pat) {
+                    push(Rule::PanicHygiene);
+                }
+            }
+        }
+    }
+    (findings, allows)
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` blocks via brace tracking on
+/// the code view (comments and strings already blanked by the scanner).
+fn test_block_lines(lines: &[ScannedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth = 0i64;
+    let mut pending_cfg = false;
+    let mut test_until_depth: Option<i64> = None;
+    for (idx, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        if test_until_depth.is_none() && code.contains("#[cfg(test)]") {
+            pending_cfg = true;
+        }
+        if pending_cfg
+            && test_until_depth.is_none()
+            && contains_token(code, "mod")
+            && code.contains('{')
+        {
+            test_until_depth = Some(depth);
+            pending_cfg = false;
+        }
+        if test_until_depth.is_some() {
+            flags[idx] = true;
+        }
+        depth += code.matches('{').count() as i64;
+        depth -= code.matches('}').count() as i64;
+        if let Some(d) = test_until_depth {
+            if depth <= d {
+                test_until_depth = None;
+            }
+        }
+    }
+    flags
+}
+
+/// Audits one Cargo manifest for registry (non-path) dependencies.
+pub fn audit_manifest(path: &str, source: &str) -> Vec<Finding> {
+    let doc = TomlDoc::parse(source);
+    let mut findings = Vec::new();
+    let originals: Vec<&str> = source.lines().collect();
+    for section in doc.sections_where(is_dependency_section) {
+        for entry in &section.entries {
+            // `dep.workspace = true` / `dep.path = "…"` are the dotted-key
+            // spellings of the inline-table forms.
+            let dotted_ok = entry
+                .key
+                .rsplit_once('.')
+                .is_some_and(|(_, attr)| {
+                    (attr == "workspace" && entry.value == TomlValue::Bool(true))
+                        || attr == "path"
+                });
+            if !dotted_ok && !is_hermetic_dep(&entry.value) {
+                findings.push(Finding {
+                    rule: Rule::RegistryDeps,
+                    file: path.to_string(),
+                    line: entry.line,
+                    snippet: originals
+                        .get(entry.line.saturating_sub(1))
+                        .map(|s| s.trim().to_string())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn is_dependency_section(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name == "workspace.dependencies"
+        || (name.starts_with("target.") && name.ends_with("dependencies"))
+}
+
+/// A dependency is hermetic when it resolves inside the repository.
+fn is_hermetic_dep(value: &TomlValue) -> bool {
+    match value {
+        TomlValue::Table(_) => {
+            value.get("path").is_some()
+                || value.get("workspace") == Some(&TomlValue::Bool(true))
+        }
+        // `dep = "1.0"` and anything else pulls from the registry.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_flagged_in_code_not_comments_or_strings() {
+        let src = "\
+let t = Instant::now();
+// Instant::now() in a comment is fine
+let s = \"Instant::now()\";
+let u = std::time::SystemTime::now();
+";
+        let (findings, _) = audit_rust_source("crates/sim/src/x.rs", src);
+        let wall: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::WallClock)
+            .collect();
+        assert_eq!(wall.len(), 2);
+        assert_eq!(wall[0].line, 1);
+        assert_eq!(wall[1].line, 4);
+    }
+
+    #[test]
+    fn clock_shim_is_exempt() {
+        let (findings, _) =
+            audit_rust_source("crates/cloud/src/clock.rs", "let t = Instant::now();");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn randomness_tokens_respect_boundaries() {
+        let (findings, _) = audit_rust_source(
+            "tests/tests/x.rs",
+            "use operand::x;\nlet r = thread_rng();\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::AmbientRandomness);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn hash_iteration_only_in_core_crates() {
+        let src = "use std::collections::HashMap;";
+        let (in_core, _) = audit_rust_source("crates/platform/src/x.rs", src);
+        assert_eq!(in_core.len(), 1);
+        assert_eq!(in_core[0].rule, Rule::HashIteration);
+        let (in_workloads, _) = audit_rust_source("crates/workloads/src/x.rs", src);
+        assert!(in_workloads.is_empty());
+    }
+
+    #[test]
+    fn panic_hygiene_skips_tests_bins_and_non_library_code() {
+        let src = "\
+fn lib() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.expect(\"fine in tests\"); }
+}
+";
+        let (findings, _) = audit_rust_source("crates/sim/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+        let (bin, _) = audit_rust_source("crates/bench/src/bin/b.rs", src);
+        assert!(bin.iter().all(|f| f.rule != Rule::PanicHygiene));
+        let (itest, _) = audit_rust_source("tests/tests/t.rs", "x.unwrap();");
+        assert!(itest.is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_within_window_and_are_counted() {
+        let mut src = String::from(
+            "// audit:allow(panic-hygiene): invariant documented here\n\
+             fn f() { x.unwrap(); }\n",
+        );
+        for _ in 0..ALLOW_WINDOW {
+            src.push_str("fn pad() {}\n");
+        }
+        src.push_str("fn g() { y.unwrap(); }\n");
+        let (findings, allows) = audit_rust_source("crates/sim/src/x.rs", &src);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "panic-hygiene");
+        assert_eq!(allows[0].reason, "invariant documented here");
+        let live: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| !is_suppressed(f, &allows))
+            .collect();
+        assert_eq!(live.len(), 1, "only the out-of-window unwrap survives");
+        assert_eq!(live[0].line, 2 + ALLOW_WINDOW + 1);
+    }
+
+    #[test]
+    fn allow_window_expires() {
+        let mut src = String::from("// audit:allow(panic-hygiene): up top\n");
+        for _ in 0..ALLOW_WINDOW {
+            src.push_str("fn pad() {}\n");
+        }
+        src.push_str("fn f() { x.unwrap(); }\n");
+        let (findings, allows) = audit_rust_source("crates/sim/src/x.rs", &src);
+        assert_eq!(findings.len(), 1);
+        assert!(!is_suppressed(&findings[0], &allows));
+    }
+
+    #[test]
+    fn manifest_rules() {
+        let src = "\
+[dependencies]
+good = { path = \"../good\" }
+ws = { workspace = true }
+bad = \"1.0\"
+worse = { version = \"2\", features = [\"x\"] }
+git = { git = \"https://example.com/x.git\" }
+
+dotted.workspace = true
+dotted-path.path = \"../p\"
+
+[dev-dependencies]
+dev-bad = \"0.5\"
+";
+        let findings = audit_manifest("crates/x/Cargo.toml", src);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![4, 5, 6, 12]);
+        assert!(findings.iter().all(|f| f.rule == Rule::RegistryDeps));
+    }
+}

@@ -1,0 +1,307 @@
+//! A hand-rolled, comment- and string-aware Rust source scanner.
+//!
+//! The auditor must not depend on `syn` (or anything else from the registry),
+//! so rules match against a *code view* of each line: comments removed and
+//! string/char literal contents blanked. Comment text is kept separately so
+//! `audit:allow(...)` escapes can be recognised without ever confusing a
+//! forbidden token inside a comment or string for real code.
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// The line with comments removed and literal contents blanked.
+    /// Quotes are kept so token boundaries survive.
+    pub code: String,
+    /// Concatenated comment text appearing on the line (without `//`).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Splits Rust source into per-line code and comment views.
+///
+/// The scanner understands line and (nested) block comments, plain and raw
+/// string literals (with optional `b` prefix and `#` fences), escapes, char
+/// literals, and distinguishes lifetimes (`'a`) from char literals (`'a'`).
+///
+/// # Example
+///
+/// ```
+/// use sebs_audit::scan::scan_rust;
+///
+/// let lines = scan_rust("let x = \"Instant::now()\"; // audit:allow(x): hi");
+/// assert!(!lines[0].code.contains("Instant"));
+/// assert!(lines[0].comment.contains("audit:allow"));
+/// ```
+pub fn scan_rust(source: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ScannedLine::default();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Strings and block comments may span lines; the state carries
+            // over but each physical line gets its own entry. Line comments
+            // always end here.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(fence) = raw_string_fence(&chars, i) {
+                    // `r"`, `r#"`, `br##"` … — blank the whole literal.
+                    cur.code.push('"');
+                    state = State::RawStr(fence.hashes);
+                    i = fence.body_start;
+                } else if c == '\'' {
+                    i = consume_quote(&chars, i, &mut cur);
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (may be a quote)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1; // blank literal contents
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A `LineComment`/unterminated state at EOF still flushes the last line.
+    if !cur.code.is_empty() || !cur.comment.is_empty() || lines.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+struct RawFence {
+    hashes: u32,
+    body_start: usize,
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br##"` … at position `i`; returns the fence
+/// size and the index of the first body character.
+fn raw_string_fence(chars: &[char], i: usize) -> Option<RawFence> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // Guard against identifiers ending in `r`/`br` (e.g. `var"` cannot occur,
+    // but `abr#` could in macros): require the char before `i` to not be part
+    // of an identifier.
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(RawFence {
+            hashes,
+            body_start: j + 1,
+        })
+    } else {
+        None
+    }
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Handles a `'` in normal state: either a char literal (blanked) or a
+/// lifetime (kept). Returns the next index to scan.
+fn consume_quote(chars: &[char], i: usize, cur: &mut ScannedLine) -> usize {
+    match chars.get(i + 1) {
+        // `'\n'`, `'\u{1F600}'` — scan to the closing quote.
+        Some('\\') => {
+            cur.code.push('\'');
+            let mut j = i + 2;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                } else if chars[j] == '\'' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            cur.code.push('\'');
+            j
+        }
+        // `'x'` — a plain char literal.
+        Some(_) if chars.get(i + 2) == Some(&'\'') => {
+            cur.code.push('\'');
+            cur.code.push('\'');
+            i + 3
+        }
+        // `'a` (lifetime) or a stray quote: keep it as code.
+        _ => {
+            cur.code.push('\'');
+            i + 1
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Finds `pat` in `code` respecting identifier boundaries on both sides, so
+/// `rand::` does not match `operand::` and `HashMap` does not match
+/// `MyHashMapLike`. Returns `true` on a real occurrence.
+pub fn contains_token(code: &str, pat: &str) -> bool {
+    let bytes = code.as_bytes();
+    let pat_bytes = pat.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let at = start + pos;
+        let pre_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + pat_bytes.len();
+        let first_is_ident = pat_bytes.first().is_some_and(|b| is_ident_byte(*b));
+        let last_is_ident = pat_bytes.last().is_some_and(|b| is_ident_byte(*b));
+        let post_ok = end >= bytes.len() || !last_is_ident || !is_ident_byte(bytes[end]);
+        if (pre_ok || !first_is_ident) && post_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let l = scan_rust("let x = 1; // Instant::now() here");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].code.trim_end(), "let x = 1;");
+        assert!(l[0].comment.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn strips_block_comments_nested_and_multiline() {
+        let src = "a /* outer /* inner */ still */ b\n/* spans\nlines */ c";
+        let l = scan_rust(src);
+        assert_eq!(l[0].code.replace(' ', ""), "ab");
+        assert_eq!(l[1].code, "");
+        assert!(l[1].comment.contains("spans"));
+        assert_eq!(l[2].code.trim(), "c");
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = scan_rust(r#"let s = "Instant::now() \" escaped"; f(s);"#);
+        assert!(!l[0].code.contains("Instant"));
+        assert!(l[0].code.contains("f(s);"));
+        assert_eq!(l[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn blanks_raw_strings() {
+        let l = scan_rust("let s = r#\"thread_rng() \"quoted\" body\"#; g();");
+        assert!(!l[0].code.contains("thread_rng"));
+        assert!(l[0].code.contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let l = scan_rust("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(l[0].code.contains("<'a>"));
+        assert!(l[0].code.contains("&'a str"));
+        assert!(!l[0].code.contains("'x'"), "char literal is blanked");
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "let s = \"line one\nSystemTime::now()\nlast\";\nreal();";
+        let l = scan_rust(src);
+        assert_eq!(l.len(), 4);
+        assert!(!l[1].code.contains("SystemTime"));
+        assert_eq!(l[3].code, "real();");
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(contains_token("use rand::Rng;", "rand::"));
+        assert!(!contains_token("use operand::Rng;", "rand::"));
+        assert!(contains_token("let m: HashMap<K, V>;", "HashMap"));
+        assert!(!contains_token("struct MyHashMapLike;", "HashMap"));
+        assert!(contains_token("x.unwrap()", ".unwrap()"));
+        assert!(!contains_token("x.unwrap_or(1)", ".unwrap()"));
+    }
+}

@@ -1,0 +1,292 @@
+//! A minimal TOML reader — just enough structure for Cargo manifests.
+//!
+//! Supports `[section]` / `[[section]]` headers, `key = value` entries with
+//! string/bool/number values, inline tables (`{ path = "…" }`), and arrays
+//! that may span multiple lines. That covers every manifest in this
+//! workspace; anything fancier is reported as an opaque value rather than an
+//! error, since the auditor only needs to inspect dependency shapes.
+
+/// A parsed TOML value (only the shapes Cargo manifests use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// `"text"`
+    Str(String),
+    /// `true` / `false`
+    Bool(bool),
+    /// Any bare scalar the reader does not model (numbers, dates).
+    Scalar(String),
+    /// `[ a, b, … ]`
+    Array(Vec<TomlValue>),
+    /// `{ k = v, … }`
+    Table(Vec<(String, TomlValue)>),
+}
+
+impl TomlValue {
+    /// Looks up `key` when the value is an inline table.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        match self {
+            TomlValue::Table(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One `key = value` entry with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlEntry {
+    pub key: String,
+    pub value: TomlValue,
+    pub line: usize,
+}
+
+/// A `[section]` with its entries, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlSection {
+    /// Dotted header name (`dependencies`, `workspace.dependencies`, …).
+    pub name: String,
+    /// 1-based line of the header (0 for the implicit root section).
+    pub line: usize,
+    pub entries: Vec<TomlEntry>,
+}
+
+/// A parsed document: the implicit root section followed by named ones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlDoc {
+    pub sections: Vec<TomlSection>,
+}
+
+impl TomlDoc {
+    /// Parses a manifest. Lenient: unmodeled constructs become
+    /// [`TomlValue::Scalar`] values instead of failing the audit run.
+    pub fn parse(source: &str) -> TomlDoc {
+        let lines: Vec<&str> = source.lines().collect();
+        let mut doc = TomlDoc::default();
+        let mut current = TomlSection {
+            name: String::new(),
+            line: 0,
+            entries: Vec::new(),
+        };
+        let mut i = 0;
+        while i < lines.len() {
+            let raw = lines[i];
+            let line = strip_comment(raw);
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                i += 1;
+                continue;
+            }
+            if trimmed.starts_with('[') {
+                doc.sections.push(current);
+                let name = trimmed
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .trim()
+                    .to_string();
+                current = TomlSection {
+                    name,
+                    line: i + 1,
+                    entries: Vec::new(),
+                };
+                i += 1;
+                continue;
+            }
+            if let Some(eq) = trimmed.find('=') {
+                let key = trimmed[..eq].trim().trim_matches('"').to_string();
+                let mut value_text = trimmed[eq + 1..].trim().to_string();
+                let start_line = i + 1;
+                // Arrays and inline tables may span lines: keep reading until
+                // brackets balance (string contents are comment-stripped only,
+                // which is fine for manifests — `#` inside dep strings does
+                // not occur here).
+                while !brackets_balanced(&value_text) && i + 1 < lines.len() {
+                    i += 1;
+                    value_text.push(' ');
+                    value_text.push_str(strip_comment(lines[i]).trim());
+                }
+                current.entries.push(TomlEntry {
+                    key,
+                    value: parse_value(value_text.trim()),
+                    line: start_line,
+                });
+            }
+            i += 1;
+        }
+        doc.sections.push(current);
+        doc
+    }
+
+    /// All sections whose dotted name matches `pred`.
+    pub fn sections_where<'a>(
+        &'a self,
+        mut pred: impl FnMut(&str) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TomlSection> {
+        self.sections.iter().filter(move |s| pred(&s.name))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(text: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !in_str
+}
+
+fn parse_value(text: &str) -> TomlValue {
+    let t = text.trim();
+    if let Some(body) = t.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return TomlValue::Str(body.to_string());
+    }
+    if t == "true" {
+        return TomlValue::Bool(true);
+    }
+    if t == "false" {
+        return TomlValue::Bool(false);
+    }
+    if let Some(body) = t.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        let mut entries = Vec::new();
+        for part in split_top_level(body) {
+            if let Some(eq) = part.find('=') {
+                entries.push((
+                    part[..eq].trim().trim_matches('"').to_string(),
+                    parse_value(part[eq + 1..].trim()),
+                ));
+            }
+        }
+        return TomlValue::Table(entries);
+    }
+    if let Some(body) = t.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        return TomlValue::Array(
+            split_top_level(body)
+                .into_iter()
+                .filter(|p| !p.trim().is_empty())
+                .map(|p| parse_value(p.trim()))
+                .collect(),
+        );
+    }
+    TomlValue::Scalar(t.to_string())
+}
+
+/// Splits on commas that are not nested inside brackets or strings.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' | '{' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"
+[package]
+name = "demo"            # trailing comment
+version.workspace = true
+
+[dependencies]
+sebs-sim = { path = "../sim" }
+serde = { version = "1", features = ["derive"] }
+rand = "0.8"
+local = { workspace = true }
+
+[workspace]
+members = [
+    "crates/*",
+    "tests",
+]
+"#;
+
+    #[test]
+    fn parses_sections_and_entries() {
+        let doc = TomlDoc::parse(MANIFEST);
+        let deps: Vec<&TomlSection> = doc.sections_where(|n| n == "dependencies").collect();
+        assert_eq!(deps.len(), 1);
+        let entries = &deps[0].entries;
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].key, "sebs-sim");
+        assert_eq!(
+            entries[0].value.get("path"),
+            Some(&TomlValue::Str("../sim".into()))
+        );
+        assert!(entries[1].value.get("path").is_none());
+        assert_eq!(entries[2].value, TomlValue::Str("0.8".into()));
+        assert_eq!(
+            entries[3].value.get("workspace"),
+            Some(&TomlValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let doc = TomlDoc::parse(MANIFEST);
+        let ws: Vec<&TomlSection> = doc.sections_where(|n| n == "workspace").collect();
+        let members = &ws[0].entries[0];
+        assert_eq!(members.key, "members");
+        match &members.value {
+            TomlValue::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_lines_are_recorded() {
+        let doc = TomlDoc::parse(MANIFEST);
+        let deps: Vec<&TomlSection> = doc.sections_where(|n| n == "dependencies").collect();
+        assert_eq!(deps[0].entries[0].line, 7);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = TomlDoc::parse("[a]\nk = \"x # not a comment\"\n");
+        let a: Vec<&TomlSection> = doc.sections_where(|n| n == "a").collect();
+        assert_eq!(
+            a[0].entries[0].value,
+            TomlValue::Str("x # not a comment".into())
+        );
+    }
+}

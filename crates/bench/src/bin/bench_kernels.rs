@@ -1,0 +1,139 @@
+//! Plain timed micro-benchmarks of the *real* workload kernels — the native
+//! compute that backs the simulator's abstract work counters. These measure
+//! this machine, not the simulated cloud; they are the calibration substrate
+//! for `ops_per_sec_full_cpu`.
+//!
+//! The previous criterion harness pulled a large registry dependency tree;
+//! this binary keeps the workspace hermetic: it times each kernel with
+//! `std::time::Instant` directly and reports min/median per-iteration times.
+//!
+//! Knobs: `SEBS_BENCH_REPS` (timed repetitions per kernel, default 11) and
+//! `SEBS_BENCH_WARMUP` (warm-up repetitions, default 2).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use sebs_sim::rng::Rng;
+use sebs_sim::SimRng;
+use sebs_workloads::compress::{compress, decompress};
+use sebs_workloads::graph::bfs::{bfs_direction_optimizing, bfs_distances};
+use sebs_workloads::graph::mst::boruvka_mst;
+use sebs_workloads::graph::pagerank::pagerank;
+use sebs_workloads::graph::{rmat_edges, CsrGraph};
+use sebs_workloads::image::RasterImage;
+use sebs_workloads::inference::{MiniResNet, Tensor};
+use sebs_workloads::squiggle::{downsample, squiggle};
+use sebs_workloads::templating::{Template, Value, PAGE_TEMPLATE};
+use sebs_workloads::video::{encode_gif_like, watermark, Clip};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Times `f` and prints one result row. Wall-clock use is the whole point
+/// of a benchmark binary, so the determinism audit is waived per call site.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let reps = env_usize("SEBS_BENCH_REPS", 11);
+    let warmup = env_usize("SEBS_BENCH_WARMUP", 2);
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            // audit:allow(wall-clock): benchmark binary measures host time
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    println!(
+        "{name:<36} min {:>12.3?}  median {:>12.3?}  ({reps} reps)",
+        min, median
+    );
+}
+
+fn text_like_data(size: usize) -> Vec<u8> {
+    let words = b"serverless benchmark suite function latency ";
+    let mut rng = SimRng::new(1).stream("bench");
+    (0..size)
+        .map(|i| words[(i * 7 + rng.gen_range(0usize..3)) % words.len()])
+        .collect()
+}
+
+fn main() {
+    println!("== compression ==");
+    for size in [16 * 1024, 256 * 1024] {
+        let data = text_like_data(size);
+        bench(&format!("compress/{size}"), || compress(&data));
+        let (packed, _) = compress(&data);
+        bench(&format!("decompress/{size}"), || {
+            decompress(&packed).expect("valid archive")
+        });
+    }
+
+    println!("== graphs ==");
+    let mut rng = SimRng::new(2).stream("bench");
+    for scale in [10u32, 13] {
+        let (n, edges) = rmat_edges(scale, 16, &mut rng);
+        let undirected = CsrGraph::from_edges(
+            n,
+            &edges.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+            true,
+        );
+        let directed = CsrGraph::from_weighted_edges(n, &edges, false);
+        let weighted = CsrGraph::from_weighted_edges(n, &edges, true);
+        bench(&format!("bfs_top_down/{scale}"), || {
+            bfs_distances(&undirected, 0)
+        });
+        bench(&format!("bfs_direction_opt/{scale}"), || {
+            bfs_direction_optimizing(&undirected, 0, 14, 24)
+        });
+        bench(&format!("pagerank_20it/{scale}"), || {
+            pagerank(&directed, 0.85, 1e-8, 20)
+        });
+        bench(&format!("boruvka_mst/{scale}"), || boruvka_mst(&weighted));
+    }
+
+    println!("== multimedia ==");
+    let img = RasterImage::synthetic(1920, 1080);
+    bench("thumbnail_1080p_to_200", || img.thumbnail(200, 200));
+    let clip = Clip::synthetic(320, 180, 24, 24);
+    bench("gif_encode_320x180x24", || encode_gif_like(&clip));
+    let logo = RasterImage::synthetic(64, 36);
+    bench("watermark_320x180", || {
+        let mut frame = clip.frames()[0].clone();
+        watermark(&mut frame, &logo, 250, 140, 160);
+        frame
+    });
+
+    println!("== inference ==");
+    let net = MiniResNet::new();
+    for dim in [32u32, 64] {
+        let input = Tensor::from_image(&RasterImage::synthetic(dim, dim));
+        bench(&format!("resnet_forward/{dim}"), || net.forward(&input));
+    }
+
+    println!("== webapps ==");
+    let template = Template::compile(PAGE_TEMPLATE).expect("built-in template");
+    let mut ctx = HashMap::new();
+    ctx.insert("username".to_string(), Value::Str("bench".into()));
+    ctx.insert("cur_time".to_string(), Value::Str("now".into()));
+    ctx.insert("show_numbers".to_string(), Value::Bool(true));
+    ctx.insert(
+        "random_numbers".to_string(),
+        Value::List((0..1000).map(|i| Value::Num(i as f64)).collect()),
+    );
+    bench("render_1000_rows", || {
+        template.render(&ctx).expect("valid context")
+    });
+    let seq: Vec<u8> = (0..100_000).map(|i| b"ACGT"[i % 4]).collect();
+    bench("squiggle_100k_bases", || squiggle(&seq));
+    let points = squiggle(&seq);
+    bench("downsample_to_4k", || downsample(&points, 4000));
+}

@@ -1,0 +1,104 @@
+//! Plain timed benchmarks of the simulator itself: how fast the platform
+//! model processes invocations, plus an **ablation** of the eviction policy
+//! (the DESIGN.md-flagged design choice: providers as data, mechanisms as
+//! code — swapping the eviction policy changes Figure 7's shape without
+//! touching the platform).
+//!
+//! Like `bench_kernels`, this replaces the former criterion harness with a
+//! dependency-free timer. Knobs: `SEBS_BENCH_REPS` (default 11) and
+//! `SEBS_BENCH_WARMUP` (default 2).
+
+use std::time::Duration;
+
+use sebs_platform::{EvictionPolicy, FaasPlatform, FunctionConfig, ProviderProfile};
+use sebs_sim::{Dist, SimDuration};
+use sebs_workloads::templating::DynamicHtml;
+use sebs_workloads::{Language, Scale};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Times `f` and prints one result row. Wall-clock use is the whole point
+/// of a benchmark binary, so the determinism audit is waived per call site.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let reps = env_usize("SEBS_BENCH_REPS", 11);
+    let warmup = env_usize("SEBS_BENCH_WARMUP", 2);
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            // audit:allow(wall-clock): benchmark binary measures host time
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    println!(
+        "{name:<36} min {:>12.3?}  median {:>12.3?}  ({reps} reps)",
+        min, median
+    );
+}
+
+fn main() {
+    println!("== platform warm bursts ==");
+    for burst in [1usize, 10, 50] {
+        let wl = DynamicHtml::new(Language::Python);
+        let mut platform = FaasPlatform::new(ProviderProfile::aws(), 1);
+        let fid = platform
+            .deploy(FunctionConfig::new("html", Language::Python, 256))
+            .expect("deploys");
+        let payload = platform.prepare(&wl, Scale::Test);
+        let payloads = vec![payload; burst];
+        platform.invoke_burst(fid, &wl, &payloads); // warm the pool
+        bench(&format!("warm_burst/{burst}"), || {
+            platform.advance(SimDuration::from_secs(1));
+            platform.invoke_burst(fid, &wl, &payloads)
+        });
+    }
+
+    println!("== eviction policy ablation ==");
+    let policies: Vec<(&str, EvictionPolicy)> = vec![
+        (
+            "half_life_380s",
+            EvictionPolicy::HalfLife {
+                period: SimDuration::from_secs(380),
+            },
+        ),
+        (
+            "idle_timeout_10min",
+            EvictionPolicy::IdleTimeout {
+                timeout: SimDuration::from_secs(600),
+                jitter_ms: Dist::Uniform {
+                    lo: 0.0,
+                    hi: 60_000.0,
+                },
+            },
+        ),
+        ("never", EvictionPolicy::Never),
+    ];
+    for (name, policy) in policies {
+        let wl = DynamicHtml::new(Language::Python);
+        let mut profile = ProviderProfile::aws();
+        profile.eviction = policy.clone();
+        let mut platform = FaasPlatform::new(profile, 7);
+        let fid = platform
+            .deploy(FunctionConfig::new("html", Language::Python, 256))
+            .expect("deploys");
+        let payload = platform.prepare(&wl, Scale::Test);
+        let payloads = vec![payload; 16];
+        bench(&format!("probe_cycle/{name}"), || {
+            platform.enforce_cold_start(fid);
+            platform.invoke_burst(fid, &wl, &payloads);
+            platform.advance(SimDuration::from_secs(400));
+            platform.warm_containers(fid)
+        });
+    }
+}

@@ -7,7 +7,6 @@
 //! gives every endpoint its own clock: a fixed offset plus a (tiny) linear
 //! skew relative to simulated "true" time.
 
-use serde::{Deserialize, Serialize};
 use sebs_sim::{SimDuration, SimTime};
 
 /// A clock that reads `offset + (1 + skew) · t` at true time `t`.
@@ -23,7 +22,7 @@ use sebs_sim::{SimDuration, SimTime};
 /// let reading = clock.read(SimTime::from_secs(10));
 /// assert!((reading - 15.01).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftingClock {
     offset_secs: f64,
     skew: f64,

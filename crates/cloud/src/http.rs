@@ -6,14 +6,13 @@
 //! that explicit: a fresh connection pays TCP + TLS handshakes (2 RTTs),
 //! while a reused connection pays only the request/response transfers.
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
+use sebs_sim::rng::RngCore;
 use sebs_sim::SimDuration;
 
 use crate::network::{Link, TransferKind};
 
 /// Cost breakdown of one HTTP exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HttpCost {
     /// Connection establishment (zero on a reused connection).
     pub handshake: SimDuration,
@@ -31,7 +30,7 @@ impl HttpCost {
 }
 
 /// A (possibly persistent) HTTP connection over a [`Link`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HttpConnection {
     established: bool,
     /// Number of RTTs consumed by TCP + TLS establishment.

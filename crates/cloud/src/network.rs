@@ -7,14 +7,13 @@
 //! model: `latency = RTT/2 + size / bandwidth`, with the RTT drawn from a
 //! per-link distribution and bandwidth subject to fair sharing.
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
+use sebs_sim::rng::RngCore;
 use sebs_sim::resource::FairShare;
 use sebs_sim::{Dist, SimDuration};
 
 /// Direction/kind of a transfer on a link; requests and responses can be
 /// configured with asymmetric bandwidth (upload vs download).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransferKind {
     /// Client → cloud (request payloads, uploads).
     Upload,
@@ -24,7 +23,7 @@ pub enum TransferKind {
 
 /// A network link between two endpoints (client ↔ cloud region, or
 /// sandbox ↔ storage service).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     rtt_ms: Dist,
     /// Shared upload capacity in bytes/second.

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use sebs_sim::SimDuration;
 
 /// A cloud region identifier, e.g. `us-east-1`.
@@ -16,7 +15,7 @@ use sebs_sim::SimDuration;
 /// assert_eq!(r.name(), "us-east-1");
 /// assert_eq!(r.to_string(), "us-east-1");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Region(String);
 
 impl Region {

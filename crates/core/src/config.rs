@@ -1,10 +1,9 @@
 //! Suite-wide configuration.
 
 use sebs_stats::ConfidenceLevel;
-use serde::{Deserialize, Serialize};
 
 /// Configuration shared by all experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteConfig {
     /// Root seed; every derived platform and experiment stream hangs off
     /// this value, making whole-suite runs reproducible.

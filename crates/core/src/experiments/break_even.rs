@@ -11,12 +11,11 @@
 use sebs_platform::vm::{VirtualMachine, VmStorage};
 use sebs_platform::{ProviderKind, StartKind};
 use sebs_workloads::{workload_by_name, Language, Scale};
-use serde::{Deserialize, Serialize};
 
 use crate::suite::Suite;
 
 /// One Table 6 column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BreakEvenRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -105,14 +104,8 @@ pub fn run_break_even(
     if candidates.is_empty() {
         return None;
     }
-    let eco = candidates
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
-        .expect("candidates nonempty");
-    let perf = candidates
-        .iter()
-        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("times are finite"))
-        .expect("candidates nonempty");
+    let eco = candidates.iter().min_by(|a, b| a.1.total_cmp(&b.1))?;
+    let perf = candidates.iter().min_by(|a, b| a.2.total_cmp(&b.2))?;
     let vm_price = VirtualMachine::t2_micro(VmStorage::Local, seed).hourly_cost();
     Some(BreakEvenRow {
         benchmark: benchmark.to_string(),

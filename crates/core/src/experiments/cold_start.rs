@@ -7,12 +7,11 @@
 
 use sebs_platform::{ProviderKind, StartKind};
 use sebs_stats::Summary;
-use serde::{Deserialize, Serialize};
 
 use super::perf_cost::PerfCostResult;
 
 /// Cold/warm ratio distribution for one configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColdStartResult {
     /// Provider.
     pub provider: ProviderKind,

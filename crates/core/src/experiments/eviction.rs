@@ -8,7 +8,7 @@
 //! observations the half-life model `D_warm = D_init · 2^−⌊ΔT/P⌋` is
 //! fitted to, recovering P ≈ 380 s on the AWS profile with R² > 0.99.
 
-use rand::rngs::StdRng;
+use sebs_sim::rng::StreamRng;
 use sebs_platform::{FunctionConfig, ProviderKind};
 use sebs_sim::SimDuration;
 use sebs_stats::eviction::optimal_batch_size;
@@ -17,7 +17,6 @@ use sebs_storage::ObjectStorage;
 use sebs_workloads::{
     InvocationCtx, Language, Payload, Response, Scale, Workload, WorkloadError, WorkloadSpec,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::suite::Suite;
 
@@ -47,7 +46,7 @@ impl Workload for SleepWorkload {
     fn prepare(
         &self,
         _scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         _storage: &mut dyn ObjectStorage,
     ) -> Payload {
         Payload::empty()
@@ -66,7 +65,7 @@ impl Workload for SleepWorkload {
 }
 
 /// One experiment configuration (a Figure 7 panel).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvictionExperimentConfig {
     /// Provider under test.
     pub provider: ProviderKind,
@@ -107,7 +106,7 @@ impl EvictionExperimentConfig {
 }
 
 /// Result of one eviction experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvictionModelResult {
     /// The configuration measured.
     pub config: EvictionExperimentConfig,
@@ -145,6 +144,7 @@ pub fn run_eviction_model(
                 .with_code_package(config.code_package_bytes)
                 .with_init_work(1_000_000),
         )
+        // audit:allow(panic-hygiene): the built-in sleep benchmark is registered by the suite constructor
         .expect("sleep function deploys");
     let payload = Payload::empty();
 

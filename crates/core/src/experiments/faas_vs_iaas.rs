@@ -10,12 +10,11 @@ use sebs_platform::vm::{VirtualMachine, VmStorage};
 use sebs_platform::{ProviderKind, StartKind};
 use sebs_stats::Summary;
 use sebs_workloads::{workload_by_name, Language, Scale};
-use serde::{Deserialize, Serialize};
 
 use crate::suite::Suite;
 
 /// One Table 5 column (a benchmark).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaasVsIaasRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -60,6 +59,7 @@ pub fn run_faas_vs_iaas(
     let mut rows = Vec::new();
     for &(benchmark, language, memory_mb) in benchmarks {
         let workload =
+            // audit:allow(panic-hygiene): experiment inputs are validated against the registry before this call
             workload_by_name(benchmark, language).expect("benchmark exists in the registry");
 
         // IaaS: warm service on a t2.micro, both storage backends.
@@ -77,6 +77,7 @@ pub fn run_faas_vs_iaas(
         // FaaS: warm provider times.
         let handle = suite
             .deploy(provider, benchmark, language, memory_mb, scale)
+            // audit:allow(panic-hygiene): built-in benchmarks deploy on every simulated provider
             .expect("FaaS deployment for the comparison");
         suite.invoke(&handle); // warm up
         let mut faas = Vec::with_capacity(repetitions);

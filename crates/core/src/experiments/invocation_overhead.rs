@@ -9,8 +9,8 @@
 //! fits `overhead = a + b · payload`, reporting the adjusted R² that the
 //! paper finds near 0.99/0.89/0.90 warm (AWS/Azure/GCP) and 0.94 cold AWS.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::StreamRng;
 use sebs_platform::{FunctionConfig, ProviderKind, StartKind};
 use sebs_stats::clocksync::PingPong;
 use sebs_stats::{linear_fit, ClockSync, LinearFit, SyncOutcome};
@@ -18,7 +18,6 @@ use sebs_storage::ObjectStorage;
 use sebs_workloads::{
     InvocationCtx, Language, Payload, Response, Scale, Workload, WorkloadError, WorkloadSpec,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::suite::Suite;
 
@@ -41,7 +40,7 @@ impl Workload for EchoWorkload {
     fn prepare(
         &self,
         _scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         _storage: &mut dyn ObjectStorage,
     ) -> Payload {
         Payload::empty()
@@ -62,7 +61,7 @@ impl Workload for EchoWorkload {
 }
 
 /// One measured point of the sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadPoint {
     /// Payload size in bytes.
     pub payload_bytes: u64,
@@ -73,7 +72,7 @@ pub struct OverheadPoint {
 }
 
 /// Result of the experiment on one provider.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvocationOverheadResult {
     /// Provider measured.
     pub provider: ProviderKind,
@@ -115,6 +114,7 @@ pub fn run_invocation_overhead(
                 .with_code_package(8 * 1024)
                 .with_init_work(1_000_000),
         )
+        // audit:allow(panic-hygiene): the echo benchmark is built in and deploys on every provider
         .expect("echo deploys everywhere");
 
     // Phase 1: clock synchronization over minimal payloads on a warm

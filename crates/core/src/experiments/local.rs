@@ -7,16 +7,14 @@
 //! model uses: full-speed CPU, MinIO-class storage, plus a process
 //! cold-start model (interpreter boot + package import time).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::{Dist, SimRng};
 use sebs_stats::Summary;
 use sebs_storage::SimObjectStore;
 use sebs_workloads::{all_workloads, InvocationCtx, Language, Scale};
-use serde::{Deserialize, Serialize};
 
 /// One row of Table 4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -46,7 +44,7 @@ pub fn run_local_characterization(repetitions: usize, scale: Scale, seed: u64) -
         let spec = reg.workload.spec();
         let mut storage = SimObjectStore::local_minio_model();
         let root = SimRng::new(seed);
-        let mut prep_rng: StdRng = root.stream(&format!("prep-{}-{}", spec.name, spec.language));
+        let mut prep_rng: StreamRng = root.stream(&format!("prep-{}-{}", spec.name, spec.language));
         let mut payload = reg.workload.prepare(scale, &mut prep_rng, &mut storage);
         // The local Docker environment keeps the language worker alive
         // between repetitions, so loaded artifacts (the inference model)
@@ -71,9 +69,9 @@ pub fn run_local_characterization(repetitions: usize, scale: Scale, seed: u64) -
         let mut instr = 0.0;
         let mut cpu = 0.0;
         let mut peak = 0.0f64;
-        let mut boot_rng: StdRng = root.stream(&format!("boot-{}-{}", spec.name, spec.language));
+        let mut boot_rng: StreamRng = root.stream(&format!("boot-{}-{}", spec.name, spec.language));
         for i in 0..repetitions {
-            let mut exec_rng: StdRng =
+            let mut exec_rng: StreamRng =
                 root.stream_indexed(&format!("exec-{}-{}", spec.name, spec.language), i as u64);
             let mut ctx = InvocationCtx::new(&mut storage, &mut exec_rng);
             reg.workload

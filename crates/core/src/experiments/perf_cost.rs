@@ -13,12 +13,11 @@ use sebs_platform::{InvocationRecord, ProviderKind, StartKind};
 use sebs_sim::SimDuration;
 use sebs_stats::{median_ci, ConfidenceInterval, Summary};
 use sebs_workloads::{Language, Scale};
-use serde::{Deserialize, Serialize};
 
 use crate::suite::Suite;
 
 /// One sampled series: a (provider, benchmark, memory, start-kind) cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfCostSeries {
     /// Provider.
     pub provider: ProviderKind,
@@ -90,7 +89,7 @@ impl PerfCostSeries {
 }
 
 /// Full result of one Perf-Cost run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfCostResult {
     /// All sampled series.
     pub series: Vec<PerfCostSeries>,

@@ -3,7 +3,7 @@
 //! creates cloud resources, builds code packages and caches deployed
 //! functions (paper §5.2 "Deployment").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sebs_platform::{
@@ -54,8 +54,8 @@ impl std::error::Error for SuiteError {}
 /// workload registry and deployment cache.
 pub struct Suite {
     config: SuiteConfig,
-    platforms: HashMap<ProviderKind, FaasPlatform>,
-    workloads: HashMap<(String, Language), Arc<dyn Workload + Send + Sync>>,
+    platforms: BTreeMap<ProviderKind, FaasPlatform>,
+    workloads: BTreeMap<(String, Language), Arc<dyn Workload + Send + Sync>>,
 }
 
 impl std::fmt::Debug for Suite {
@@ -70,7 +70,7 @@ impl std::fmt::Debug for Suite {
 impl Suite {
     /// Creates a suite with simulated AWS, Azure and GCP platforms.
     pub fn new(config: SuiteConfig) -> Suite {
-        let mut platforms = HashMap::new();
+        let mut platforms = BTreeMap::new();
         for kind in [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp] {
             platforms.insert(
                 kind,
@@ -80,7 +80,7 @@ impl Suite {
         Suite {
             config,
             platforms,
-            workloads: HashMap::new(),
+            workloads: BTreeMap::new(),
         }
     }
 
@@ -94,6 +94,7 @@ impl Suite {
     pub fn platform_mut(&mut self, kind: ProviderKind) -> &mut FaasPlatform {
         self.platforms
             .get_mut(&kind)
+            // audit:allow(panic-hygiene): the constructor creates a platform for every ProviderKind
             .expect("all providers are instantiated")
     }
 
@@ -124,6 +125,7 @@ impl Suite {
         let platform = self
             .platforms
             .get_mut(&provider)
+            // audit:allow(panic-hygiene): the constructor creates a platform for every ProviderKind
             .expect("all providers are instantiated");
         let config = FunctionConfig::new(&spec.name, language, memory_mb)
             .with_code_package(spec.code_package_bytes)
@@ -144,6 +146,7 @@ impl Suite {
 
     /// Invokes a deployed benchmark once.
     pub fn invoke(&mut self, handle: &DeployedBenchmark) -> InvocationRecord {
+        // audit:allow(panic-hygiene): invoke_burst(1) returns exactly one record by construction
         self.invoke_burst(handle, 1).pop().expect("burst of one")
     }
 
@@ -162,10 +165,12 @@ impl Suite {
     ) -> Vec<InvocationRecord> {
         let workload = self
             .workload(&handle.benchmark, handle.language)
+            // audit:allow(panic-hygiene): handles are only issued for registered benchmarks
             .expect("deployed benchmark stays registered");
         let platform = self
             .platforms
             .get_mut(&handle.provider)
+            // audit:allow(panic-hygiene): the constructor creates a platform for every ProviderKind
             .expect("all providers are instantiated");
         let payloads = vec![handle.payload.clone(); n];
         platform.invoke_burst_via(handle.function, workload.as_ref(), &payloads, trigger)
@@ -175,6 +180,7 @@ impl Suite {
     pub fn enforce_cold_start(&mut self, handle: &DeployedBenchmark) {
         self.platforms
             .get_mut(&handle.provider)
+            // audit:allow(panic-hygiene): the constructor creates a platform for every ProviderKind
             .expect("all providers are instantiated")
             .enforce_cold_start(handle.function);
     }

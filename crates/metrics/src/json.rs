@@ -1,0 +1,527 @@
+//! A minimal, dependency-free JSON reader/writer.
+//!
+//! The workspace carries zero registry dependencies (see the hermeticity
+//! policy in DESIGN.md), so result persistence cannot use `serde_json`.
+//! This module implements the small JSON subset the result store needs:
+//! a value model with *ordered* object keys (serialization is deterministic
+//! by construction — the same store always produces byte-identical output),
+//! a pretty printer, and a recursive-descent parser with positioned errors.
+//!
+//! Non-finite numbers (`NaN`, `±∞`) have no JSON representation; the writer
+//! emits `null` for them and the parser reads `null` in a number position as
+//! `NaN`. Serialization is therefore infallible.
+
+use std::fmt;
+
+/// A JSON value. Object members keep their insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; members serialize in the order given.
+    Object(Vec<(String, Json)>),
+}
+
+/// Error raised by [`Json::parse`] or by schema-level decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// Malformed JSON text: byte offset and description.
+    Parse {
+        /// Byte offset of the error in the input.
+        pos: usize,
+        /// What was expected or found.
+        msg: String,
+    },
+    /// Well-formed JSON that does not match the expected shape.
+    Schema(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { pos, msg } => write!(f, "JSON parse error at byte {pos}: {msg}"),
+            JsonError::Schema(msg) => write!(f, "JSON schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Serializes with two-space indentation and `\n` line endings.
+    ///
+    /// Output is deterministic: object order is preserved and number
+    /// formatting uses Rust's shortest round-trippable representation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a fraction for readability.
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (exactly one value plus whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Parse`] with the byte offset of the first
+    /// malformed construct.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value; `null` reads as `NaN` (see module docs).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect_byte(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: runs of plain UTF-8 are copied wholesale.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a \uXXXX low half.
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape sequence")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::Parse {
+                pos: start,
+                msg: format!("invalid number '{text}'"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.to_string_pretty()).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-12.5),
+            Json::Num(1e-9),
+            Json::Num(3.141592653589793),
+            Json::Num(1e300),
+            Json::Str(String::new()),
+            Json::Str("héllo \"world\"\n\t\\ \u{1F600}".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip_preserving_order() {
+        let v = Json::Object(vec![
+            ("b".into(), Json::Array(vec![Json::Num(1.0), Json::Null])),
+            ("a".into(), Json::Object(vec![])),
+            ("c".into(), Json::Array(vec![])),
+        ]);
+        let text = v.to_string_pretty();
+        assert_eq!(roundtrip(&v), v);
+        assert!(
+            text.find("\"b\"").unwrap() < text.find("\"a\"").unwrap(),
+            "object member order is preserved, not sorted"
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let v = Json::Array(vec![Json::Num(0.1 + 0.2), Json::Str("x".into())]);
+        assert_eq!(v.to_string_pretty(), v.to_string_pretty());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_pretty(), "null");
+        assert!(Json::parse("null").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn integral_numbers_print_without_fraction() {
+        assert_eq!(Json::Num(42.0).to_string_pretty(), "42");
+        assert_eq!(Json::Num(-7.0).to_string_pretty(), "-7");
+        assert_eq!(Json::Num(2.5).to_string_pretty(), "2.5");
+    }
+
+    #[test]
+    fn parses_standard_forms() {
+        let v = Json::parse(r#" { "k" : [ 1 , 2.5e2 , -3 , true , false , null , "sA" ] } "#)
+            .unwrap();
+        let items = v.get("k").unwrap().as_array().unwrap();
+        assert_eq!(items[1], Json::Num(250.0));
+        assert_eq!(items[6], Json::Str("sA".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v, Json::Str("\u{1F600}".into()));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        for (text, pos_at_least) in [
+            ("", 0),
+            ("[1,", 3),
+            ("{\"a\":}", 5),
+            ("tru", 0),
+            ("\"unterminated", 13),
+            ("[1] trailing", 4),
+            ("{\"a\" 1}", 5),
+        ] {
+            match Json::parse(text) {
+                Err(JsonError::Parse { pos, .. }) => {
+                    assert!(pos >= pos_at_least, "input {text:?}: pos {pos}")
+                }
+                other => panic!("input {text:?}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"s":"x","n":2,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
+        assert_eq!(Json::Null.as_str(), None);
+    }
+}

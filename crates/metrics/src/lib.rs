@@ -8,10 +8,12 @@
 //! tables the `sebs-bench` binaries print for each paper table/figure.
 
 pub mod csv;
+pub mod json;
 pub mod measurement;
 pub mod store;
 pub mod table;
 
+pub use json::{Json, JsonError};
 pub use measurement::Measurement;
 pub use store::ResultStore;
 pub use table::TextTable;

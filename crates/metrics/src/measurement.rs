@@ -1,6 +1,6 @@
 //! The flat measurement row.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// One measured value with its full context.
 ///
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.tag("memory_mb"), Some("1024"));
 /// assert_eq!(m.value, 65.2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Experiment identifier (e.g. `perf-cost`, `eviction-model`).
     pub experiment: String,
@@ -62,6 +62,71 @@ impl Measurement {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes the row as a JSON object (field order is fixed, so the
+    /// encoding is deterministic).
+    pub fn to_json_value(&self) -> Json {
+        Json::Object(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("provider".into(), Json::Str(self.provider.clone())),
+            ("metric".into(), Json::Str(self.metric.clone())),
+            ("value".into(), Json::Num(self.value)),
+            (
+                "tags".into(),
+                Json::Array(
+                    self.tags
+                        .iter()
+                        .map(|(k, v)| {
+                            Json::Array(vec![Json::Str(k.clone()), Json::Str(v.clone())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a row from [`Measurement::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Schema`] when a field is missing or has the
+    /// wrong type.
+    pub fn from_json_value(v: &Json) -> Result<Measurement, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| JsonError::Schema(format!("row is missing field '{name}'")))
+        };
+        let string = |name: &str| {
+            field(name)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::Schema(format!("field '{name}' is not a string")))
+        };
+        let tags = field("tags")?
+            .as_array()
+            .ok_or_else(|| JsonError::Schema("field 'tags' is not an array".into()))?
+            .iter()
+            .map(|pair| match pair.as_array() {
+                Some([Json::Str(k), Json::Str(tag_value)]) => {
+                    Ok((k.clone(), tag_value.clone()))
+                }
+                _ => Err(JsonError::Schema(
+                    "tag entries must be [string, string] pairs".into(),
+                )),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Measurement {
+            experiment: string("experiment")?,
+            benchmark: string("benchmark")?,
+            provider: string("provider")?,
+            metric: string("metric")?,
+            value: field("value")?
+                .as_f64()
+                .ok_or_else(|| JsonError::Schema("field 'value' is not a number".into()))?,
+            tags,
+        })
     }
 }
 

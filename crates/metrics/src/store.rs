@@ -2,13 +2,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{Json, JsonError};
 use crate::measurement::Measurement;
 
 /// An in-memory collection of measurements with filtering, grouping and
 /// JSON persistence.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultStore {
     rows: Vec<Measurement>,
 }
@@ -75,21 +74,29 @@ impl ResultStore {
 
     /// Serializes all rows to pretty JSON.
     ///
-    /// # Panics
-    ///
-    /// Never panics in practice: the data model is plain.
+    /// Infallible by construction: the hand-rolled serializer accepts every
+    /// representable measurement (non-finite values map to `null`), and its
+    /// output is deterministic — equal stores produce byte-identical text.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.rows).expect("measurements are always serializable")
+        Json::Array(self.rows.iter().map(Measurement::to_json_value).collect()).to_string_pretty()
     }
 
     /// Restores a store from [`ResultStore::to_json`] output.
     ///
     /// # Errors
     ///
-    /// Returns the underlying JSON error on malformed input.
-    pub fn from_json(json: &str) -> Result<ResultStore, serde_json::Error> {
+    /// Returns a [`JsonError`] on malformed input or rows that do not match
+    /// the measurement schema.
+    pub fn from_json(json: &str) -> Result<ResultStore, JsonError> {
+        let doc = Json::parse(json)?;
+        let items = doc
+            .as_array()
+            .ok_or_else(|| JsonError::Schema("expected a top-level array of rows".into()))?;
         Ok(ResultStore {
-            rows: serde_json::from_str(json)?,
+            rows: items
+                .iter()
+                .map(Measurement::from_json_value)
+                .collect::<Result<_, _>>()?,
         })
     }
 }

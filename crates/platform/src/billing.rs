@@ -13,10 +13,9 @@
 //! 512 kB increments; GCP and Azure charge ~$0.12/GB of data out.
 
 use sebs_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The bill for one function invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InvocationBill {
     /// Compute charge in USD (GB-s and, on GCP, GHz-s).
     pub compute_usd: f64,
@@ -38,7 +37,7 @@ impl InvocationBill {
 }
 
 /// A provider's billing rules.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BillingModel {
     /// Price per GB-second of memory.
     pub usd_per_gb_second: f64,

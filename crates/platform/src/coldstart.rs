@@ -9,13 +9,12 @@
 //! but *lengthens* allocation on GCP (competition for a smaller pool of
 //! larger containers), while helping neither on Azure (dynamic memory).
 
-use rand::rngs::StdRng;
+use sebs_sim::rng::StreamRng;
 use sebs_sim::{Dist, SimDuration};
 use sebs_workloads::Language;
-use serde::{Deserialize, Serialize};
 
 /// How cold-start latency reacts to the memory configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MemoryEffect {
     /// Larger memory ⇒ faster init (AWS): init scales with `1/share^p`.
     FasterWithMemory {
@@ -33,7 +32,7 @@ pub enum MemoryEffect {
 }
 
 /// A provider's cold-start model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColdStartModel {
     /// Provisioning/scheduling delay (ms).
     pub provisioning_ms: Dist,
@@ -105,7 +104,7 @@ impl ColdStartModel {
     #[allow(clippy::too_many_arguments)]
     pub fn sample(
         &self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         language: Language,
         cpu_share: f64,
         memory_mb: u32,

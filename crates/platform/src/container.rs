@@ -1,10 +1,9 @@
 //! Sandbox containers (paper §2 ❷).
 
 use sebs_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a container instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ContainerId(pub u64);
 
 impl std::fmt::Display for ContainerId {
@@ -14,7 +13,7 @@ impl std::fmt::Display for ContainerId {
 }
 
 /// Lifecycle state of a container.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ContainerState {
     /// Warm and idle, ready to serve.
     Idle,
@@ -23,7 +22,7 @@ pub enum ContainerState {
 }
 
 /// A sandbox holding one warm copy of a function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Container {
     /// Identifier.
     pub id: ContainerId,

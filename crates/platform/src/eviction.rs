@@ -6,14 +6,13 @@
 //! that. Azure and GCP did not yield a clean model (concurrent probes
 //! failed on Azure); they are modelled with jittered idle timeouts.
 
-use rand::rngs::StdRng;
+use sebs_sim::rng::StreamRng;
 use sebs_sim::{Dist, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::container::Container;
 
 /// When and which containers are evicted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EvictionPolicy {
     /// Every `period`, half of the currently warm containers are evicted
     /// (AWS: period = 380 s). Eviction happens at global period boundaries
@@ -49,7 +48,7 @@ impl EvictionPolicy {
         &self,
         containers: Vec<Container>,
         now: SimTime,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
     ) -> Vec<Container> {
         match self {
             EvictionPolicy::HalfLife { period } => {
@@ -87,7 +86,7 @@ mod tests {
             .collect()
     }
 
-    fn rng() -> StdRng {
+    fn rng() -> StreamRng {
         SimRng::new(1).stream("evict")
     }
 

@@ -4,10 +4,9 @@ use std::fmt;
 
 use sebs_sim::SimDuration;
 use sebs_workloads::Language;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a deployed function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FunctionId(pub u32);
 
 impl fmt::Display for FunctionId {
@@ -17,7 +16,7 @@ impl fmt::Display for FunctionId {
 }
 
 /// Deployment configuration of one serverless function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionConfig {
     /// Human-readable name (usually the benchmark name).
     pub name: String,

@@ -11,14 +11,13 @@
 //!   including the trigger, network and scheduling.
 
 use sebs_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::billing::InvocationBill;
 use crate::container::ContainerId;
 use crate::function::FunctionId;
 
 /// Whether the invocation hit a warm sandbox or forced a cold start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StartKind {
     /// Reused a warm container.
     Warm,
@@ -27,7 +26,7 @@ pub enum StartKind {
 }
 
 /// Terminal status of an invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InvocationOutcome {
     /// Completed successfully.
     Success,
@@ -64,7 +63,7 @@ impl InvocationOutcome {
 }
 
 /// Full measurement record of one invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvocationRecord {
     /// The invoked function.
     pub function: FunctionId,

@@ -17,16 +17,14 @@
 //! [`MonitoringApi::report`] reproduces those behaviors on top of the
 //! simulator's ground-truth [`InvocationRecord`]s.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::invocation::InvocationRecord;
 use crate::provider::ProviderKind;
 
 /// What a provider's monitoring service reports for one invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitoredInvocation {
     /// Provider-reported execution duration.
     pub duration: SimDuration,
@@ -42,7 +40,7 @@ pub struct MonitoredInvocation {
 }
 
 /// A provider's monitoring/logging service.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitoringApi {
     kind: ProviderKind,
     /// Log-ingestion delay before records are queryable.
@@ -100,7 +98,7 @@ impl MonitoringApi {
     }
 
     /// Produces the monitoring view of a ground-truth invocation record.
-    pub fn report(&self, record: &InvocationRecord, rng: &mut StdRng) -> MonitoredInvocation {
+    pub fn report(&self, record: &InvocationRecord, rng: &mut StreamRng) -> MonitoredInvocation {
         let duration = record
             .provider_time
             .round_up_to(self.query_interval.min(SimDuration::from_millis(1)));

@@ -1,16 +1,14 @@
 //! Warm-container pools per function (paper §2 ❺, the server-side cache of
 //! execution environments).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::container::{Container, ContainerId, ContainerState};
 use crate::eviction::EvictionPolicy;
 
 /// How a container was obtained for an invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Acquired {
     /// An idle warm container was reused.
     Warm(ContainerId),
@@ -33,7 +31,7 @@ impl Acquired {
 }
 
 /// The pool of containers for one deployed function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContainerPool {
     containers: Vec<Container>,
     policy: EvictionPolicy,
@@ -60,7 +58,7 @@ impl ContainerPool {
 
     /// Applies the eviction policy at `now`. Call before serving requests
     /// after simulated time has passed.
-    pub fn advance(&mut self, now: SimTime, rng: &mut StdRng) {
+    pub fn advance(&mut self, now: SimTime, rng: &mut StreamRng) {
         let all = std::mem::take(&mut self.containers);
         // Busy containers are never evicted mid-flight.
         let (busy, idle): (Vec<_>, Vec<_>) = all
@@ -84,7 +82,7 @@ impl ContainerPool {
     pub fn acquire(
         &mut self,
         now: SimTime,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         spurious_cold: f64,
         deterministic: bool,
     ) -> Acquired {
@@ -124,12 +122,13 @@ impl ContainerPool {
             .containers
             .iter_mut()
             .find(|c| c.id == id)
+            // audit:allow(panic-hygiene): release() is only called with ids handed out by acquire()
             .expect("released container must exist");
         c.finish(now);
     }
 
     /// Number of warm (idle or busy) containers after advancing to `now`.
-    pub fn warm_count(&mut self, now: SimTime, rng: &mut StdRng) -> usize {
+    pub fn warm_count(&mut self, now: SimTime, rng: &mut StreamRng) -> usize {
         self.advance(now, rng);
         self.containers.len()
     }
@@ -170,7 +169,7 @@ mod tests {
     use super::*;
     use sebs_sim::{SimDuration, SimRng};
 
-    fn rng() -> StdRng {
+    fn rng() -> StreamRng {
         SimRng::new(2).stream("pool")
     }
 

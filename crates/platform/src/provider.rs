@@ -2,7 +2,6 @@
 
 use sebs_sim::{Dist, SimDuration};
 use sebs_workloads::Language;
-use serde::{Deserialize, Serialize};
 
 use crate::billing::BillingModel;
 use crate::coldstart::ColdStartModel;
@@ -10,7 +9,7 @@ use crate::eviction::EvictionPolicy;
 use crate::trigger::TriggerModel;
 
 /// The three commercial platforms the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProviderKind {
     /// AWS Lambda.
     Aws,
@@ -31,7 +30,7 @@ impl std::fmt::Display for ProviderKind {
 }
 
 /// How memory is allocated and charged (Table 2, "Memory Allocation").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MemoryPolicy {
     /// User declares any size in a range (AWS: 128–3008 MB in 64 MB steps).
     StaticRange {
@@ -99,7 +98,7 @@ impl MemoryPolicy {
 
 /// CPU allocation as a function of configured memory (Table 2, "CPU
 /// Allocation"): a share of 1.0 means one full vCPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CpuPolicy {
     /// Share proportional to memory: `memory / mb_per_vcpu`, capped.
     ProportionalToMemory {
@@ -127,7 +126,7 @@ impl CpuPolicy {
 }
 
 /// Hard platform limits (Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformLimits {
     /// Maximum function execution time.
     pub timeout: SimDuration,
@@ -143,7 +142,7 @@ pub struct PlatformLimits {
 }
 
 /// Behavioral quirks the paper observed per provider (§6.2 Q3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Quirks {
     /// Probability that an invocation with a warm container available still
     /// lands on a new (cold) one — GCP's "unexpected cold startups".
@@ -171,7 +170,7 @@ pub struct Quirks {
 }
 
 /// A full provider description: everything the simulator needs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProviderProfile {
     /// Which provider this profile models.
     pub kind: ProviderKind,

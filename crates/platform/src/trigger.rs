@@ -9,10 +9,9 @@
 //! HTTP API requests in 512 kB units, §6.3 Q4).
 
 use sebs_sim::{Dist, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// How an invocation reaches the function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TriggerKind {
     /// An HTTP request through the provider's API gateway — the trigger
     /// the paper uses for all experiments.
@@ -41,7 +40,7 @@ impl TriggerKind {
 }
 
 /// Latency model of the trigger path in front of the sandbox.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TriggerModel {
     /// API-gateway processing overhead (ms) on HTTP triggers.
     pub gateway_ms: Dist,
@@ -96,7 +95,7 @@ impl TriggerModel {
     }
 
     /// Samples the trigger-path overhead for a (resolved) trigger kind.
-    pub fn overhead<R: rand::RngCore>(&self, rng: &mut R, kind: TriggerKind) -> SimDuration {
+    pub fn overhead<R: sebs_sim::rng::RngCore>(&self, rng: &mut R, kind: TriggerKind) -> SimDuration {
         match kind {
             TriggerKind::Http => self.gateway_ms.sample_millis(rng),
             TriggerKind::Sdk => self.sdk_ms.sample_millis(rng),

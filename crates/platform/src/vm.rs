@@ -6,15 +6,13 @@
 //! [`VirtualMachine`] reproduces that setup: a constantly-warm executor
 //! with fixed hourly cost, full CPU, and a choice of storage backends.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::{SimDuration, SimRng};
 use sebs_storage::SimObjectStore;
 use sebs_workloads::{InvocationCtx, Payload, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Which storage the VM's services use (Table 5 compares both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmStorage {
     /// Self-deployed MinIO on the same instance — near-zero latency.
     Local,
@@ -23,7 +21,7 @@ pub enum VmStorage {
 }
 
 /// One measured VM execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmExecution {
     /// Wall-clock execution time.
     pub duration: SimDuration,
@@ -36,7 +34,7 @@ pub struct VmExecution {
 /// A rented VM running the benchmark in a warm Docker container.
 pub struct VirtualMachine {
     storage: SimObjectStore,
-    rng: StdRng,
+    rng: StreamRng,
     /// Work units per second of the instance's vCPU.
     ops_per_sec: f64,
     /// Hourly rental price in USD.
@@ -102,6 +100,7 @@ impl VirtualMachine {
         let mut ctx = InvocationCtx::new(&mut self.storage, &mut rng);
         workload
             .execute(payload, &mut ctx)
+            // audit:allow(panic-hygiene): documented # Panics contract — VM baselines require succeeding runs
             .expect("VM execution failed");
         let compute =
             SimDuration::from_secs_f64(ctx.counters().instructions as f64 / self.ops_per_sec);

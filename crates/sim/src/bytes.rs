@@ -1,0 +1,154 @@
+//! A cheaply cloneable, immutable byte buffer.
+//!
+//! Simulated payloads (object-storage blobs, HTTP bodies, code packages) are
+//! passed around by value in many places; backing them with an `Arc<[u8]>`
+//! makes clones O(1) without pulling in an external buffer crate.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. `clone` is O(1).
+///
+/// # Example
+///
+/// ```
+/// use sebs_sim::bytes::Bytes;
+///
+/// let b = Bytes::from(vec![1u8, 2, 3]);
+/// let c = b.clone(); // shares the same allocation
+/// assert_eq!(&*c, &[1, 2, 3]);
+/// assert_eq!(b.len(), 3);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Builds a buffer from a static byte string (still allocates once; the
+    /// name mirrors the external crate this type replaces).
+    pub fn from_static(v: &'static [u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Bytes {
+        Bytes {
+            data: v.as_slice().into(),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes {
+            data: v.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes {
+            data: v.as_bytes().into(),
+        }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_access() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from("abc");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.as_slice(), b"abc");
+        assert_eq!(b.to_vec(), vec![b'a', b'b', b'c']);
+        assert_eq!(Bytes::from(String::from("abc")), b);
+        assert_eq!(Bytes::from(vec![b'a', b'b', b'c']), b);
+        assert_eq!(Bytes::from(b"abc"), b);
+        assert_eq!(&b[1..], b"bc", "deref to slice works");
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let b = Bytes::from(vec![0u8; 1024]);
+        let c = b.clone();
+        assert!(std::ptr::eq(b.as_slice().as_ptr(), c.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let b = Bytes::from(vec![0u8; 1_000_000]);
+        assert_eq!(format!("{b:?}"), "Bytes(1000000 bytes)");
+    }
+}

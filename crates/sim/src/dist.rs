@@ -3,21 +3,18 @@
 //! The platform model expresses every stochastic latency (cold-start boot
 //! time, storage round trips, scheduler delays, network RTT…) as a [`Dist`]
 //! sampled on a component-private RNG stream. Distributions are plain data
-//! (serde-serializable) so provider profiles can be described declaratively
-//! and stored alongside experiment results.
+//! so provider profiles can be described declaratively and stored alongside
+//! experiment results.
 //!
 //! Normal and log-normal variates are generated with the Box–Muller
-//! transform so that the crate needs no dependency beyond `rand`.
+//! transform so that the crate needs no dependencies at all.
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
-
-use crate::rng::unit_f64;
+use crate::rng::{unit_f64, RngCore};
 use crate::time::SimDuration;
 
 /// A distribution over non-negative real values (interpreted by callers as
 /// milliseconds, bytes, ratios, …). Samples are clamped to be ≥ 0.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Always the same value.
     Constant(f64),
@@ -306,11 +303,5 @@ mod tests {
         let d = Dist::Constant(2.5);
         let mut rng = SimRng::new(0).stream("m");
         assert_eq!(d.sample_millis(&mut rng).as_micros(), 2500);
-    }
-
-    #[test]
-    fn dist_is_serde() {
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<Dist>();
     }
 }

@@ -25,7 +25,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -91,7 +91,7 @@ pub struct Engine<W> {
     // Events are stored out-of-line so the heap's ordering never has to
     // inspect (unorderable) closures.
     slots: Vec<Option<EventFn<W>>>,
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     seq: u64,
     next_id: u64,
     rng: SimRng,
@@ -126,7 +126,7 @@ impl<W> Engine<W> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             slots: Vec::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             seq: 0,
             next_id: 0,
             rng: SimRng::new(seed),
@@ -216,16 +216,22 @@ impl<W> Engine<W> {
     /// event time. Returns the number of events executed by this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.processed;
-        while let Some(Reverse(key)) = self.queue.peek() {
-            if key.at > deadline {
-                break;
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(key)) if key.at <= deadline => {}
+                _ => break,
             }
-            let Reverse(key) = self.queue.pop().expect("peeked entry disappeared");
+            let Some(Reverse(key)) = self.queue.pop() else {
+                break;
+            };
             let f = self.slots[key.slot].take();
             if self.cancelled.remove(&key.id) {
                 continue;
             }
-            let f = f.expect("event body consumed twice");
+            debug_assert!(f.is_some(), "event body consumed twice");
+            let Some(f) = f else {
+                continue;
+            };
             debug_assert!(key.at >= self.now, "event queue went backwards");
             self.now = key.at;
             let mut ctx = Ctx {
@@ -382,7 +388,7 @@ mod tests {
             let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 99);
             for i in 0..20u64 {
                 e.schedule(SimDuration::from_nanos(i * 17 % 7), move |w, ctx| {
-                    use rand::Rng;
+                    use crate::rng::Rng;
                     let mut s = ctx.rng().stream_indexed("jitter", i);
                     w.push(s.gen());
                 });
@@ -403,13 +409,18 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::Rng;
 
-        proptest! {
-            /// Events always fire in nondecreasing time order, regardless
-            /// of the order they were scheduled in.
-            #[test]
-            fn firing_order_is_monotone(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        const CASES: u64 = 128;
+
+        /// Events always fire in nondecreasing time order, regardless of the
+        /// order they were scheduled in.
+        #[test]
+        fn firing_order_is_monotone() {
+            for case in 0..CASES {
+                let mut rng = SimRng::new(0xF1E1).child(case).stream("delays");
+                let n = rng.gen_range(1..100usize);
+                let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000u64)).collect();
                 let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 0);
                 for &d in &delays {
                     e.schedule(SimDuration::from_nanos(d), move |w, ctx| {
@@ -418,15 +429,23 @@ mod tests {
                 }
                 e.run();
                 let fired = e.into_world();
-                prop_assert_eq!(fired.len(), delays.len());
-                prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+                assert_eq!(fired.len(), delays.len(), "failing case seed {case}");
+                assert!(
+                    fired.windows(2).all(|w| w[0] <= w[1]),
+                    "failing case seed {case}"
+                );
             }
+        }
 
-            /// Splitting a run at an arbitrary deadline is equivalent to
-            /// one uninterrupted run.
-            #[test]
-            fn run_until_composes(delays in proptest::collection::vec(0u64..1_000, 1..50),
-                                  split in 0u64..1_000) {
+        /// Splitting a run at an arbitrary deadline is equivalent to one
+        /// uninterrupted run.
+        #[test]
+        fn run_until_composes() {
+            for case in 0..CASES {
+                let mut rng = SimRng::new(0xC0305E).child(case).stream("inputs");
+                let n = rng.gen_range(1..50usize);
+                let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000u64)).collect();
+                let split = rng.gen_range(0..1_000u64);
                 let build = || {
                     let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 0);
                     for (i, &d) in delays.iter().enumerate() {
@@ -439,18 +458,30 @@ mod tests {
                 let mut split_run = build();
                 split_run.run_until(SimTime::from_nanos(split));
                 split_run.run();
-                prop_assert_eq!(whole.into_world(), split_run.into_world());
+                assert_eq!(
+                    whole.into_world(),
+                    split_run.into_world(),
+                    "failing case seed {case}"
+                );
             }
+        }
 
-            /// Cancelled events never fire; everything else does.
-            #[test]
-            fn cancellation_is_exact(n in 1usize..40, cancel_mask in any::<u64>()) {
+        /// Cancelled events never fire; everything else does.
+        #[test]
+        fn cancellation_is_exact() {
+            for case in 0..CASES {
+                let mut rng = SimRng::new(0xCA9CE1).child(case).stream("inputs");
+                let n = rng.gen_range(1..40usize);
+                let cancel_mask: u64 = rng.gen();
                 let mut e: Engine<Vec<usize>> = Engine::new(Vec::new(), 0);
                 let ids: Vec<(usize, EventId)> = (0..n)
                     .map(|i| {
-                        (i, e.schedule(SimDuration::from_nanos(i as u64), move |w, _| {
-                            w.push(i);
-                        }))
+                        (
+                            i,
+                            e.schedule(SimDuration::from_nanos(i as u64), move |w, _| {
+                                w.push(i);
+                            }),
+                        )
                     })
                     .collect();
                 let mut expected = Vec::new();
@@ -462,7 +493,7 @@ mod tests {
                     }
                 }
                 e.run();
-                prop_assert_eq!(e.into_world(), expected);
+                assert_eq!(e.into_world(), expected, "failing case seed {case}");
             }
         }
     }

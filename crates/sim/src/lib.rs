@@ -27,13 +27,15 @@
 //! assert_eq!(engine.now().as_millis(), 10);
 //! ```
 
+pub mod bytes;
 pub mod dist;
 pub mod engine;
 pub mod resource;
 pub mod rng;
 pub mod time;
 
+pub use bytes::Bytes;
 pub use dist::Dist;
 pub use engine::{Engine, EventId};
-pub use rng::SimRng;
+pub use rng::{Rng, RngCore, SimRng, StreamRng};
 pub use time::{SimDuration, SimTime};

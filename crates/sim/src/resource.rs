@@ -11,8 +11,6 @@
 //!   flows each receive `capacity / n`.
 //! * [`TokenBucket`] — rate/concurrency limiter with virtual-time refill.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// A processor-sharing resource with a fixed total capacity (e.g. bytes/s of
@@ -37,7 +35,7 @@ use crate::time::{SimDuration, SimTime};
 /// link.release();
 /// link.release();
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FairShare {
     capacity: f64,
     active: usize,
@@ -106,7 +104,7 @@ impl FairShare {
 /// Used for provider-side throttling: e.g. AWS Lambda's 1000-function
 /// concurrency limit and GCP's 100-function limit (paper Table 2) are
 /// modelled as buckets that invocations must take a token from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TokenBucket {
     /// Tokens added per second.
     refill_per_sec: f64,
@@ -281,43 +279,63 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::{Rng, SimRng};
 
-        proptest! {
-            /// Conservation: total service capacity is preserved under fair
-            /// sharing — n flows moving `work` each take exactly n times as
-            /// long as one flow moving `work`.
-            #[test]
-            fn fair_share_conserves_capacity(cap in 1.0f64..1e9, work in 0.0f64..1e9,
-                                             n in 1usize..64) {
+        const CASES: u64 = 128;
+
+        /// Conservation: total service capacity is preserved under fair
+        /// sharing — n flows moving `work` each take exactly n times as
+        /// long as one flow moving `work`.
+        #[test]
+        fn fair_share_conserves_capacity() {
+            for case in 0..CASES {
+                let mut rng = SimRng::new(0xFA19).child(case).stream("inputs");
+                let cap = rng.gen_range(1.0f64..1e9);
+                let work = rng.gen_range(0.0f64..1e9);
+                let n = rng.gen_range(1usize..64);
                 let mut r = FairShare::new(cap);
                 let solo = r.service_time_secs(work);
                 for _ in 0..n {
                     r.acquire();
                 }
                 let shared = r.service_time_secs(work);
-                prop_assert!((shared - solo * n as f64).abs() <= solo * n as f64 * 1e-9 + 1e-12);
+                assert!(
+                    (shared - solo * n as f64).abs() <= solo * n as f64 * 1e-9 + 1e-12,
+                    "failing case seed {case}"
+                );
                 for _ in 0..n {
                     r.release();
                 }
             }
+        }
 
-            /// A token bucket never goes negative and never exceeds burst.
-            #[test]
-            fn token_bucket_bounds(rate in 0.0f64..1e4, burst in 0.1f64..1e4,
-                                   takes in proptest::collection::vec((0u64..3600, 0.1f64..100.0), 1..50)) {
+        /// A token bucket never goes negative and never exceeds burst.
+        #[test]
+        fn token_bucket_bounds() {
+            for case in 0..CASES {
+                let mut rng = SimRng::new(0x70CE).child(case).stream("inputs");
+                let rate = rng.gen_range(0.0f64..1e4);
+                let burst = rng.gen_range(0.1f64..1e4);
+                let mut takes: Vec<(u64, f64)> = (0..rng.gen_range(1usize..50))
+                    .map(|_| (rng.gen_range(0u64..3600), rng.gen_range(0.1f64..100.0)))
+                    .collect();
                 let mut b = TokenBucket::new(rate, burst);
-                let mut takes = takes;
                 takes.sort_by_key(|&(t, _)| t);
                 for (t, n) in takes {
                     let now = SimTime::from_secs(t);
                     let before = b.available(now);
-                    prop_assert!((0.0..=burst + 1e-9).contains(&before));
+                    assert!(
+                        (0.0..=burst + 1e-9).contains(&before),
+                        "failing case seed {case}"
+                    );
                     let ok = b.try_take(now, n);
                     let after = b.available(now);
-                    prop_assert!(after >= -1e-9);
+                    assert!(after >= -1e-9, "failing case seed {case}");
                     if ok {
-                        prop_assert!(before + 1e-6 >= n, "take granted without tokens");
+                        assert!(
+                            before + 1e-6 >= n,
+                            "take granted without tokens (failing case seed {case})"
+                        );
                     }
                 }
             }

@@ -6,9 +6,216 @@
 //! unrelated components draw randomness, so instead every component derives
 //! its own independent stream from the root seed and a stable label via
 //! [`SimRng::stream`].
+//!
+//! The generator core is entirely in-tree: stream seeds are derived with a
+//! splitmix64 sponge and expanded into the 256-bit state of an
+//! xoshiro256\*\* generator. No ambient randomness (OS entropy, hash-map
+//! ordering, wall clocks) ever enters simulated code paths; the workspace
+//! audit (`sebs-audit`) enforces this.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Minimal core trait for deterministic generators: a source of `u64`s.
+///
+/// This is the bound to use for functions that only *consume* randomness
+/// (e.g. distribution sampling); use [`Rng`] for the ergonomic methods.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Values samplable uniformly from their full domain (`rng.gen::<T>()`).
+pub trait Sample: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (self.end - self.start) * <$t as Sample>::sample(rng)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// Ergonomic sampling methods, mirroring the subset of the `rand` crate API
+/// this workspace historically used. Blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (e.g. `0..10`, `1..=6`,
+    /// `-1.0..1.0`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio({numerator}, {denominator}) is not a probability"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Sample>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A concrete per-component generator: xoshiro256\*\* (Blackman & Vigna),
+/// 256 bits of state, period 2^256 − 1.
+///
+/// Streams are handed out by [`SimRng::stream`]; the raw constructor
+/// [`StreamRng::from_seed_u64`] exists for tests and standalone tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRng {
+    s: [u64; 4],
+}
+
+impl StreamRng {
+    /// Builds a generator by expanding `seed` through splitmix64, per the
+    /// xoshiro authors' seeding recommendation.
+    pub fn from_seed_u64(seed: u64) -> StreamRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            sm = splitmix_next(sm);
+            *word = sm;
+        }
+        StreamRng::from_state(s)
+    }
+
+    fn from_state(mut s: [u64; 4]) -> StreamRng {
+        if s == [0; 4] {
+            // The all-zero state is the one fixed point of xoshiro; remap it.
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        StreamRng { s }
+    }
+}
+
+impl RngCore for StreamRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Root of the simulation's randomness: hands out independent, reproducible
 /// sub-streams keyed by `(seed, label)`.
@@ -16,8 +223,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// # Example
 ///
 /// ```
-/// use sebs_sim::rng::SimRng;
-/// use rand::Rng;
+/// use sebs_sim::rng::{Rng, SimRng};
 ///
 /// let root = SimRng::new(7);
 /// let mut a1 = root.stream("network");
@@ -48,14 +254,13 @@ impl SimRng {
     ///
     /// Streams for distinct labels are statistically independent; streams
     /// for equal labels are identical.
-    pub fn stream(&self, label: &str) -> StdRng {
+    pub fn stream(&self, label: &str) -> StreamRng {
         self.stream_indexed(label, 0)
     }
 
     /// Derives a reproducible sub-stream identified by `label` and a numeric
     /// index, useful for per-entity streams (e.g. per-container jitter).
-    pub fn stream_indexed(&self, label: &str, index: u64) -> StdRng {
-        let mut seed = [0u8; 32];
+    pub fn stream_indexed(&self, label: &str, index: u64) -> StreamRng {
         let mut h = splitmix_init(self.seed);
         h = splitmix_absorb(h, index);
         for chunk in label.as_bytes().chunks(8) {
@@ -64,12 +269,13 @@ impl SimRng {
             h = splitmix_absorb(h, u64::from_le_bytes(word));
         }
         h = splitmix_absorb(h, label.len() as u64);
+        let mut state = [0u64; 4];
         let mut s = h;
-        for word in seed.chunks_mut(8) {
+        for word in &mut state {
             s = splitmix_next(s);
-            word.copy_from_slice(&s.to_le_bytes());
+            *word = s;
         }
-        StdRng::from_seed(seed)
+        StreamRng::from_state(state)
     }
 
     /// Derives a child root, for nesting independent experiment repetitions.
@@ -82,8 +288,8 @@ impl SimRng {
 }
 
 /// Samples from the unit interval `[0, 1)`.
-pub fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
-    rng.gen::<f64>()
+pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    <f64 as Sample>::sample(rng)
 }
 
 fn splitmix_init(seed: u64) -> u64 {
@@ -104,13 +310,14 @@ fn splitmix_next(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn streams_are_reproducible() {
         let root = SimRng::new(123);
-        let a: Vec<u64> = root.stream("x").sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u64> = root.stream("x").sample_iter(rand::distributions::Standard).take(16).collect();
+        let mut s1 = root.stream("x");
+        let mut s2 = root.stream("x");
+        let a: Vec<u64> = (0..16).map(|_| s1.gen()).collect();
+        let b: Vec<u64> = (0..16).map(|_| s2.gen()).collect();
         assert_eq!(a, b);
     }
 
@@ -155,5 +362,76 @@ mod tests {
             let v = unit_f64(&mut rng);
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256** from the canonical state [1, 2, 3, 4]
+        // (Blackman & Vigna reference implementation).
+        let mut rng = StreamRng { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..6).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                11520,
+                0,
+                1509978240,
+                1215971899390074240,
+                1216172134540287360,
+                607988272756665600,
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StreamRng::from_seed_u64(7);
+        for _ in 0..2000 {
+            let a = rng.gen_range(0..10);
+            assert!((0..10).contains(&a));
+            let b = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&b));
+            let c = rng.gen_range(-30.0..30.0);
+            assert!((-30.0..30.0).contains(&c));
+            let d: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StreamRng::from_seed_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values reachable");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        for len in 0..40 {
+            let mut rng = StreamRng::from_seed_u64(len as u64);
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} stayed all-zero");
+            }
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StreamRng::from_seed_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "p=0.25 got {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn zero_state_is_remapped() {
+        let mut rng = StreamRng::from_state([0; 4]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
     }
 }

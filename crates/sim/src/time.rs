@@ -10,19 +10,13 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulation's virtual clock, in nanoseconds since the
 /// simulation epoch (time zero).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -68,6 +62,8 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`; virtual time never runs
     /// backwards, so this indicates a logic error in the caller.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        // audit:allow(panic-hygiene): documented invariant — virtual time
+        // never runs backwards, so a panic here flags a caller logic error.
         SimDuration(
             self.0
                 .checked_sub(earlier.0)

@@ -12,11 +12,10 @@
 //! Over the minimal-RTT exchange, the offset estimate is
 //! `θ = t_server − (t_send + RTT_min / 2)`.
 
-use serde::{Deserialize, Serialize};
 
 /// One ping-pong exchange: client send time, server receive time (server
 /// clock) and client receive time, all in seconds on their own clocks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PingPong {
     /// Client clock when the request was sent.
     pub t_send: f64,
@@ -49,7 +48,7 @@ impl PingPong {
 }
 
 /// Outcome of the synchronization protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyncOutcome {
     /// Estimated server-minus-client clock offset, seconds.
     pub offset_secs: f64,
@@ -83,7 +82,7 @@ pub struct SyncOutcome {
 /// assert!((out.offset_secs - 5.0).abs() < 1e-9);
 /// assert!((out.min_rtt_secs - 0.008).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClockSync {
     n_consecutive: usize,
     best: Option<PingPong>,
@@ -137,6 +136,7 @@ impl ClockSync {
     pub fn finish(self) -> SyncOutcome {
         let best = self
             .best
+            // audit:allow(panic-hygiene): documented # Panics contract on finish()
             .expect("clock sync finished without any exchanges");
         SyncOutcome {
             offset_secs: best.offset(),

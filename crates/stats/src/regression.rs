@@ -4,10 +4,9 @@
 //! adjusted R² of the fit (0.99 for AWS warm, 0.89 Azure warm, 0.90 GCP
 //! warm, 0.94 AWS cold). This module provides exactly that computation.
 
-use serde::{Deserialize, Serialize};
 
 /// Result of a simple linear regression `y ≈ intercept + slope · x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -129,7 +128,8 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sebs_sim::rng::Rng;
+    use sebs_sim::SimRng;
 
     #[test]
     fn perfect_line() {
@@ -197,25 +197,39 @@ mod tests {
         assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 6.0]), f64::NEG_INFINITY);
     }
 
-    proptest! {
-        #[test]
-        fn fit_recovers_exact_lines(slope in -100.0f64..100.0, intercept in -100.0f64..100.0,
-                                    xs in proptest::collection::vec(-1e3f64..1e3, 3..50)) {
+    #[test]
+    fn fit_recovers_exact_lines() {
+        for case in 0..128u64 {
+            let mut rng = SimRng::new(0x4EC0).child(case).stream("inputs");
+            let slope = rng.gen_range(-100.0f64..100.0);
+            let intercept = rng.gen_range(-100.0f64..100.0);
+            let n = rng.gen_range(3usize..50);
+            let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3f64..1e3)).collect();
             // Need at least two distinct x values.
-            let mut xs = xs;
             xs[0] = -2000.0;
             let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
             let fit = linear_fit(&xs, &ys).unwrap();
-            prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
-            prop_assert!((fit.intercept - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
-            prop_assert!(fit.r_squared > 1.0 - 1e-9);
+            assert!(
+                (fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()),
+                "failing case seed {case}"
+            );
+            assert!(
+                (fit.intercept - intercept).abs() < 1e-4 * (1.0 + intercept.abs()),
+                "failing case seed {case}"
+            );
+            assert!(fit.r_squared > 1.0 - 1e-9, "failing case seed {case}");
         }
+    }
 
-        #[test]
-        fn r2_at_most_one(obs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+    #[test]
+    fn r2_at_most_one() {
+        for case in 0..128u64 {
+            let mut rng = SimRng::new(0x4200).child(case).stream("inputs");
+            let n = rng.gen_range(1usize..50);
+            let obs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3f64..1e3)).collect();
             let pred: Vec<f64> = obs.iter().map(|v| v * 0.9).collect();
             let r2 = r_squared(&obs, &pred);
-            prop_assert!(r2 <= 1.0 + 1e-12);
+            assert!(r2 <= 1.0 + 1e-12, "failing case seed {case}");
         }
     }
 }

@@ -5,14 +5,13 @@
 //! function's memory allocation; Azure mounts Azure Files. [`LocalDisk`]
 //! models the capacity accounting and sequential read/write throughput.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use sebs_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Errors from local-disk operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiskError {
     /// Writing the file would exceed the disk capacity.
     OutOfSpace {
@@ -60,11 +59,11 @@ impl std::error::Error for DiskError {}
 /// assert!(t.as_millis() == 1000, "150 MB at 150 MB/s");
 /// # Ok::<(), sebs_storage::DiskError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalDisk {
     capacity: u64,
     used: u64,
-    files: HashMap<String, u64>,
+    files: BTreeMap<String, u64>,
     read_bps: f64,
     write_bps: f64,
 }
@@ -84,7 +83,7 @@ impl LocalDisk {
         LocalDisk {
             capacity,
             used: 0,
-            files: HashMap::new(),
+            files: BTreeMap::new(),
             read_bps,
             write_bps,
         }

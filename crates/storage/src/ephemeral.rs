@@ -4,10 +4,10 @@
 //! invocations: microsecond-scale latency, memory-capacity-bound, and
 //! *ephemeral* — contents vanish when the backing instance is recycled.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::StreamRng;
 use sebs_sim::{Dist, SimDuration};
 
 /// An in-memory key-value store with bounded capacity.
@@ -15,7 +15,7 @@ use sebs_sim::{Dist, SimDuration};
 /// # Example
 ///
 /// ```
-/// use bytes::Bytes;
+/// use sebs_sim::bytes::Bytes;
 /// use sebs_storage::EphemeralKv;
 /// use sebs_sim::SimRng;
 ///
@@ -28,7 +28,7 @@ use sebs_sim::{Dist, SimDuration};
 /// ```
 #[derive(Debug, Clone)]
 pub struct EphemeralKv {
-    data: HashMap<String, Bytes>,
+    data: BTreeMap<String, Bytes>,
     capacity_bytes: u64,
     used_bytes: u64,
     latency_ms: Dist,
@@ -39,7 +39,7 @@ impl EphemeralKv {
     /// default sub-millisecond latency model.
     pub fn new(capacity_bytes: u64) -> Self {
         EphemeralKv {
-            data: HashMap::new(),
+            data: BTreeMap::new(),
             capacity_bytes,
             used_bytes: 0,
             latency_ms: Dist::shifted_lognormal(0.2, -1.5, 0.4),
@@ -55,7 +55,7 @@ impl EphemeralKv {
     /// Stores a value. Returns the operation latency, or `None` when the
     /// value would exceed the remaining capacity (the serverless
     /// anti-pattern limit the paper mentions: non-scaling storage).
-    pub fn set(&mut self, rng: &mut StdRng, key: &str, value: Bytes) -> Option<SimDuration> {
+    pub fn set(&mut self, rng: &mut StreamRng, key: &str, value: Bytes) -> Option<SimDuration> {
         let new_size = value.len() as u64;
         let old_size = self.data.get(key).map_or(0, |v| v.len() as u64);
         if self.used_bytes - old_size + new_size > self.capacity_bytes {
@@ -67,7 +67,7 @@ impl EphemeralKv {
     }
 
     /// Fetches a value with its latency; `None` when the key is absent.
-    pub fn get(&mut self, rng: &mut StdRng, key: &str) -> Option<(Bytes, SimDuration)> {
+    pub fn get(&mut self, rng: &mut StreamRng, key: &str) -> Option<(Bytes, SimDuration)> {
         let v = self.data.get(key)?.clone();
         Some((v, self.latency_ms.sample_millis(rng)))
     }
@@ -114,7 +114,7 @@ mod tests {
     use super::*;
     use sebs_sim::SimRng;
 
-    fn rng() -> StdRng {
+    fn rng() -> StreamRng {
         SimRng::new(3).stream("kv");
         SimRng::new(3).stream("kv")
     }

@@ -1,15 +1,14 @@
 //! Persistent object storage (S3 / Blob Storage / Cloud Storage model).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::StreamRng;
 use sebs_sim::{Dist, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Errors returned by storage operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
     /// The requested bucket does not exist.
     NoSuchBucket(String),
@@ -36,7 +35,7 @@ impl fmt::Display for StorageError {
 impl std::error::Error for StorageError {}
 
 /// The kind of a storage operation, for accounting and pricing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageOp {
     /// Object download.
     Get,
@@ -47,7 +46,7 @@ pub enum StorageOp {
 }
 
 /// Cumulative operation counters, the inputs to the cost model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StorageStats {
     /// Number of GET requests served.
     pub gets: u64,
@@ -82,7 +81,7 @@ pub trait ObjectStorage {
     /// Returns [`StorageError::NoSuchBucket`] if the bucket was not created.
     fn put(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         bucket: &str,
         key: &str,
         data: Bytes,
@@ -95,7 +94,7 @@ pub trait ObjectStorage {
     /// Returns [`StorageError::NoSuchBucket`] or [`StorageError::NoSuchKey`].
     fn get(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         bucket: &str,
         key: &str,
     ) -> Result<(Bytes, SimDuration), StorageError>;
@@ -107,7 +106,7 @@ pub trait ObjectStorage {
     /// Returns [`StorageError::NoSuchBucket`] if the bucket was not created.
     fn list(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         bucket: &str,
     ) -> Result<(Vec<String>, SimDuration), StorageError>;
 
@@ -128,7 +127,7 @@ pub trait ObjectStorage {
 /// # Example
 ///
 /// ```
-/// use bytes::Bytes;
+/// use sebs_sim::bytes::Bytes;
 /// use sebs_storage::{ObjectStorage, SimObjectStore};
 /// use sebs_sim::SimRng;
 ///
@@ -143,7 +142,7 @@ pub trait ObjectStorage {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimObjectStore {
-    buckets: HashMap<String, HashMap<String, Bytes>>,
+    buckets: BTreeMap<String, BTreeMap<String, Bytes>>,
     get_latency_ms: Dist,
     put_latency_ms: Dist,
     list_latency_ms: Dist,
@@ -170,7 +169,7 @@ impl SimObjectStore {
     ) -> Self {
         assert!(read_bps > 0.0 && write_bps > 0.0, "bandwidth must be positive");
         SimObjectStore {
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             get_latency_ms,
             put_latency_ms,
             list_latency_ms,
@@ -231,7 +230,7 @@ impl SimObjectStore {
             .sum()
     }
 
-    fn op_latency(&self, rng: &mut StdRng, op: StorageOp, bytes: u64) -> SimDuration {
+    fn op_latency(&self, rng: &mut StreamRng, op: StorageOp, bytes: u64) -> SimDuration {
         let (base, bps) = match op {
             StorageOp::Get => (&self.get_latency_ms, self.read_bps),
             StorageOp::Put => (&self.put_latency_ms, self.write_bps),
@@ -248,7 +247,7 @@ impl ObjectStorage for SimObjectStore {
 
     fn put(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         bucket: &str,
         key: &str,
         data: Bytes,
@@ -266,7 +265,7 @@ impl ObjectStorage for SimObjectStore {
 
     fn get(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         bucket: &str,
         key: &str,
     ) -> Result<(Bytes, SimDuration), StorageError> {
@@ -289,7 +288,7 @@ impl ObjectStorage for SimObjectStore {
 
     fn list(
         &mut self,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         bucket: &str,
     ) -> Result<(Vec<String>, SimDuration), StorageError> {
         let b = self
@@ -329,7 +328,7 @@ mod tests {
         )
     }
 
-    fn rng() -> StdRng {
+    fn rng() -> StreamRng {
         SimRng::new(0).stream("t")
     }
 

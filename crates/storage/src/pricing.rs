@@ -5,12 +5,11 @@
 //! expressed per-provider in the platform's billing model; this module holds
 //! the storage-specific component.
 
-use serde::{Deserialize, Serialize};
 
 use crate::object::StorageStats;
 
 /// Prices for a persistent object-storage service, in USD.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoragePricing {
     /// Price per 10,000 read (GET/LIST) requests.
     pub per_10k_reads: f64,

@@ -8,9 +8,8 @@
 //! characterizes this as the longest-running CPU-heavy benchmark (≈1.7G
 //! instructions, 88% CPU).
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -338,12 +337,16 @@ fn build_lengths(freq: &[u64], max_len: u8) -> Vec<u8> {
         match (q1.front(), q2.front()) {
             (Some(&a), Some(&b)) => {
                 if arena.weight[a] <= arena.weight[b] {
+                    // audit:allow(panic-hygiene): the match arm just observed a front element
                     q1.pop_front().expect("checked front")
                 } else {
+                    // audit:allow(panic-hygiene): the match arm just observed a front element
                     q2.pop_front().expect("checked front")
                 }
             }
+            // audit:allow(panic-hygiene): the match arm just observed a front element
             (Some(_), None) => q1.pop_front().expect("checked front"),
+            // audit:allow(panic-hygiene): the match arm just observed a front element
             (None, Some(_)) => q2.pop_front().expect("checked front"),
             (None, None) => unreachable!("both queues empty"),
         }
@@ -357,6 +360,7 @@ fn build_lengths(freq: &[u64], max_len: u8) -> Vec<u8> {
         arena.right.push(b as i32);
         q2.push_back(id);
     }
+    // audit:allow(panic-hygiene): the merge loop leaves exactly one node, and it sits in q2
     let root = q2.pop_front().expect("tree has a root");
     // Depth-first traversal to assign depths.
     let mut stack = vec![(root, 0u8)];
@@ -384,12 +388,14 @@ fn build_lengths(freq: &[u64], max_len: u8) -> Vec<u8> {
         let l = (1..max_len as usize)
             .rev()
             .find(|&l| counts[l] > 0)
+            // audit:allow(panic-hygiene): Kraft overflow implies a non-full level below max_len exists
             .expect("some symbol can be deepened");
         counts[l] -= 1;
         counts[l + 1] += 1;
         let idx = depths
             .iter()
             .position(|&d| d as usize == l)
+            // audit:allow(panic-hygiene): counts[] is derived from depths[], so a matching entry exists
             .expect("counts tracked depths");
         depths[idx] += 1;
     }
@@ -521,7 +527,7 @@ impl Compression {
 
     /// Deterministic "LaTeX-like" text: word soup with heavy repetition so
     /// compression has realistic structure.
-    fn synth_text(rng: &mut StdRng, bytes: usize) -> Vec<u8> {
+    fn synth_text(rng: &mut StreamRng, bytes: usize) -> Vec<u8> {
         const WORDS: &[&str] = &[
             "\\documentclass", "\\usepackage", "\\begin{document}", "section",
             "theorem", "benchmark", "serverless", "function", "latency",
@@ -555,7 +561,7 @@ impl Workload for Compression {
     fn prepare(
         &self,
         scale: Scale,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         storage: &mut dyn ObjectStorage,
     ) -> Payload {
         storage.create_bucket(BUCKET);
@@ -564,6 +570,7 @@ impl Workload for Compression {
             let data = Self::synth_text(rng, per_file);
             storage
                 .put(rng, BUCKET, &format!("src/file-{i:03}.tex"), Bytes::from(data))
+                // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
                 .expect("bucket was just created");
         }
         Payload::with_params(vec![
@@ -638,7 +645,7 @@ impl Workload for Compression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sebs_sim::rng::Rng;
     use sebs_sim::SimRng;
     use sebs_storage::SimObjectStore;
 
@@ -674,7 +681,7 @@ mod tests {
     #[test]
     fn incompressible_data_survives() {
         let mut rng = SimRng::new(77).stream("rnd");
-        let data: Vec<u8> = (0..20_000).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let data: Vec<u8> = (0..20_000).map(|_| sebs_sim::rng::Rng::gen(&mut rng)).collect();
         let (packed, _) = compress(&data);
         assert_eq!(decompress(&packed).unwrap(), data);
         // Random bytes may expand slightly, but not pathologically.
@@ -757,19 +764,28 @@ mod tests {
         assert!(text.contains("\\documentclass"));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn round_trip_is_identity(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    #[test]
+    fn round_trip_is_identity() {
+        for case in 0..32u64 {
+            let mut rng = SimRng::new(0x2090).child(case).stream("inputs");
+            let len = rng.gen_range(0usize..4096);
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
             let (packed, _) = compress(&data);
-            prop_assert_eq!(decompress(&packed).unwrap(), data);
+            assert_eq!(decompress(&packed).unwrap(), data, "failing case seed {case}");
         }
+    }
 
-        #[test]
-        fn round_trip_structured(text in "[a-e ]{0,2000}") {
-            let data = text.into_bytes();
+    #[test]
+    fn round_trip_structured() {
+        const ALPHABET: &[u8] = b"abcde ";
+        for case in 0..32u64 {
+            let mut rng = SimRng::new(0x5790).child(case).stream("inputs");
+            let len = rng.gen_range(0usize..2000);
+            let data: Vec<u8> = (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+                .collect();
             let (packed, _) = compress(&data);
-            prop_assert_eq!(decompress(&packed).unwrap(), data);
+            assert_eq!(decompress(&packed).unwrap(), data, "failing case seed {case}");
         }
     }
 }

@@ -8,7 +8,7 @@
 //! when the frontier's edge count exceeds `m/α` of the remaining unexplored
 //! edges, and back to top-down when the frontier shrinks below `n/β`.
 
-use rand::rngs::StdRng;
+use sebs_sim::rng::StreamRng;
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -257,7 +257,7 @@ impl Workload for GraphBfs {
     fn prepare(
         &self,
         scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         _storage: &mut dyn ObjectStorage,
     ) -> Payload {
         // Like the original igraph benchmarks, the graph is *generated
@@ -320,7 +320,7 @@ impl Workload for GraphBfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sebs_sim::rng::Rng;
     use sebs_sim::SimRng;
     use sebs_storage::SimObjectStore;
 
@@ -457,33 +457,32 @@ mod tests {
         ));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn bfs_distances_are_a_valid_metric(
-            n in 2u32..60,
-            edge_idx in proptest::collection::vec((0u32..60, 0u32..60), 1..120),
-        ) {
-            let edges: Vec<(u32, u32)> = edge_idx
-                .into_iter()
-                .map(|(a, b)| (a % n, b % n))
+    #[test]
+    fn bfs_distances_are_a_valid_metric() {
+        for case in 0..24u64 {
+            let mut rng = SimRng::new(0xBF5).child(case).stream("inputs");
+            let n = rng.gen_range(2u32..60);
+            let edges: Vec<(u32, u32)> = (0..rng.gen_range(1usize..120))
+                .map(|_| (rng.gen_range(0u32..60) % n, rng.gen_range(0u32..60) % n))
                 .collect();
             let g = CsrGraph::from_edges(n, &edges, true);
             let (dist, _) = bfs_distances(&g, 0);
-            prop_assert_eq!(dist[0], 0);
+            assert_eq!(dist[0], 0, "failing case seed {case}");
             // Triangle inequality over edges: |d(u) - d(v)| <= 1 for
             // reachable endpoints of every edge.
             for (u, v, _) in g.arcs() {
                 let (du, dv) = (dist[u as usize], dist[v as usize]);
                 if du != UNREACHED || dv != UNREACHED {
-                    prop_assert!(du != UNREACHED && dv != UNREACHED,
-                        "edge between reached and unreached vertex");
-                    prop_assert!(du.abs_diff(dv) <= 1);
+                    assert!(
+                        du != UNREACHED && dv != UNREACHED,
+                        "edge between reached and unreached vertex (failing case seed {case})"
+                    );
+                    assert!(du.abs_diff(dv) <= 1, "failing case seed {case}");
                 }
             }
             // Direction-optimizing agrees for any alpha/beta.
             let stats = bfs_direction_optimizing(&g, 0, 2, 4);
-            prop_assert_eq!(stats.dist, dist);
+            assert_eq!(stats.dist, dist, "failing case seed {case}");
         }
     }
 }

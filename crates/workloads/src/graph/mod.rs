@@ -13,9 +13,7 @@ pub mod bfs;
 pub mod mst;
 pub mod pagerank;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sebs_sim::rng::{Rng, StreamRng};
 
 pub use bfs::GraphBfs;
 pub use mst::GraphMst;
@@ -23,7 +21,7 @@ pub use pagerank::GraphPagerank;
 
 /// A directed graph in Compressed Sparse Row form (undirected graphs store
 /// both arc directions).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` indexes `targets` with v's out-neighbors.
     offsets: Vec<u64>,
@@ -172,7 +170,7 @@ impl CsrGraph {
 /// family (the suite cites Graph500 as the home of BFS benchmarking).
 ///
 /// Uses the standard (A, B, C) = (0.57, 0.19, 0.19) parameters.
-pub fn rmat_edges(scale: u32, edge_factor: u32, rng: &mut StdRng) -> (u32, Vec<(u32, u32, u32)>) {
+pub fn rmat_edges(scale: u32, edge_factor: u32, rng: &mut StreamRng) -> (u32, Vec<(u32, u32, u32)>) {
     let n = 1u32 << scale;
     let m = (n as u64 * edge_factor as u64) as usize;
     let (a, b, c) = (0.57, 0.19, 0.19);
@@ -205,7 +203,7 @@ pub fn rmat_edges(scale: u32, edge_factor: u32, rng: &mut StdRng) -> (u32, Vec<(
 pub fn random_connected_edges(
     n: u32,
     extra: usize,
-    rng: &mut StdRng,
+    rng: &mut StreamRng,
 ) -> Vec<(u32, u32, u32)> {
     assert!(n >= 1, "graph needs at least one vertex");
     let mut edges = Vec::with_capacity(n as usize - 1 + extra);

@@ -4,7 +4,7 @@
 //!
 //! A Kruskal implementation is included as the test oracle.
 
-use rand::rngs::StdRng;
+use sebs_sim::rng::StreamRng;
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -113,6 +113,7 @@ pub fn boruvka_mst(g: &CsrGraph) -> MstResult {
         let mut progress = false;
         for v in 0..n {
             let rv = uf.find(v);
+            // audit:allow(panic-hygiene): the graph was built with from_weighted_edges in this function
             for (u, w) in g.weighted_neighbors(v).expect("weighted graph") {
                 inspected += 1;
                 let ru = uf.find(u);
@@ -212,7 +213,7 @@ impl Workload for GraphMst {
     fn prepare(
         &self,
         scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         _storage: &mut dyn ObjectStorage,
     ) -> Payload {
         Payload::with_params(vec![
@@ -257,7 +258,7 @@ impl Workload for GraphMst {
 mod tests {
     use super::*;
     use crate::graph::rmat_edges;
-    use proptest::prelude::*;
+    use sebs_sim::rng::Rng;
     use sebs_sim::SimRng;
     use sebs_storage::SimObjectStore;
 
@@ -352,53 +353,65 @@ mod tests {
         assert!(ctx.counters().instructions > 10_000);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn boruvka_weight_equals_kruskal(
-            n in 2u32..50,
-            edge_idx in proptest::collection::vec((0u32..50, 0u32..50, 1u32..100), 1..150),
-        ) {
-            let edges: Vec<(u32, u32, u32)> = edge_idx
-                .into_iter()
-                .map(|(a, b, w)| (a % n, b % n, w))
-                .filter(|&(a, b, _)| a != b) // drop self-loops; MST ignores them anyway
-                .collect();
+    fn random_weighted_edges(
+        rng: &mut sebs_sim::rng::StreamRng,
+        n: u32,
+        vertex_cap: u32,
+        max_edges: usize,
+        max_weight: u32,
+    ) -> Vec<(u32, u32, u32)> {
+        (0..rng.gen_range(1..max_edges))
+            .map(|_| {
+                (
+                    rng.gen_range(0..vertex_cap) % n,
+                    rng.gen_range(0..vertex_cap) % n,
+                    rng.gen_range(1..max_weight),
+                )
+            })
+            .filter(|&(a, b, _)| a != b) // drop self-loops; MST ignores them anyway
+            .collect()
+    }
+
+    #[test]
+    fn boruvka_weight_equals_kruskal() {
+        for case in 0..24u64 {
+            let mut rng = SimRng::new(0xB02).child(case).stream("inputs");
+            let n = rng.gen_range(2u32..50);
+            let edges = random_weighted_edges(&mut rng, n, 50, 150, 100);
             let g = CsrGraph::from_weighted_edges(n, &edges, true);
             let b = boruvka_mst(&g);
             let k = kruskal_mst(n, &edges);
-            prop_assert_eq!(b.total_weight, k.total_weight);
-            prop_assert_eq!(b.edges.len(), k.edges.len());
+            assert_eq!(b.total_weight, k.total_weight, "failing case seed {case}");
+            assert_eq!(b.edges.len(), k.edges.len(), "failing case seed {case}");
         }
+    }
 
-        #[test]
-        fn mst_edge_count_is_n_minus_components(
-            n in 2u32..40,
-            extra in 0usize..80,
-            seed in 0u64..1000,
-        ) {
+    #[test]
+    fn mst_edge_count_is_n_minus_components() {
+        for case in 0..24u64 {
+            let mut input_rng = SimRng::new(0xED6E).child(case).stream("inputs");
+            let n = input_rng.gen_range(2u32..40);
+            let extra = input_rng.gen_range(0usize..80);
+            let seed = input_rng.gen_range(0u64..1000);
             let mut rng = SimRng::new(seed).stream("mstprop");
             let edges = super::super::random_connected_edges(n, extra, &mut rng);
             let g = CsrGraph::from_weighted_edges(n, &edges, true);
             let mst = boruvka_mst(&g);
-            prop_assert_eq!(mst.edges.len() as u32, n - 1);
+            assert_eq!(mst.edges.len() as u32, n - 1, "failing case seed {case}");
         }
+    }
 
-        #[test]
-        fn weight_permutation_invariant(
-            n in 2u32..30,
-            edge_idx in proptest::collection::vec((0u32..30, 0u32..30, 1u32..50), 1..60),
-        ) {
-            let edges: Vec<(u32, u32, u32)> = edge_idx
-                .into_iter()
-                .map(|(a, b, w)| (a % n, b % n, w))
-                .filter(|&(a, b, _)| a != b)
-                .collect();
+    #[test]
+    fn weight_permutation_invariant() {
+        for case in 0..24u64 {
+            let mut rng = SimRng::new(0x9E2).child(case).stream("inputs");
+            let n = rng.gen_range(2u32..30);
+            let edges = random_weighted_edges(&mut rng, n, 30, 60, 50);
             let mut shuffled = edges.clone();
             shuffled.reverse();
             let w1 = kruskal_mst(n, &edges).total_weight;
             let w2 = kruskal_mst(n, &shuffled).total_weight;
-            prop_assert_eq!(w1, w2);
+            assert_eq!(w1, w2, "failing case seed {case}");
         }
     }
 }

@@ -10,16 +10,15 @@
 
 use std::fmt;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::StreamRng;
 use sebs_storage::{ObjectStorage, StorageError};
 use sebs_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Implementation language of the benchmark (paper Table 3 ships Python and
 /// Node.js variants). The language determines the sandbox's runtime-startup
 /// cost and a relative execution-speed factor in the platform model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[derive(Default)]
 pub enum Language {
     /// CPython 3.7 profile.
@@ -41,7 +40,7 @@ impl fmt::Display for Language {
 
 /// Input-size selector for a benchmark, mirroring SeBS's test/small/large
 /// input generators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scale {
     /// Smoke-test size: milliseconds of work.
     Test,
@@ -52,7 +51,7 @@ pub enum Scale {
 }
 
 /// Static description of a benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name, e.g. `graph-bfs`.
     pub name: String,
@@ -69,7 +68,7 @@ pub struct WorkloadSpec {
 }
 
 /// The request payload delivered through a trigger.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Payload {
     /// Opaque request body (its size rides through the trigger model).
     pub body: Bytes,
@@ -109,7 +108,7 @@ impl Payload {
 }
 
 /// The response a function returns to its trigger.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Response body returned to the client (eats into egress pricing —
     /// paper §6.3 Q4: graph-bfs returns ≈78 kB, thumbnailer ≈3 kB).
@@ -134,7 +133,7 @@ impl Response {
 }
 
 /// Errors a workload can raise during execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadError {
     /// A required storage object was missing or a storage call failed.
     Storage(String),
@@ -160,7 +159,7 @@ impl From<StorageError> for WorkloadError {
 }
 
 /// Abstract resource counters filled in by a kernel run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkCounters {
     /// Abstract compute work units ("instructions").
     pub instructions: u64,
@@ -178,7 +177,7 @@ pub struct WorkCounters {
 /// counters the platform converts into time, memory and cost.
 pub struct InvocationCtx<'a> {
     storage: &'a mut dyn ObjectStorage,
-    rng: &'a mut StdRng,
+    rng: &'a mut StreamRng,
     counters: WorkCounters,
     io_time: SimDuration,
     current_alloc: u64,
@@ -197,7 +196,7 @@ impl<'a> fmt::Debug for InvocationCtx<'a> {
 
 impl<'a> InvocationCtx<'a> {
     /// Creates a context over the sandbox's storage handle and RNG stream.
-    pub fn new(storage: &'a mut dyn ObjectStorage, rng: &'a mut StdRng) -> Self {
+    pub fn new(storage: &'a mut dyn ObjectStorage, rng: &'a mut StreamRng) -> Self {
         InvocationCtx {
             storage,
             rng,
@@ -263,7 +262,7 @@ impl<'a> InvocationCtx<'a> {
     }
 
     /// The RNG stream for data-dependent randomness inside kernels.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut StreamRng {
         self.rng
     }
 
@@ -298,7 +297,7 @@ pub trait Workload {
     fn prepare(
         &self,
         scale: Scale,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         storage: &mut dyn ObjectStorage,
     ) -> Payload;
 
@@ -320,7 +319,7 @@ mod tests {
     use sebs_sim::SimRng;
     use sebs_storage::SimObjectStore;
 
-    fn setup() -> (SimObjectStore, StdRng) {
+    fn setup() -> (SimObjectStore, StreamRng) {
         (SimObjectStore::local_minio_model(), SimRng::new(5).stream("h"))
     }
 

@@ -12,8 +12,8 @@
 //! §6.2 Q2: up to 10× warm latency), and inference itself is compute- and
 //! memory-heavy (Table 4: ≈621M instructions, 98.7% CPU).
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::StreamRng;
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -432,7 +432,7 @@ impl Workload for ImageRecognition {
     fn prepare(
         &self,
         scale: Scale,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         storage: &mut dyn ObjectStorage,
     ) -> Payload {
         storage.create_bucket(BUCKET);
@@ -448,11 +448,13 @@ impl Workload for ImageRecognition {
         let model_bytes = blob.len();
         storage
             .put(rng, BUCKET, MODEL_KEY, Bytes::from(blob))
+            // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
             .expect("bucket was just created");
         let dim = Self::input_dims_for(scale);
         let img = RasterImage::synthetic(dim, dim);
         storage
             .put(rng, BUCKET, INPUT_KEY, Bytes::from(img.encode_ppm()))
+            // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
             .expect("bucket was just created");
         Payload::with_params(vec![
             ("bucket".into(), BUCKET.into()),
@@ -509,7 +511,7 @@ impl Workload for ImageRecognition {
         let best = probs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let label = &net.labels[best];

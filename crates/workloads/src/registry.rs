@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::compress::Compression;
 use crate::graph::{GraphBfs, GraphMst, GraphPagerank};
@@ -16,7 +15,7 @@ use crate::uploader::Uploader;
 use crate::video::VideoProcessing;
 
 /// Application categories from Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Website backends.
     Webapps,

@@ -11,9 +11,8 @@
 //! (uniform min-max downsampling, as the site does for long sequences) and
 //! caches the visualization back in storage.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -161,10 +160,10 @@ impl DataVis {
         }
     }
 
-    fn synth_sequence(rng: &mut StdRng, bases: usize) -> Vec<u8> {
+    fn synth_sequence(rng: &mut StreamRng, bases: usize) -> Vec<u8> {
         const ALPHABET: &[u8; 4] = b"ACGT";
         (0..bases)
-            .map(|_| ALPHABET[rng.gen_range(0..4)])
+            .map(|_| ALPHABET[rng.gen_range(0..4usize)])
             .collect()
     }
 }
@@ -183,7 +182,7 @@ impl Workload for DataVis {
     fn prepare(
         &self,
         scale: Scale,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         storage: &mut dyn ObjectStorage,
     ) -> Payload {
         storage.create_bucket(BUCKET);
@@ -191,6 +190,7 @@ impl Workload for DataVis {
         fasta.extend(Self::synth_sequence(rng, Self::bases_for(scale)));
         storage
             .put(rng, BUCKET, INPUT_KEY, Bytes::from(fasta))
+            // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
             .expect("bucket was just created");
         Payload::with_params(vec![
             ("bucket".into(), BUCKET.into()),
@@ -264,7 +264,6 @@ impl Workload for DataVis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use sebs_sim::SimRng;
     use sebs_storage::SimObjectStore;
 
@@ -372,25 +371,36 @@ mod tests {
         ));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn squiggle_point_count_invariant(seq in proptest::collection::vec(
-            proptest::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..500)) {
+    #[test]
+    fn squiggle_point_count_invariant() {
+        const BASES: &[u8] = b"ACGTN";
+        for case in 0..32u64 {
+            let mut rng = SimRng::new(0x591661).child(case).stream("inputs");
+            let seq: Vec<u8> = (0..rng.gen_range(0usize..500))
+                .map(|_| BASES[rng.gen_range(0..BASES.len())])
+                .collect();
             let pts = squiggle(&seq);
-            prop_assert_eq!(pts.len(), seq.len() * 2 + 1);
+            assert_eq!(pts.len(), seq.len() * 2 + 1, "failing case seed {case}");
             // Final x equals the base count.
             if let Some(last) = pts.last() {
-                prop_assert!((last.x - seq.len() as f64).abs() < 1e-9);
+                assert!(
+                    (last.x - seq.len() as f64).abs() < 1e-9,
+                    "failing case seed {case}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn downsample_respects_budget(n in 2usize..1000, budget in 2usize..64) {
+    #[test]
+    fn downsample_respects_budget() {
+        for case in 0..32u64 {
+            let mut rng = SimRng::new(0xD095).child(case).stream("inputs");
+            let n = rng.gen_range(2usize..1000);
+            let budget = rng.gen_range(2usize..64);
             let seq: Vec<u8> = (0..n).map(|i| b"ACGT"[i % 4]).collect();
             let pts = squiggle(&seq);
             let out = downsample(&pts, budget);
-            prop_assert!(out.len() <= budget);
+            assert!(out.len() <= budget, "failing case seed {case}");
         }
     }
 }

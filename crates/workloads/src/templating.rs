@@ -10,9 +10,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -348,7 +347,7 @@ impl Workload for DynamicHtml {
     fn prepare(
         &self,
         scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         _storage: &mut dyn ObjectStorage,
     ) -> Payload {
         Payload::with_params(vec![
@@ -370,6 +369,7 @@ impl Workload for DynamicHtml {
         let username = payload.param("username").unwrap_or("anonymous");
 
         let template =
+            // audit:allow(panic-hygiene): the template is a compile-time constant covered by unit tests
             Template::compile(PAGE_TEMPLATE).expect("built-in template always parses");
         ctx.work(PAGE_TEMPLATE.len() as u64);
 
@@ -407,7 +407,7 @@ mod tests {
     use sebs_sim::SimRng;
     use sebs_storage::SimObjectStore;
 
-    fn ctx_parts() -> (SimObjectStore, StdRng) {
+    fn ctx_parts() -> (SimObjectStore, StreamRng) {
         (SimObjectStore::local_minio_model(), SimRng::new(1).stream("tpl"))
     }
 

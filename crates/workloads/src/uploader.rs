@@ -8,9 +8,8 @@
 //! is size / origin-bandwidth, the upload goes through the object store,
 //! and the CPU work is a light checksum pass over the payload.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::RngCore;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::{RngCore, StreamRng};
 use sebs_sim::SimDuration;
 use sebs_storage::ObjectStorage;
 
@@ -64,7 +63,7 @@ impl Workload for Uploader {
     fn prepare(
         &self,
         scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         storage: &mut dyn ObjectStorage,
     ) -> Payload {
         storage.create_bucket(BUCKET);

@@ -9,8 +9,8 @@
 //! encoder. Table 4 lists this as the longest-running local benchmark
 //! (≈1.5 s warm), dominated by per-pixel work.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use sebs_sim::bytes::Bytes;
+use sebs_sim::rng::StreamRng;
 use sebs_storage::ObjectStorage;
 
 use crate::harness::{
@@ -252,7 +252,7 @@ impl Workload for VideoProcessing {
     fn prepare(
         &self,
         scale: Scale,
-        rng: &mut StdRng,
+        rng: &mut StreamRng,
         storage: &mut dyn ObjectStorage,
     ) -> Payload {
         storage.create_bucket(BUCKET);
@@ -260,6 +260,7 @@ impl Workload for VideoProcessing {
         let clip = Clip::synthetic(w, h, frames, 24);
         storage
             .put(rng, BUCKET, INPUT_KEY, Bytes::from(Self::serialize_clip(&clip)))
+            // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
             .expect("bucket was just created");
         Payload::with_params(vec![
             ("bucket".into(), BUCKET.into()),

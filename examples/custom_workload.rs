@@ -9,8 +9,7 @@
 //! cargo run -p sebs-examples --bin custom_workload
 //! ```
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_platform::{FaasPlatform, FunctionConfig, ProviderProfile, StartKind};
 use sebs_sim::SimDuration;
 use sebs_storage::ObjectStorage;
@@ -36,7 +35,7 @@ impl Workload for MonteCarloPi {
     fn prepare(
         &self,
         scale: Scale,
-        _rng: &mut StdRng,
+        _rng: &mut StreamRng,
         _storage: &mut dyn ObjectStorage,
     ) -> Payload {
         let samples = match scale {

@@ -12,7 +12,7 @@
 //! cargo run -p sebs-examples --bin function_chain
 //! ```
 
-use bytes::Bytes;
+use sebs_sim::bytes::Bytes;
 use sebs_platform::{FaasPlatform, FunctionConfig, ProviderProfile};
 use sebs_sim::{SimDuration, SimRng};
 use sebs_storage::{EphemeralKv, ObjectStorage};

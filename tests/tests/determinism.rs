@@ -73,3 +73,30 @@ fn provider_salting_decorrelates_platforms() {
         s.platform_mut(ProviderKind::Gcp).server_clock().offset_secs()
     );
 }
+
+#[test]
+fn metric_store_json_is_byte_identical_across_runs() {
+    // The full pipeline — simulate, collect measurements, serialize — must
+    // produce byte-identical JSON for the same seed, and diverge for a
+    // different one. This is what makes cached experiment outputs diffable.
+    let run = |seed: u64| {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
+        run_perf_cost(
+            &mut s,
+            &[("thumbnailer", Language::Python)],
+            &[ProviderKind::Aws],
+            &[512],
+            Scale::Test,
+        )
+        .to_store()
+        .to_json()
+    };
+    let first = run(2021);
+    let second = run(2021);
+    assert_eq!(first, second, "same seed must serialize byte-identically");
+    assert_ne!(first, run(2022), "different seeds must diverge");
+
+    // And the text survives a parse round-trip.
+    let back = sebs_metrics::ResultStore::from_json(&first).expect("own output parses");
+    assert_eq!(back.to_json(), first);
+}

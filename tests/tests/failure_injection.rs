@@ -126,7 +126,7 @@ fn oversized_payloads_bounce_at_the_trigger() {
         .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 128, Scale::Test)
         .expect("deploys");
     let mut big = handle.clone();
-    big.payload.body = bytes::Bytes::from(vec![0u8; 6_500_000]);
+    big.payload.body = sebs_sim::bytes::Bytes::from(vec![0u8; 6_500_000]);
     let record = s.invoke(&big);
     assert!(matches!(
         record.outcome,
