@@ -1,0 +1,62 @@
+//! Timed benchmark of the parallel experiment runner: runs the same
+//! perf-cost grid sequentially (`--jobs 1`) and with `SEBS_JOBS` workers
+//! (default: all cores), checks the two serialized [`ResultStore`]s are
+//! byte-identical, and reports the wall-clock speedup.
+//!
+//! Knobs: `SEBS_SAMPLES`, `SEBS_SCALE`, `SEBS_SEED`, `SEBS_JOBS` (see the
+//! crate docs). The grid is 2 benchmarks × 3 providers × 2 memory sizes =
+//! 12 cells, enough to keep several workers busy.
+//!
+//! [`ResultStore`]: sebs_metrics::ResultStore
+
+use std::time::Duration;
+
+use sebs::experiments::run_perf_cost_grid;
+use sebs::{ExperimentGrid, ParallelRunner};
+use sebs_bench::BenchEnv;
+use sebs_platform::ProviderKind;
+use sebs_workloads::Language;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("parallel runner"));
+
+    let grid = ExperimentGrid::new(
+        &[
+            ("graph-bfs", Language::Python),
+            ("dynamic-html", Language::Python),
+        ],
+        &[ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp],
+        &[128, 1024],
+    );
+    let config = env.suite_config();
+    println!(
+        "grid: {} cells, comparing jobs=1 vs jobs={}",
+        grid.len(),
+        env.jobs
+    );
+
+    let timed = |jobs: usize| -> (String, Duration) {
+        // audit:allow(wall-clock): benchmark binary measures host time
+        let start = std::time::Instant::now();
+        let result = run_perf_cost_grid(&config, &grid, env.scale, &ParallelRunner::new(jobs));
+        let elapsed = start.elapsed();
+        (result.to_store().to_json(), elapsed)
+    };
+
+    let (json_seq, t_seq) = timed(1);
+    let (json_par, t_par) = timed(env.jobs);
+
+    let identical = json_seq == json_par;
+    let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+    println!("jobs=1           {t_seq:>12.3?}");
+    println!("jobs={:<12} {t_par:>12.3?}", env.jobs);
+    println!(
+        "speedup {speedup:.2}x | output byte-identical: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
+    assert!(
+        identical,
+        "parallel run must serialize byte-identically to the sequential run"
+    );
+}

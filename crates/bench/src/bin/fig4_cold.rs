@@ -2,8 +2,8 @@
 //! Google Cloud Functions — the distribution of cold/warm client-time
 //! ratios over all N² combinations, per memory size.
 
-use sebs::experiments::{run_cold_start, run_perf_cost};
-use sebs::Suite;
+use sebs::experiments::{run_cold_start_with, run_perf_cost};
+use sebs::{ParallelRunner, Suite};
 use sebs_bench::{fmt, BenchEnv};
 use sebs_metrics::TextTable;
 use sebs_platform::ProviderKind;
@@ -26,7 +26,7 @@ fn main() {
     let memories = [128, 512, 1024, 2048];
 
     let perf = run_perf_cost(&mut suite, &benchmarks, &providers, &memories, env.scale);
-    let ratios = run_cold_start(&perf);
+    let ratios = run_cold_start_with(&perf, &ParallelRunner::new(env.jobs));
 
     let mut table = TextTable::new(vec![
         "Benchmark",

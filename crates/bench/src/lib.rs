@@ -7,8 +7,11 @@
 //!
 //! * `SEBS_SAMPLES` — samples per series (default 50; the paper uses 200),
 //! * `SEBS_SCALE` — `test`, `small` (paper-like) or `large`,
-//! * `SEBS_SEED` — root seed (default 2021, the publication year).
+//! * `SEBS_SEED` — root seed (default 2021, the publication year),
+//! * `SEBS_JOBS` — worker threads for grid experiments (default: all
+//!   cores; results are byte-identical for any value).
 
+use sebs::runner::available_jobs;
 use sebs::SuiteConfig;
 use sebs_workloads::Scale;
 
@@ -21,10 +24,13 @@ pub struct BenchEnv {
     pub scale: Scale,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for grid experiments (throughput only — never
+    /// results).
+    pub jobs: usize,
 }
 
 impl BenchEnv {
-    /// Reads `SEBS_SAMPLES`, `SEBS_SCALE` and `SEBS_SEED`.
+    /// Reads `SEBS_SAMPLES`, `SEBS_SCALE`, `SEBS_SEED` and `SEBS_JOBS`.
     pub fn from_env() -> BenchEnv {
         let samples = std::env::var("SEBS_SAMPLES")
             .ok()
@@ -39,10 +45,16 @@ impl BenchEnv {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(2021);
+        let jobs = std::env::var("SEBS_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|j| j.max(1))
+            .unwrap_or_else(available_jobs);
         BenchEnv {
             samples,
             scale,
             seed,
+            jobs,
         }
     }
 
@@ -52,6 +64,7 @@ impl BenchEnv {
             .with_seed(self.seed)
             .with_samples(self.samples)
             .with_batch_size(self.samples.clamp(1, 50))
+            .with_jobs(self.jobs)
     }
 
     /// Banner line describing the run.
@@ -69,6 +82,7 @@ impl Default for BenchEnv {
             samples: 50,
             scale: Scale::Test,
             seed: 2021,
+            jobs: available_jobs(),
         }
     }
 }
@@ -94,6 +108,8 @@ mod tests {
         let cfg = e.suite_config();
         assert_eq!(cfg.samples, 50);
         assert!(cfg.batch_size <= 50);
+        assert_eq!(e.jobs, available_jobs());
+        assert_eq!(cfg.jobs, e.jobs);
         assert!(e.banner("Table 4").contains("Table 4"));
     }
 

@@ -14,10 +14,11 @@
 use std::process::ExitCode;
 
 use sebs::experiments::{
-    run_eviction_model, run_invocation_overhead, run_local_characterization, run_perf_cost,
+    run_eviction_model, run_invocation_overhead, run_local_characterization, run_perf_cost_grid,
     EvictionExperimentConfig,
 };
-use sebs::{Suite, SuiteConfig};
+use sebs::runner::available_jobs;
+use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
 use sebs_metrics::TextTable;
 use sebs_platform::{ProviderKind, StartKind, TriggerKind};
 use sebs_sim::SimDuration;
@@ -64,13 +65,25 @@ USAGE:
                 [--repetitions N] [--cold] [--trigger http|sdk|event|timer]
     sebs experiment <local|perf-cost|eviction-model|invocation-overhead>
                 [--provider P] [--samples N] [--seed N] [--scale S]
-                [--csv FILE] [--json FILE]    (perf-cost only)";
+                [--jobs N]                    (worker threads; default: all cores;
+                                               results are identical for any N)
+                [--csv FILE] [--json FILE]    (perf-cost only)
+
+    perf-cost accepts several benchmarks (`sebs experiment perf-cost a b c`),
+    a comma-separated memory list (`--memory 128,512,1024`) and
+    `--provider all`; the grid cells run in parallel across --jobs threads.";
 
 #[derive(Debug, Clone)]
 struct Options {
     positional: Vec<String>,
+    /// First provider — the single-provider commands use this.
     provider: ProviderKind,
+    /// Full provider list (`--provider all` expands to all three).
+    providers: Vec<ProviderKind>,
+    /// First memory size — the single-config commands use this.
     memory: u32,
+    /// Full memory list (`--memory` accepts a comma-separated list).
+    memories: Vec<u32>,
     language: Language,
     scale: Scale,
     repetitions: usize,
@@ -78,6 +91,7 @@ struct Options {
     trigger: TriggerKind,
     samples: usize,
     seed: u64,
+    jobs: usize,
     csv: Option<String>,
     json: Option<String>,
 }
@@ -87,7 +101,9 @@ impl Options {
         let mut o = Options {
             positional: Vec::new(),
             provider: ProviderKind::Aws,
+            providers: vec![ProviderKind::Aws],
             memory: 512,
+            memories: vec![512],
             language: Language::Python,
             scale: Scale::Test,
             repetitions: 1,
@@ -95,6 +111,7 @@ impl Options {
             trigger: TriggerKind::Http,
             samples: 30,
             seed: 2021,
+            jobs: available_jobs(),
             csv: None,
             json: None,
         };
@@ -107,17 +124,26 @@ impl Options {
             };
             match arg.as_str() {
                 "--provider" => {
-                    o.provider = match value("--provider")?.as_str() {
-                        "aws" => ProviderKind::Aws,
-                        "azure" => ProviderKind::Azure,
-                        "gcp" => ProviderKind::Gcp,
+                    o.providers = match value("--provider")?.as_str() {
+                        "aws" => vec![ProviderKind::Aws],
+                        "azure" => vec![ProviderKind::Azure],
+                        "gcp" => vec![ProviderKind::Gcp],
+                        "all" => vec![ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp],
                         p => return Err(format!("unknown provider `{p}`")),
-                    }
+                    };
+                    o.provider = o.providers[0];
                 }
                 "--memory" => {
-                    o.memory = value("--memory")?
-                        .parse()
-                        .map_err(|e| format!("bad --memory: {e}"))?
+                    let list = value("--memory")?;
+                    o.memories = list
+                        .split(',')
+                        .map(|m| m.trim().parse())
+                        .collect::<Result<Vec<u32>, _>>()
+                        .map_err(|e| format!("bad --memory: {e}"))?;
+                    o.memory = *o
+                        .memories
+                        .first()
+                        .ok_or_else(|| "bad --memory: empty list".to_string())?;
                 }
                 "--language" => {
                     o.language = match value("--language")?.as_str() {
@@ -148,6 +174,12 @@ impl Options {
                     o.seed = value("--seed")?
                         .parse()
                         .map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--jobs" => {
+                    o.jobs = value("--jobs")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --jobs: {e}"))?
+                        .max(1)
                 }
                 "--cold" => o.cold = true,
                 "--csv" => o.csv = Some(value("--csv")?),
@@ -248,19 +280,18 @@ fn cmd_experiment(o: &Options) -> Result<(), String> {
             }
         }
         "perf-cost" => {
-            let benchmark = o
-                .positional
-                .get(1)
-                .map(String::as_str)
-                .unwrap_or("graph-bfs");
-            let mut suite = Suite::new(config);
-            let result = run_perf_cost(
-                &mut suite,
-                &[(benchmark, o.language)],
-                &[o.provider],
-                &[o.memory],
-                o.scale,
-            );
+            let benchmarks: Vec<(&str, Language)> = if o.positional.len() > 1 {
+                o.positional[1..]
+                    .iter()
+                    .map(|b| (b.as_str(), o.language))
+                    .collect()
+            } else {
+                vec![("graph-bfs", o.language)]
+            };
+            let grid = ExperimentGrid::new(&benchmarks, &o.providers, &o.memories);
+            let config = config.with_jobs(o.jobs);
+            let result =
+                run_perf_cost_grid(&config, &grid, o.scale, &ParallelRunner::new(o.jobs));
             for s in &result.series {
                 println!(
                     "{} {} {} MB [{:?}]: median client {:.1} ms, cost/M ${:.2}, {} failures",
@@ -338,10 +369,13 @@ mod tests {
     fn defaults() {
         let o = parse(&[]).unwrap();
         assert_eq!(o.provider, ProviderKind::Aws);
+        assert_eq!(o.providers, vec![ProviderKind::Aws]);
         assert_eq!(o.memory, 512);
+        assert_eq!(o.memories, vec![512]);
         assert_eq!(o.language, Language::Python);
         assert_eq!(o.scale, Scale::Test);
         assert_eq!(o.trigger, TriggerKind::Http);
+        assert_eq!(o.jobs, available_jobs());
         assert!(!o.cold);
         assert!(o.csv.is_none() && o.json.is_none());
     }
@@ -351,12 +385,16 @@ mod tests {
         let o = parse(&[
             "graph-bfs", "--provider", "gcp", "--memory", "2048", "--language", "nodejs",
             "--scale", "small", "--repetitions", "7", "--cold", "--trigger", "sdk",
-            "--samples", "99", "--seed", "5", "--csv", "a.csv", "--json", "b.json",
+            "--samples", "99", "--seed", "5", "--jobs", "3", "--csv", "a.csv",
+            "--json", "b.json",
         ])
         .unwrap();
         assert_eq!(o.positional, vec!["graph-bfs"]);
         assert_eq!(o.provider, ProviderKind::Gcp);
+        assert_eq!(o.providers, vec![ProviderKind::Gcp]);
         assert_eq!(o.memory, 2048);
+        assert_eq!(o.memories, vec![2048]);
+        assert_eq!(o.jobs, 3);
         assert_eq!(o.language, Language::NodeJs);
         assert_eq!(o.scale, Scale::Small);
         assert_eq!(o.repetitions, 7);
@@ -381,5 +419,30 @@ mod tests {
     fn positionals_accumulate_in_order() {
         let o = parse(&["experiment-name", "benchmark-name"]).unwrap();
         assert_eq!(o.positional, vec!["experiment-name", "benchmark-name"]);
+    }
+
+    #[test]
+    fn provider_all_expands_to_every_provider() {
+        let o = parse(&["--provider", "all"]).unwrap();
+        assert_eq!(
+            o.providers,
+            vec![ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp]
+        );
+        assert_eq!(o.provider, ProviderKind::Aws, "first provider wins");
+    }
+
+    #[test]
+    fn memory_accepts_a_comma_separated_list() {
+        let o = parse(&["--memory", "128, 512,1024"]).unwrap();
+        assert_eq!(o.memories, vec![128, 512, 1024]);
+        assert_eq!(o.memory, 128, "first size wins");
+        assert!(parse(&["--memory", "128,big"]).unwrap_err().contains("--memory"));
+    }
+
+    #[test]
+    fn jobs_parse_and_clamp() {
+        assert_eq!(parse(&["--jobs", "8"]).unwrap().jobs, 8);
+        assert_eq!(parse(&["--jobs", "0"]).unwrap().jobs, 1, "clamped up");
+        assert!(parse(&["--jobs", "many"]).unwrap_err().contains("--jobs"));
     }
 }

@@ -22,6 +22,11 @@ pub struct SuiteConfig {
     pub ci_target_fraction: f64,
     /// Hard cap for adaptive sampling.
     pub max_samples: usize,
+    /// Worker threads for grid experiments (see [`crate::runner`]). Only
+    /// wall-clock time depends on this — results are byte-identical for
+    /// every value. Defaults to 1; the CLI defaults `--jobs` to the host's
+    /// available parallelism.
+    pub jobs: usize,
 }
 
 impl Default for SuiteConfig {
@@ -33,6 +38,7 @@ impl Default for SuiteConfig {
             confidence: ConfidenceLevel::P95,
             ci_target_fraction: 0.05,
             max_samples: 1000,
+            jobs: 1,
         }
     }
 }
@@ -55,6 +61,13 @@ impl SuiteConfig {
     /// Sets the batch size.
     pub fn with_batch_size(mut self, batch: usize) -> SuiteConfig {
         self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count for grid experiments (clamped to at
+    /// least 1). Results never depend on this value.
+    pub fn with_jobs(mut self, jobs: usize) -> SuiteConfig {
+        self.jobs = jobs.max(1);
         self
     }
 
@@ -86,5 +99,12 @@ mod tests {
         assert!(c.batch_size <= 5);
         let f = SuiteConfig::fast();
         assert!(f.samples < 50);
+    }
+
+    #[test]
+    fn jobs_default_sequential_and_clamp() {
+        assert_eq!(SuiteConfig::default().jobs, 1);
+        assert_eq!(SuiteConfig::default().with_jobs(8).jobs, 8);
+        assert_eq!(SuiteConfig::default().with_jobs(0).jobs, 1);
     }
 }

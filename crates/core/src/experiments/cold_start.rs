@@ -9,6 +9,7 @@ use sebs_platform::{ProviderKind, StartKind};
 use sebs_stats::Summary;
 
 use super::perf_cost::PerfCostResult;
+use crate::runner::ParallelRunner;
 
 /// Cold/warm ratio distribution for one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,39 +28,49 @@ pub struct ColdStartResult {
 ///
 /// Configurations lacking cold or warm samples are skipped.
 pub fn run_cold_start(perf: &PerfCostResult) -> Vec<ColdStartResult> {
-    let mut out = Vec::new();
-    for cold in perf
+    run_cold_start_with(perf, &ParallelRunner::sequential())
+}
+
+/// Like [`run_cold_start`], but shards the O(N²) all-pairs ratio
+/// computation — one configuration per work item — across `runner`'s
+/// workers. Results come back in series order, so the output is identical
+/// to the sequential run for every worker count.
+pub fn run_cold_start_with(perf: &PerfCostResult, runner: &ParallelRunner) -> Vec<ColdStartResult> {
+    let colds: Vec<_> = perf
         .series
         .iter()
         .filter(|s| s.start == StartKind::Cold && !s.client_ms.is_empty())
-    {
-        let Some(warm) = perf.series(
-            cold.provider,
-            &cold.benchmark,
-            cold.memory_mb,
-            StartKind::Warm,
-        ) else {
-            continue;
-        };
-        if warm.client_ms.is_empty() {
-            continue;
-        }
-        let mut ratios = Vec::with_capacity(cold.client_ms.len() * warm.client_ms.len());
-        for &c in &cold.client_ms {
-            for &w in &warm.client_ms {
-                if w > 0.0 {
-                    ratios.push(c / w);
+        .collect();
+    runner
+        .run(colds.len(), |i| {
+            let cold = colds[i];
+            let warm = perf.series(
+                cold.provider,
+                &cold.benchmark,
+                cold.memory_mb,
+                StartKind::Warm,
+            )?;
+            if warm.client_ms.is_empty() {
+                return None;
+            }
+            let mut ratios = Vec::with_capacity(cold.client_ms.len() * warm.client_ms.len());
+            for &c in &cold.client_ms {
+                for &w in &warm.client_ms {
+                    if w > 0.0 {
+                        ratios.push(c / w);
+                    }
                 }
             }
-        }
-        out.push(ColdStartResult {
-            provider: cold.provider,
-            benchmark: cold.benchmark.clone(),
-            memory_mb: cold.memory_mb,
-            ratio: Summary::from_values(&ratios),
-        });
-    }
-    out
+            Some(ColdStartResult {
+                provider: cold.provider,
+                benchmark: cold.benchmark.clone(),
+                memory_mb: cold.memory_mb,
+                ratio: Summary::from_values(&ratios),
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -133,5 +144,18 @@ mod tests {
     fn missing_series_are_skipped() {
         let empty = PerfCostResult { series: vec![] };
         assert!(run_cold_start(&empty).is_empty());
+    }
+
+    #[test]
+    fn parallel_ratio_computation_matches_sequential() {
+        let result = perf("graph-bfs", &[128, 512, 1024]);
+        let sequential = run_cold_start(&result);
+        assert_eq!(sequential.len(), 3);
+        for jobs in [2, 8] {
+            assert_eq!(
+                run_cold_start_with(&result, &ParallelRunner::new(jobs)),
+                sequential
+            );
+        }
     }
 }

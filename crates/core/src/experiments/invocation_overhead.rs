@@ -19,6 +19,8 @@ use sebs_workloads::{
     InvocationCtx, Language, Payload, Response, Scale, Workload, WorkloadError, WorkloadSpec,
 };
 
+use crate::config::SuiteConfig;
+use crate::runner::ParallelRunner;
 use crate::suite::Suite;
 
 /// A trivial function used for ping-pong timestamping and payload sweeps:
@@ -186,6 +188,24 @@ pub fn run_invocation_overhead(
     }
 }
 
+/// Runs the experiment on every listed provider, one provider per work
+/// item on `runner`'s workers. Each provider cell gets an independent
+/// suite with a [`sebs_sim::SimRng::child`]-salted seed, and results come
+/// back in `providers` order — identical for every worker count.
+pub fn run_invocation_overhead_all(
+    config: &SuiteConfig,
+    providers: &[ProviderKind],
+    payload_sizes: &[u64],
+    samples_per_size: usize,
+    runner: &ParallelRunner,
+) -> Vec<InvocationOverheadResult> {
+    runner.run(providers.len(), |i| {
+        let seed = sebs_sim::SimRng::new(config.seed).child(i as u64).seed();
+        let mut suite = Suite::new(config.clone().with_seed(seed));
+        run_invocation_overhead(&mut suite, providers[i], payload_sizes, samples_per_size)
+    })
+}
+
 /// The paper's sweep: 1 kB to 5.9 MB (the 6 MB AWS endpoint limit).
 pub fn paper_payload_sizes() -> Vec<u64> {
     vec![
@@ -272,6 +292,26 @@ mod tests {
             cold.adjusted_r_squared,
             warm.adjusted_r_squared
         );
+    }
+
+    #[test]
+    fn all_providers_sweep_is_invariant_to_worker_count() {
+        let config = SuiteConfig::fast().with_seed(404);
+        let providers = [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp];
+        let run = |jobs: usize| {
+            run_invocation_overhead_all(
+                &config,
+                &providers,
+                &[1_000, 2_000_000],
+                2,
+                &ParallelRunner::new(jobs),
+            )
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.len(), 3);
+        assert_eq!(sequential[0].provider, ProviderKind::Aws);
+        assert_eq!(sequential[2].provider, ProviderKind::Gcp);
+        assert_eq!(run(3), sequential, "worker count is invisible");
     }
 
     #[test]

@@ -19,9 +19,11 @@ pub mod local;
 pub mod perf_cost;
 
 pub use break_even::{run_break_even, BreakEvenRow};
-pub use cold_start::{run_cold_start, ColdStartResult};
+pub use cold_start::{run_cold_start, run_cold_start_with, ColdStartResult};
 pub use eviction::{run_eviction_model, EvictionExperimentConfig, EvictionModelResult};
 pub use faas_vs_iaas::{run_faas_vs_iaas, FaasVsIaasRow};
-pub use invocation_overhead::{run_invocation_overhead, InvocationOverheadResult};
+pub use invocation_overhead::{
+    run_invocation_overhead, run_invocation_overhead_all, InvocationOverheadResult,
+};
 pub use local::{run_local_characterization, LocalRow};
-pub use perf_cost::{run_perf_cost, PerfCostResult, PerfCostSeries};
+pub use perf_cost::{run_perf_cost, run_perf_cost_grid, PerfCostResult, PerfCostSeries};

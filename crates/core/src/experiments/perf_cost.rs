@@ -7,6 +7,11 @@
 //! of a batch share a sandbox (the paper uses batches of 50). Sample counts
 //! grow adaptively until the 95% CI of the warm client time is within 5%
 //! of the median (capped), reproducing the paper's methodology.
+//!
+//! The grid is embarrassingly parallel: every cell runs on an independent
+//! suite with a cell-salted seed ([`GridCell::suite`]) and the results are
+//! merged in canonical cell order, so output is byte-identical for every
+//! worker count (see [`crate::runner`]).
 
 use sebs_metrics::{Measurement, ResultStore};
 use sebs_platform::{InvocationRecord, ProviderKind, StartKind};
@@ -14,6 +19,8 @@ use sebs_sim::SimDuration;
 use sebs_stats::{median_ci, ConfidenceInterval, Summary};
 use sebs_workloads::{Language, Scale};
 
+use crate::config::SuiteConfig;
+use crate::runner::{ExperimentGrid, GridCell, ParallelRunner};
 use crate::suite::Suite;
 
 /// One sampled series: a (provider, benchmark, memory, start-kind) cell.
@@ -100,13 +107,14 @@ impl PerfCostResult {
     /// suite's equivalent of the toolkit's cached JSON results.
     pub fn to_store(&self) -> ResultStore {
         let mut store = ResultStore::new();
-        for s in &self.series {
+        for (cell, s) in self.series.iter().enumerate() {
             let start = match s.start {
                 StartKind::Cold => "cold",
                 StartKind::Warm => "warm",
             };
             let tag = |m: Measurement| {
-                m.with_tag("memory_mb", s.memory_mb.to_string())
+                m.with_tag("cell", cell.to_string())
+                    .with_tag("memory_mb", s.memory_mb.to_string())
                     .with_tag("start", start)
             };
             let provider = s.provider.to_string();
@@ -135,6 +143,10 @@ impl PerfCostResult {
                 s.failures as f64,
             )));
         }
+        // Rows are pushed in series order already, but the sort is the
+        // exported guarantee: any store carrying `cell` tags serializes in
+        // canonical cell order no matter how its rows were merged.
+        store.sort_by_tag_index("cell");
         store
     }
 
@@ -155,80 +167,108 @@ impl PerfCostResult {
     }
 }
 
-/// Runs Perf-Cost for the given benchmarks × providers × memory sizes.
+/// Runs Perf-Cost for the given benchmarks × providers × memory sizes,
+/// with the worker count from [`SuiteConfig::jobs`] (default 1).
 ///
 /// Memory sizes that a provider rejects (e.g. 3008 MB on GCP's tier list)
-/// are skipped for that provider, as the paper does.
+/// are skipped for that provider, as the paper does. The passed suite only
+/// supplies the configuration: every grid cell runs on an independent
+/// suite with a cell-salted seed, which is what makes the grid
+/// parallelizable without changing its output.
 pub fn run_perf_cost(
-    suite: &mut Suite,
+    suite: &Suite,
     benchmarks: &[(&str, Language)],
     providers: &[ProviderKind],
     memories_mb: &[u32],
     scale: Scale,
 ) -> PerfCostResult {
-    let samples = suite.config().samples;
-    let batch = suite.config().batch_size.max(1);
-    let ci_frac = suite.config().ci_target_fraction;
-    let level = suite.config().confidence;
-    let max_samples = suite.config().max_samples;
+    let grid = ExperimentGrid::new(benchmarks, providers, memories_mb);
+    let runner = ParallelRunner::new(suite.config().jobs);
+    run_perf_cost_grid(suite.config(), &grid, scale, &runner)
+}
 
+/// Runs Perf-Cost over an explicit [`ExperimentGrid`] on `runner`'s worker
+/// threads. The result — including its [`PerfCostResult::to_store`] JSON —
+/// is byte-identical for every worker count.
+pub fn run_perf_cost_grid(
+    config: &SuiteConfig,
+    grid: &ExperimentGrid,
+    scale: Scale,
+    runner: &ParallelRunner,
+) -> PerfCostResult {
+    let cells = grid.cells();
+    let sampled = runner.run(cells.len(), |i| sample_cell(config, &cells[i], scale));
     let mut series = Vec::new();
-    for &(benchmark, language) in benchmarks {
-        for &provider in providers {
-            for &memory in memories_mb {
-                let Ok(handle) = suite.deploy(provider, benchmark, language, memory, scale)
-                else {
-                    continue; // configuration not offered by this provider
-                };
+    for (cold, warm) in sampled.into_iter().flatten() {
+        series.push(cold);
+        series.push(warm);
+    }
+    PerfCostResult { series }
+}
 
-                let mut cold = new_series(provider, benchmark, memory, StartKind::Cold);
-                let mut warm = new_series(provider, benchmark, memory, StartKind::Warm);
+/// Samples one grid cell on its own cell-seeded suite; `None` when the
+/// provider rejects the configuration.
+fn sample_cell(
+    config: &SuiteConfig,
+    cell: &GridCell,
+    scale: Scale,
+) -> Option<(PerfCostSeries, PerfCostSeries)> {
+    let samples = config.samples;
+    let batch = config.batch_size.max(1);
+    let ci_frac = config.ci_target_fraction;
+    let level = config.confidence;
+    let max_samples = config.max_samples;
 
-                // Cold sampling: evict between batches. The rounds guard
-                // bounds the loop even under pathological profiles where
-                // most records are skipped (wrong start kind).
-                let mut rounds = 0usize;
-                let max_rounds = 4 * max_samples / batch.max(1) + 16;
-                while cold.client_ms.len() < samples
-                    && cold.client_ms.len() + cold.failures < max_samples
-                    && rounds < max_rounds
-                {
-                    rounds += 1;
-                    suite.enforce_cold_start(&handle);
-                    let records = suite.invoke_burst(&handle, batch.min(samples));
-                    absorb(&mut cold, &records, StartKind::Cold);
-                    suite.advance(provider, SimDuration::from_secs(2));
+    let mut suite = cell.suite(config);
+    let provider = cell.provider;
+    let benchmark = cell.benchmark.as_str();
+    let handle = suite
+        .deploy(provider, benchmark, cell.language, cell.memory_mb, scale)
+        .ok()?; // configuration not offered by this provider
+
+    let mut cold = new_series(provider, benchmark, cell.memory_mb, StartKind::Cold);
+    let mut warm = new_series(provider, benchmark, cell.memory_mb, StartKind::Warm);
+
+    // Cold sampling: evict between batches. The rounds guard bounds the
+    // loop even under pathological profiles where most records are
+    // skipped (wrong start kind).
+    let mut rounds = 0usize;
+    let max_rounds = 4 * max_samples / batch.max(1) + 16;
+    while cold.client_ms.len() < samples
+        && cold.client_ms.len() + cold.failures < max_samples
+        && rounds < max_rounds
+    {
+        rounds += 1;
+        suite.enforce_cold_start(&handle);
+        let records = suite.invoke_burst(&handle, batch.min(samples));
+        absorb(&mut cold, &records, StartKind::Cold);
+        suite.advance(provider, SimDuration::from_secs(2));
+    }
+
+    // Warm sampling: warm the pool once, then batch without letting
+    // containers idle past eviction. Adaptive growth until the CI
+    // stopping rule fires.
+    let mut target = samples;
+    let mut rounds = 0usize;
+    while warm.client_ms.len() < target
+        && warm.client_ms.len() + warm.failures < max_samples
+        && rounds < max_rounds
+    {
+        rounds += 1;
+        let records = suite.invoke_burst(&handle, batch.min(target));
+        absorb(&mut warm, &records, StartKind::Warm);
+        suite.advance(provider, SimDuration::from_secs(2));
+        if warm.client_ms.len() >= target {
+            if let Some(ci) = median_ci(&warm.client_ms, level) {
+                if !ci.is_within_of_median(ci_frac) && target < max_samples {
+                    target = (target * 2).min(max_samples);
                 }
-
-                // Warm sampling: warm the pool once, then batch without
-                // letting containers idle past eviction. Adaptive growth
-                // until the CI stopping rule fires.
-                let mut target = samples;
-                let mut rounds = 0usize;
-                while warm.client_ms.len() < target
-                    && warm.client_ms.len() + warm.failures < max_samples
-                    && rounds < max_rounds
-                {
-                    rounds += 1;
-                    let records = suite.invoke_burst(&handle, batch.min(target));
-                    absorb(&mut warm, &records, StartKind::Warm);
-                    suite.advance(provider, SimDuration::from_secs(2));
-                    if warm.client_ms.len() >= target {
-                        if let Some(ci) = median_ci(&warm.client_ms, level) {
-                            if !ci.is_within_of_median(ci_frac) && target < max_samples {
-                                target = (target * 2).min(max_samples);
-                            }
-                        }
-                    }
-                }
-                cold.client_ci = median_ci(&cold.client_ms, level);
-                warm.client_ci = median_ci(&warm.client_ms, level);
-                series.push(cold);
-                series.push(warm);
             }
         }
     }
-    PerfCostResult { series }
+    cold.client_ci = median_ci(&cold.client_ms, level);
+    warm.client_ci = median_ci(&warm.client_ms, level);
+    Some((cold, warm))
 }
 
 fn new_series(

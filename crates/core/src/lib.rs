@@ -36,7 +36,9 @@
 
 pub mod config;
 pub mod experiments;
+pub mod runner;
 pub mod suite;
 
 pub use config::SuiteConfig;
+pub use runner::{ExperimentGrid, GridCell, ParallelRunner};
 pub use suite::{DeployedBenchmark, Suite};

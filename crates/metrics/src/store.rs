@@ -61,6 +61,32 @@ impl ResultStore {
             .collect()
     }
 
+    /// Appends every row of `other` onto this store.
+    ///
+    /// Parallel experiment runners merge per-worker stores with this and
+    /// then call [`ResultStore::sort_by_tag_index`] to restore canonical
+    /// order, so the merged serialization does not depend on worker
+    /// completion order.
+    pub fn merge(&mut self, other: ResultStore) {
+        self.rows.extend(other.rows);
+    }
+
+    /// Stable-sorts rows by the integer value of `tag`.
+    ///
+    /// Rows without the tag (or with a non-integer value) keep their
+    /// relative order and sort before tagged rows. Experiment drivers tag
+    /// each row with its grid-cell index under `"cell"`; sorting by that
+    /// tag before export makes the row order — and therefore the
+    /// [`ResultStore::to_json`] bytes — canonical regardless of the order
+    /// the rows were produced or merged in.
+    pub fn sort_by_tag_index(&mut self, tag: &str) {
+        self.rows.sort_by_cached_key(|m| {
+            m.tag(tag)
+                .and_then(|v| v.parse::<u64>().ok())
+                .map_or((0, 0), |v| (1, v))
+        });
+    }
+
     /// Groups values of `metric` by a tag's value (sorted by tag value).
     pub fn group_by_tag(&self, metric: &str, tag: &str) -> BTreeMap<String, Vec<f64>> {
         let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
@@ -148,6 +174,48 @@ mod tests {
         let back = ResultStore::from_json(&json).unwrap();
         assert_eq!(back, s);
         assert!(ResultStore::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn merge_then_cell_sort_restores_canonical_order() {
+        // Two workers finish out of order; the merged store must
+        // serialize identically to the in-order one.
+        let row = |cell: usize, v: f64| {
+            Measurement::new("e", "b", "p", "m", v).with_tag("cell", cell.to_string())
+        };
+        let mut canonical = ResultStore::new();
+        for c in 0..4 {
+            canonical.push(row(c, c as f64));
+            canonical.push(row(c, c as f64 + 0.5)); // two rows per cell
+        }
+        let mut late_first = ResultStore::new();
+        for c in [2, 3] {
+            late_first.push(row(c, c as f64));
+            late_first.push(row(c, c as f64 + 0.5));
+        }
+        let mut early = ResultStore::new();
+        for c in [0, 1] {
+            early.push(row(c, c as f64));
+            early.push(row(c, c as f64 + 0.5));
+        }
+        late_first.merge(early);
+        assert_ne!(late_first, canonical, "merged out of order");
+        late_first.sort_by_tag_index("cell");
+        assert_eq!(late_first, canonical);
+        assert_eq!(late_first.to_json(), canonical.to_json());
+    }
+
+    #[test]
+    fn cell_sort_is_numeric_and_keeps_untagged_rows_first() {
+        let mut s = ResultStore::new();
+        s.push(Measurement::new("e", "b", "p", "m", 10.0).with_tag("cell", "10"));
+        s.push(Measurement::new("e", "b", "p", "m", 2.0).with_tag("cell", "2"));
+        s.push(Measurement::new("e", "b", "p", "untagged", 0.0));
+        s.sort_by_tag_index("cell");
+        assert_eq!(s.rows()[0].metric, "untagged");
+        // Numeric, not lexicographic: 2 before 10.
+        assert_eq!(s.rows()[1].value, 2.0);
+        assert_eq!(s.rows()[2].value, 10.0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -89,9 +89,16 @@ pub struct Engine<W> {
     now: SimTime,
     queue: BinaryHeap<Reverse<OrderKey>>,
     // Events are stored out-of-line so the heap's ordering never has to
-    // inspect (unorderable) closures.
+    // inspect (unorderable) closures. Slots of fired or cancelled events
+    // go onto the free list and are reused, so the slot table stays
+    // bounded by the peak number of *concurrently pending* events even
+    // across campaigns that process millions of events.
     slots: Vec<Option<EventFn<W>>>,
-    cancelled: BTreeSet<EventId>,
+    free: Vec<usize>,
+    // Scheduled-but-not-yet-fired (and not cancelled) events, by id. An
+    // id absent from this map has fired, been cancelled, or never existed
+    // — which is exactly the distinction `cancel` must report.
+    live: BTreeMap<EventId, usize>,
     seq: u64,
     next_id: u64,
     rng: SimRng,
@@ -126,7 +133,8 @@ impl<W> Engine<W> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             slots: Vec::new(),
-            cancelled: BTreeSet::new(),
+            free: Vec::new(),
+            live: BTreeMap::new(),
             seq: 0,
             next_id: 0,
             rng: SimRng::new(seed),
@@ -164,9 +172,9 @@ impl<W> Engine<W> {
         self.processed
     }
 
-    /// Number of events currently pending (including cancelled tombstones).
+    /// Number of events currently scheduled and not yet fired or cancelled.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.live.len()
     }
 
     /// Schedules `f` to run `delay` from the current time.
@@ -190,20 +198,36 @@ impl<W> Engine<W> {
     }
 
     fn push(&mut self, at: SimTime, id: EventId, f: EventFn<W>) {
-        let slot = self.slots.len();
-        self.slots.push(Some(f));
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(f);
+                s
+            }
+            None => {
+                self.slots.push(Some(f));
+                self.slots.len() - 1
+            }
+        };
+        self.live.insert(id, slot);
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(OrderKey { at, seq, slot, id }));
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event had
-    /// not yet fired (or been cancelled).
+    /// Cancels a previously scheduled event. Returns `true` only when the
+    /// event was still pending; cancelling an event that already fired, was
+    /// already cancelled, or never existed returns `false`. The event's
+    /// slot is recycled immediately, so schedule/cancel churn does not grow
+    /// the engine's memory (the stale heap entry is skipped when popped).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
-            return false;
+        match self.live.remove(&id) {
+            Some(slot) => {
+                self.slots[slot] = None;
+                self.free.push(slot);
+                true
+            }
+            None => false,
         }
-        self.cancelled.insert(id)
     }
 
     /// Runs until the queue is empty; returns the number of events executed.
@@ -224,10 +248,15 @@ impl<W> Engine<W> {
             let Some(Reverse(key)) = self.queue.pop() else {
                 break;
             };
-            let f = self.slots[key.slot].take();
-            if self.cancelled.remove(&key.id) {
+            // A cancelled event's slot was recycled when it was cancelled
+            // (and may already hold an unrelated live event), so the live
+            // map — not the slot table — decides whether this key fires.
+            let Some(slot) = self.live.remove(&key.id) else {
                 continue;
-            }
+            };
+            debug_assert_eq!(slot, key.slot, "live slot mapping is stable");
+            let f = self.slots[slot].take();
+            self.free.push(slot);
             debug_assert!(f.is_some(), "event body consumed twice");
             let Some(f) = f else {
                 continue;
@@ -339,6 +368,81 @@ mod tests {
         e.run();
         assert_eq!(*e.world(), 10);
         let _ = keep;
+    }
+
+    #[test]
+    fn cancel_of_fired_event_returns_false() {
+        let mut e: Engine<u32> = Engine::new(0, 0);
+        let id = e.schedule(SimDuration::from_secs(1), |w, _| *w += 1);
+        e.run();
+        assert_eq!(*e.world(), 1);
+        assert!(!e.cancel(id), "the event already fired");
+        assert_eq!(e.pending(), 0);
+        // And nothing lingers: a second run is a no-op.
+        assert_eq!(e.run(), 0);
+        assert_eq!(*e.world(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_cancelled_events() {
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new(), 0);
+        // `a` is cancelled, freeing its slot; `b` reuses that slot. The
+        // stale heap entry for `a` pops at t=10 — before `b` fires at
+        // t=20 — and must neither run nor consume `b`'s closure.
+        let a = e.schedule(SimDuration::from_secs(10), |w, _| w.push(1));
+        assert!(e.cancel(a));
+        e.schedule(SimDuration::from_secs(20), |w, _| w.push(2));
+        e.run();
+        assert_eq!(e.world(), &[2]);
+
+        // Reuse in the other direction: the new event fires before the
+        // stale cancelled key is drained.
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new(), 0);
+        let a = e.schedule(SimDuration::from_secs(10), |w, _| w.push(1));
+        assert!(e.cancel(a));
+        e.schedule(SimDuration::from_secs(1), |w, _| w.push(2));
+        e.run();
+        assert_eq!(e.world(), &[2]);
+    }
+
+    #[test]
+    fn slots_stay_bounded_over_a_million_event_campaign() {
+        // Regression: fired events used to leave `None` slots behind
+        // forever, growing memory linearly with events processed. With the
+        // free list the slot table is bounded by peak concurrency.
+        let mut e: Engine<u64> = Engine::new(0, 0);
+        const BATCH: usize = 100;
+        const BATCHES: usize = 10_000;
+        for _ in 0..BATCHES {
+            for i in 0..BATCH {
+                e.schedule(SimDuration::from_millis(i as u64), |w, _| *w += 1);
+            }
+            e.run();
+        }
+        assert_eq!(*e.world(), (BATCH * BATCHES) as u64);
+        assert_eq!(e.processed(), (BATCH * BATCHES) as u64);
+        assert!(
+            e.slots.len() <= BATCH,
+            "slot table grew to {} for {} concurrent events",
+            e.slots.len(),
+            BATCH
+        );
+        assert_eq!(e.free.len(), e.slots.len(), "every slot is reusable");
+        assert!(e.live.is_empty());
+    }
+
+    #[test]
+    fn cancel_churn_stays_bounded_too() {
+        // A scheduler that arms and disarms timeouts must not leak: the
+        // cancelled set no longer exists and slots recycle on cancel.
+        let mut e: Engine<u32> = Engine::new(0, 0);
+        for _ in 0..100_000 {
+            let id = e.schedule(SimDuration::from_secs(1), |w, _| *w += 1);
+            assert!(e.cancel(id));
+        }
+        assert!(e.slots.len() <= 1, "cancel recycles the slot immediately");
+        e.run();
+        assert_eq!(*e.world(), 0, "no cancelled event ever fires");
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! of data storage and retrieval or 10,000 writes/reads" (§2 ❸). Prices are
 //! expressed per-provider in the platform's billing model; this module holds
 //! the storage-specific component.
+//!
+//! The per-GB egress rates here (GCP $0.12, Azure $0.087, AWS $0.09) are the
+//! same rates `sebs_platform`'s function-egress billing models use — keep
+//! `crates/platform/src/billing.rs` in sync when touching them.
 
 
 use crate::object::StorageStats;

@@ -4,9 +4,9 @@
 
 use sebs::experiments::{
     run_eviction_model, run_invocation_overhead, run_local_characterization, run_perf_cost,
-    EvictionExperimentConfig,
+    run_perf_cost_grid, EvictionExperimentConfig,
 };
-use sebs::{Suite, SuiteConfig};
+use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
 use sebs_platform::ProviderKind;
 use sebs_workloads::{Language, Scale};
 
@@ -99,4 +99,31 @@ fn metric_store_json_is_byte_identical_across_runs() {
     // And the text survives a parse round-trip.
     let back = sebs_metrics::ResultStore::from_json(&first).expect("own output parses");
     assert_eq!(back.to_json(), first);
+}
+
+#[test]
+fn perf_cost_json_is_invariant_to_worker_count() {
+    // The full grid — multiple benchmarks, providers and memory sizes —
+    // must serialize byte-identically whatever --jobs was. Each cell runs
+    // on its own derived seed and results merge in canonical cell order,
+    // so thread scheduling is invisible in the output.
+    let grid = ExperimentGrid::new(
+        &[
+            ("thumbnailer", Language::Python),
+            ("graph-bfs", Language::Python),
+        ],
+        &[ProviderKind::Aws, ProviderKind::Gcp],
+        &[128, 512],
+    );
+    let config = SuiteConfig::fast().with_seed(2021);
+    let run = |jobs: usize| {
+        run_perf_cost_grid(&config, &grid, Scale::Test, &ParallelRunner::new(jobs))
+            .to_store()
+            .to_json()
+    };
+    let sequential = run(1);
+    assert!(!sequential.is_empty());
+    for jobs in [2, 8] {
+        assert_eq!(run(jobs), sequential, "jobs={jobs} must match jobs=1");
+    }
 }
