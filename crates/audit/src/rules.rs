@@ -17,6 +17,12 @@
 //! * **panic-hygiene** — `.unwrap()` / `.expect(` in non-test library code
 //!   must either be refactored away or carry an explicit
 //!   `audit:allow(panic-hygiene)` justification.
+//! * **instant-usage** — naming `std::time::Instant` at all (imports,
+//!   type positions, not just `::now()` calls) is forbidden outside the
+//!   cloud clock shim; wall-time measurement belongs to the bench harness,
+//!   and each of its timer sites carries an explicit
+//!   `audit:allow(instant-usage)` so every host-clock read stays visible
+//!   in the audit report.
 //!
 //! A finding can be suppressed with a comment:
 //!
@@ -41,6 +47,7 @@ pub enum Rule {
     AmbientRandomness,
     HashIteration,
     PanicHygiene,
+    InstantUsage,
 }
 
 impl Rule {
@@ -52,17 +59,19 @@ impl Rule {
             Rule::AmbientRandomness => "ambient-randomness",
             Rule::HashIteration => "hash-iteration",
             Rule::PanicHygiene => "panic-hygiene",
+            Rule::InstantUsage => "instant-usage",
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::RegistryDeps,
             Rule::WallClock,
             Rule::AmbientRandomness,
             Rule::HashIteration,
             Rule::PanicHygiene,
+            Rule::InstantUsage,
         ]
     }
 }
@@ -99,7 +108,9 @@ pub fn parse_allows(file: &str, lines: &[ScannedLine]) -> Vec<Allow> {
         let Some(rest) = l.comment.trim_start().strip_prefix("audit:allow(") else {
             continue;
         };
-        let Some(close) = rest.find(')') else { continue };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
         let rule = rest[..close].trim().to_string();
         let reason = rest[close + 1..]
             .strip_prefix(':')
@@ -139,8 +150,7 @@ pub struct FileScope {
 impl FileScope {
     /// Classifies a workspace-relative path (forward slashes).
     pub fn classify(path: &str) -> FileScope {
-        let in_crate_src = path.starts_with("crates/")
-            && path.split('/').nth(2) == Some("src");
+        let in_crate_src = path.starts_with("crates/") && path.split('/').nth(2) == Some("src");
         FileScope {
             clock_shim: path == "crates/cloud/src/clock.rs",
             library: in_crate_src && !path.contains("/src/bin/"),
@@ -161,6 +171,7 @@ const RANDOMNESS_TOKENS: [&str; 5] = [
 ];
 const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
 const PANIC_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
+const INSTANT_TOKEN: &str = "std::time::Instant";
 
 /// Audits one Rust source file; returns raw findings (suppression is applied
 /// by the caller so allows can be accounted for centrally).
@@ -193,6 +204,9 @@ pub fn audit_rust_source(path: &str, source: &str) -> (Vec<Finding>, Vec<Allow>)
                 if contains_token(&l.code, pat) {
                     push(Rule::WallClock);
                 }
+            }
+            if l.code.contains(INSTANT_TOKEN) {
+                push(Rule::InstantUsage);
             }
         }
         for pat in RANDOMNESS_TOKENS {
@@ -261,13 +275,9 @@ pub fn audit_manifest(path: &str, source: &str) -> Vec<Finding> {
         for entry in &section.entries {
             // `dep.workspace = true` / `dep.path = "…"` are the dotted-key
             // spellings of the inline-table forms.
-            let dotted_ok = entry
-                .key
-                .rsplit_once('.')
-                .is_some_and(|(_, attr)| {
-                    (attr == "workspace" && entry.value == TomlValue::Bool(true))
-                        || attr == "path"
-                });
+            let dotted_ok = entry.key.rsplit_once('.').is_some_and(|(_, attr)| {
+                (attr == "workspace" && entry.value == TomlValue::Bool(true)) || attr == "path"
+            });
             if !dotted_ok && !is_hermetic_dep(&entry.value) {
                 findings.push(Finding {
                     rule: Rule::RegistryDeps,
@@ -296,8 +306,7 @@ fn is_dependency_section(name: &str) -> bool {
 fn is_hermetic_dep(value: &TomlValue) -> bool {
     match value {
         TomlValue::Table(_) => {
-            value.get("path").is_some()
-                || value.get("workspace") == Some(&TomlValue::Bool(true))
+            value.get("path").is_some() || value.get("workspace") == Some(&TomlValue::Bool(true))
         }
         // `dep = "1.0"` and anything else pulls from the registry.
         _ => false,
@@ -331,6 +340,39 @@ let u = std::time::SystemTime::now();
         let (findings, _) =
             audit_rust_source("crates/cloud/src/clock.rs", "let t = Instant::now();");
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn instant_usage_flags_the_path_itself_everywhere_but_the_shim() {
+        let src = "\
+use std::time::Instant;
+// std::time::Instant in a comment is fine
+fn f(deadline: std::time::Instant) {}
+";
+        let (findings, _) = audit_rust_source("crates/bench/src/lib.rs", src);
+        let instant: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::InstantUsage)
+            .collect();
+        assert_eq!(instant.len(), 2);
+        assert_eq!(instant[0].line, 1);
+        assert_eq!(instant[1].line, 3);
+        let (shim, _) = audit_rust_source("crates/cloud/src/clock.rs", src);
+        assert!(shim.iter().all(|f| f.rule != Rule::InstantUsage));
+    }
+
+    #[test]
+    fn instant_usage_suppressed_by_its_own_allow() {
+        let src = "\
+// audit:allow(instant-usage): bench timer measures host wall time
+let start = std::time::Instant::now();
+";
+        let (findings, allows) = audit_rust_source("crates/bench/src/lib.rs", src);
+        let live: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::InstantUsage && !is_suppressed(f, &allows))
+            .collect();
+        assert!(live.is_empty(), "allow comment must cover the timer line");
     }
 
     #[test]

@@ -25,9 +25,7 @@ impl TomlValue {
     /// Looks up `key` when the value is an inline table.
     pub fn get(&self, key: &str) -> Option<&TomlValue> {
         match self {
-            TomlValue::Table(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            TomlValue::Table(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }

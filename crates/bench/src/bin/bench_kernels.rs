@@ -44,6 +44,7 @@ fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     let mut samples: Vec<Duration> = (0..reps)
         .map(|_| {
             // audit:allow(wall-clock): benchmark binary measures host time
+            // audit:allow(instant-usage): benchmark binary measures host time
             let start = std::time::Instant::now();
             std::hint::black_box(f());
             start.elapsed()
@@ -67,6 +68,10 @@ fn text_like_data(size: usize) -> Vec<u8> {
 }
 
 fn main() {
+    sebs_bench::timed("bench_kernels", run);
+}
+
+fn run() {
     println!("== compression ==");
     for size in [16 * 1024, 256 * 1024] {
         let data = text_like_data(size);

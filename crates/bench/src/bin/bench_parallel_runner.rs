@@ -18,6 +18,10 @@ use sebs_platform::ProviderKind;
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("bench_parallel_runner", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("parallel runner"));
 
@@ -38,6 +42,7 @@ fn main() {
 
     let timed = |jobs: usize| -> (String, Duration) {
         // audit:allow(wall-clock): benchmark binary measures host time
+        // audit:allow(instant-usage): benchmark binary measures host time
         let start = std::time::Instant::now();
         let result = run_perf_cost_grid(&config, &grid, env.scale, &ParallelRunner::new(jobs));
         let elapsed = start.elapsed();

@@ -33,6 +33,7 @@ fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     let mut samples: Vec<Duration> = (0..reps)
         .map(|_| {
             // audit:allow(wall-clock): benchmark binary measures host time
+            // audit:allow(instant-usage): benchmark binary measures host time
             let start = std::time::Instant::now();
             std::hint::black_box(f());
             start.elapsed()
@@ -48,6 +49,10 @@ fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 }
 
 fn main() {
+    sebs_bench::timed("bench_simulator", run);
+}
+
+fn run() {
     println!("== platform warm bursts ==");
     for burst in [1usize, 10, 50] {
         let wl = DynamicHtml::new(Language::Python);

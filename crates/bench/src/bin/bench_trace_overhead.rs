@@ -1,0 +1,62 @@
+//! Timed benchmark of the tracing overhead: runs the same perf-cost grid
+//! with tracing disabled and enabled, checks the measured series are
+//! byte-identical either way (tracing is purely observational), and
+//! reports the relative wall-clock cost of span collection.
+//!
+//! Knobs: `SEBS_SAMPLES`, `SEBS_SCALE`, `SEBS_SEED`, `SEBS_JOBS` (see the
+//! crate docs).
+
+use std::time::Duration;
+
+use sebs::experiments::run_perf_cost_grid;
+use sebs::{ExperimentGrid, ParallelRunner, SuiteConfig};
+use sebs_bench::BenchEnv;
+use sebs_platform::ProviderKind;
+use sebs_workloads::Language;
+
+fn main() {
+    sebs_bench::timed("bench_trace_overhead", run);
+}
+
+fn run() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("trace overhead"));
+
+    let grid = ExperimentGrid::new(
+        &[
+            ("graph-bfs", Language::Python),
+            ("thumbnailer", Language::Python),
+        ],
+        &[ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp],
+        &[128, 1024],
+    );
+    println!("grid: {} cells, tracing off vs on", grid.len());
+
+    let timed = |config: &SuiteConfig| -> (String, usize, Duration) {
+        // audit:allow(wall-clock): benchmark binary measures host time
+        // audit:allow(instant-usage): benchmark binary measures host time
+        let start = std::time::Instant::now();
+        let result = run_perf_cost_grid(config, &grid, env.scale, &ParallelRunner::new(env.jobs));
+        let elapsed = start.elapsed();
+        (result.to_store().to_json(), result.traces.len(), elapsed)
+    };
+
+    let base = env.suite_config();
+    let (json_off, n_off, t_off) = timed(&base.clone().with_trace(false));
+    let (json_on, n_on, t_on) = timed(&base.with_trace(true));
+
+    let identical = json_off == json_on;
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+    println!("trace off        {t_off:>12.3?} ({n_off} traces)");
+    println!("trace on         {t_on:>12.3?} ({n_on} traces)");
+    println!(
+        "overhead {:.1}% | results byte-identical: {}",
+        overhead * 100.0,
+        if identical { "yes" } else { "NO — BUG" }
+    );
+    assert!(n_off == 0 && n_on > 0, "tracing must be opt-in");
+    assert!(
+        identical,
+        "enabling tracing must not change any measured result"
+    );
+}

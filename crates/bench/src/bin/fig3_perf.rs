@@ -10,8 +10,15 @@ use sebs_platform::{ProviderKind, StartKind};
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("fig3_perf", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
-    println!("{}", env.banner("Figure 3 — warm performance across providers"));
+    println!(
+        "{}",
+        env.banner("Figure 3 — warm performance across providers")
+    );
     let mut suite = Suite::new(env.suite_config());
 
     // The paper's Figure 3 benchmark set.

@@ -10,6 +10,10 @@ use sebs_platform::ProviderKind;
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("fig4_cold", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("Figure 4 — cold startup overheads"));
     let mut suite = Suite::new(env.suite_config());

@@ -11,8 +11,15 @@ use sebs_platform::{ProviderKind, StartKind};
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("fig5a_cost", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
-    println!("{}", env.banner("Figure 5a — cost of 1M executions vs memory"));
+    println!(
+        "{}",
+        env.banner("Figure 5a — cost of 1M executions vs memory")
+    );
     let mut suite = Suite::new(env.suite_config());
 
     let benchmarks = [

@@ -12,6 +12,10 @@ use sebs_stats::Summary;
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("fig5b_usage", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("Figure 5b — billed vs used resources"));
     let mut suite = Suite::new(env.suite_config());
@@ -37,7 +41,11 @@ fn main() {
         "Billed [MB]",
         "Waste [%]",
     ]);
-    for s in result.series.iter().filter(|s| !s.used_memory_mb.is_empty()) {
+    for s in result
+        .series
+        .iter()
+        .filter(|s| !s.used_memory_mb.is_empty())
+    {
         let used = Summary::from_values(&s.used_memory_mb).median();
         let billed = Summary::from_values(&s.billed_memory_mb).median();
         let waste = (billed - used) / billed * 100.0;

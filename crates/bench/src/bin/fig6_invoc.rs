@@ -13,8 +13,15 @@ use sebs_platform::ProviderKind;
 use sebs_stats::Summary;
 
 fn main() {
+    sebs_bench::timed("fig6_invoc", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
-    println!("{}", env.banner("Figure 6 — invocation overhead vs payload"));
+    println!(
+        "{}",
+        env.banner("Figure 6 — invocation overhead vs payload")
+    );
     let mut suite = Suite::new(env.suite_config());
     let sizes = paper_payload_sizes();
     let samples = (env.samples / 5).max(3);

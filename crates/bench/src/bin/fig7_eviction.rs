@@ -12,6 +12,10 @@ use sebs_sim::SimDuration;
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("fig7_eviction", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("Figure 7 — container eviction model"));
 

@@ -7,6 +7,10 @@ use sebs_platform::provider::{CpuPolicy, MemoryPolicy};
 use sebs_platform::ProviderProfile;
 
 fn main() {
+    sebs_bench::timed("table2_providers", run);
+}
+
+fn run() {
     println!("=== SeBS-RS :: Table 2 — provider policy comparison ===");
     let mut table = TextTable::new(vec![
         "Policy",

@@ -5,6 +5,10 @@ use sebs_metrics::TextTable;
 use sebs_workloads::all_workloads;
 
 fn main() {
+    sebs_bench::timed("table3_apps", run);
+}
+
+fn run() {
     println!("=== SeBS-RS :: Table 3 — benchmark applications ===");
     let mut table = TextTable::new(vec!["Type", "Name", "Language", "Dep", "Package"]);
     for reg in all_workloads() {

@@ -7,6 +7,10 @@ use sebs_bench::{fmt, BenchEnv};
 use sebs_metrics::TextTable;
 
 fn main() {
+    sebs_bench::timed("table4_local", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("Table 4 — local characterization"));
     let rows = run_local_characterization(env.samples, env.scale, env.seed);

@@ -8,6 +8,10 @@ use sebs_metrics::TextTable;
 use sebs_platform::ProviderKind;
 
 fn main() {
+    sebs_bench::timed("table5_iaas", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("Table 5 — FaaS vs IaaS (t2.micro)"));
     let mut suite = Suite::new(env.suite_config());

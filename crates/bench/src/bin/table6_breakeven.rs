@@ -11,6 +11,10 @@ use sebs_platform::ProviderKind;
 use sebs_workloads::Language;
 
 fn main() {
+    sebs_bench::timed("table6_breakeven", run);
+}
+
+fn run() {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("Table 6 — FaaS/IaaS break-even"));
     let mut suite = Suite::new(env.suite_config());

@@ -6,6 +6,10 @@ use sebs_metrics::TextTable;
 use sebs_platform::ProviderKind;
 
 fn main() {
+    sebs_bench::timed("table7_params", run);
+}
+
+fn run() {
     println!("=== SeBS-RS :: Table 7 — eviction experiment parameters ===");
     let c = EvictionExperimentConfig::paper_default(ProviderKind::Aws);
     let mut table = TextTable::new(vec!["Parameter", "Range"]);

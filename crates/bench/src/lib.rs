@@ -87,6 +87,47 @@ impl Default for BenchEnv {
     }
 }
 
+/// Runs a benchmark body under a wall-clock timer.
+///
+/// Prints `[bench] <name>: <secs> s` when the body returns and, when the
+/// `SEBS_BENCH_DIR` environment variable names a directory, additionally
+/// writes a machine-readable `BENCH_<name>.json` there (wall time plus the
+/// [`BenchEnv`] run parameters) so CI can collect timing artifacts without
+/// scraping stdout.
+pub fn timed(name: &str, f: impl FnOnce()) {
+    let env = BenchEnv::from_env();
+    // audit:allow(wall-clock): the bench harness times real host work
+    // audit:allow(instant-usage): the bench harness times real host work
+    let start = std::time::Instant::now();
+    f();
+    let wall = start.elapsed().as_secs_f64();
+    println!("[bench] {name}: {wall:.3} s");
+    if let Ok(dir) = std::env::var("SEBS_BENCH_DIR") {
+        let path = format!("{dir}/BENCH_{name}.json");
+        match std::fs::write(&path, bench_json(name, wall, &env)) {
+            Ok(()) => println!("[bench] wrote {path}"),
+            Err(e) => eprintln!("[bench] cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// The `BENCH_<name>.json` document body.
+fn bench_json(name: &str, wall_time_secs: f64, env: &BenchEnv) -> String {
+    use sebs_metrics::Json;
+    let obj = Json::Object(vec![
+        ("name".into(), Json::Str(name.into())),
+        ("wall_time_secs".into(), Json::Num(wall_time_secs)),
+        ("samples".into(), Json::Num(env.samples as f64)),
+        (
+            "scale".into(),
+            Json::Str(format!("{:?}", env.scale).to_lowercase()),
+        ),
+        ("seed".into(), Json::Num(env.seed as f64)),
+        ("jobs".into(), Json::Num(env.jobs as f64)),
+    ]);
+    obj.to_string_pretty()
+}
+
 /// Formats a float with the given precision, rendering NaN as `-`.
 pub fn fmt(v: f64, precision: usize) -> String {
     if v.is_nan() {
@@ -117,5 +158,22 @@ mod tests {
     fn fmt_handles_nan() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(f64::NAN, 2), "-");
+    }
+
+    #[test]
+    fn bench_json_is_parseable_and_complete() {
+        let body = bench_json("table2_providers", 1.25, &BenchEnv::default());
+        let doc = sebs_metrics::Json::parse(&body).expect("bench JSON parses");
+        assert_eq!(
+            doc.get("name").and_then(|v| v.as_str()),
+            Some("table2_providers")
+        );
+        assert_eq!(
+            doc.get("wall_time_secs").and_then(|v| v.as_f64()),
+            Some(1.25)
+        );
+        assert_eq!(doc.get("samples").and_then(|v| v.as_f64()), Some(50.0));
+        assert_eq!(doc.get("scale").and_then(|v| v.as_str()), Some("test"));
+        assert_eq!(doc.get("seed").and_then(|v| v.as_f64()), Some(2021.0));
     }
 }

@@ -7,8 +7,8 @@
 //! model: `latency = RTT/2 + size / bandwidth`, with the RTT drawn from a
 //! per-link distribution and bandwidth subject to fair sharing.
 
-use sebs_sim::rng::RngCore;
 use sebs_sim::resource::FairShare;
+use sebs_sim::rng::RngCore;
 use sebs_sim::{Dist, SimDuration};
 
 /// Direction/kind of a transfer on a link; requests and responses can be
@@ -182,11 +182,13 @@ mod tests {
     fn asymmetric_bandwidth() {
         let l = Link::asymmetric(Dist::Constant(0.0), 10e6, 100e6);
         assert_eq!(
-            l.serialization_time(TransferKind::Upload, 10_000_000).as_millis(),
+            l.serialization_time(TransferKind::Upload, 10_000_000)
+                .as_millis(),
             1000
         );
         assert_eq!(
-            l.serialization_time(TransferKind::Download, 10_000_000).as_millis(),
+            l.serialization_time(TransferKind::Download, 10_000_000)
+                .as_millis(),
             100
         );
     }
@@ -200,10 +202,7 @@ mod tests {
 
     #[test]
     fn stochastic_rtt_varies_but_is_reproducible() {
-        let l = Link::new(
-            Dist::shifted_lognormal(10.0, 0.5, 0.8),
-            1e6,
-        );
+        let l = Link::new(Dist::shifted_lognormal(10.0, 0.5, 0.8), 1e6);
         let draws = |seed: u64| -> Vec<u64> {
             let mut rng = SimRng::new(seed).stream("rtt");
             (0..10).map(|_| l.rtt(&mut rng).as_micros()).collect()

@@ -108,15 +108,21 @@ mod tests {
     #[test]
     fn paper_rtts() {
         assert_eq!(
-            paper_client_rtt(&Region::aws_us_east_1()).unwrap().as_millis(),
+            paper_client_rtt(&Region::aws_us_east_1())
+                .unwrap()
+                .as_millis(),
             109
         );
         assert_eq!(
-            paper_client_rtt(&Region::azure_east_us()).unwrap().as_millis(),
+            paper_client_rtt(&Region::azure_east_us())
+                .unwrap()
+                .as_millis(),
             20
         );
         assert_eq!(
-            paper_client_rtt(&Region::gcp_us_east1()).unwrap().as_millis(),
+            paper_client_rtt(&Region::gcp_us_east1())
+                .unwrap()
+                .as_millis(),
             33
         );
         assert!(paper_client_rtt(&Region::new("mars-north-1")).is_none());

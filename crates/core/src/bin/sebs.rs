@@ -22,6 +22,7 @@ use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
 use sebs_metrics::TextTable;
 use sebs_platform::{ProviderKind, StartKind, TriggerKind};
 use sebs_sim::SimDuration;
+use sebs_trace::{breakdown_table, chrome_trace_json, TraceSink};
 use sebs_workloads::{all_workloads, Language, Scale};
 
 fn main() -> ExitCode {
@@ -71,7 +72,15 @@ USAGE:
 
     perf-cost accepts several benchmarks (`sebs experiment perf-cost a b c`),
     a comma-separated memory list (`--memory 128,512,1024`) and
-    `--provider all`; the grid cells run in parallel across --jobs threads.";
+    `--provider all`; the grid cells run in parallel across --jobs threads.
+
+    invoke and `experiment perf-cost` also accept:
+                [--trace FILE]                (write per-invocation traces;
+                                               byte-identical for any --jobs)
+                [--trace-format chrome|table] (chrome: trace_event JSON for
+                                               Perfetto/chrome://tracing;
+                                               table: latency breakdown with
+                                               p50/p95/p99 per phase)";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -94,6 +103,14 @@ struct Options {
     jobs: usize,
     csv: Option<String>,
     json: Option<String>,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Table,
 }
 
 impl Options {
@@ -114,6 +131,8 @@ impl Options {
             jobs: available_jobs(),
             csv: None,
             json: None,
+            trace: None,
+            trace_format: TraceFormat::Chrome,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -184,6 +203,14 @@ impl Options {
                 "--cold" => o.cold = true,
                 "--csv" => o.csv = Some(value("--csv")?),
                 "--json" => o.json = Some(value("--json")?),
+                "--trace" => o.trace = Some(value("--trace")?),
+                "--trace-format" => {
+                    o.trace_format = match value("--trace-format")?.as_str() {
+                        "chrome" => TraceFormat::Chrome,
+                        "table" => TraceFormat::Table,
+                        f => return Err(format!("unknown trace format `{f}`")),
+                    }
+                }
                 "--trigger" => {
                     o.trigger = match value("--trigger")?.as_str() {
                         "http" => TriggerKind::Http,
@@ -223,7 +250,11 @@ fn cmd_invoke(o: &Options) -> Result<(), String> {
         .positional
         .first()
         .ok_or("invoke needs a benchmark name (try `sebs list`)")?;
-    let mut suite = Suite::new(SuiteConfig::default().with_seed(o.seed));
+    let mut suite = Suite::new(
+        SuiteConfig::default()
+            .with_seed(o.seed)
+            .with_trace(o.trace.is_some()),
+    );
     let handle = suite
         .deploy(o.provider, benchmark, o.language, o.memory, o.scale)
         .map_err(|e| e.to_string())?;
@@ -254,14 +285,30 @@ fn cmd_invoke(o: &Options) -> Result<(), String> {
         );
         suite.advance(o.provider, SimDuration::from_secs(1));
     }
+    if let Some(path) = &o.trace {
+        let mut sink = TraceSink::new();
+        sink.extend(suite.take_traces());
+        sink.sort_canonical();
+        write_trace(path, o.trace_format, &sink)?;
+    }
+    Ok(())
+}
+
+/// Serializes a trace sink in the selected format.
+fn write_trace(path: &str, format: TraceFormat, sink: &TraceSink) -> Result<(), String> {
+    let body = match format {
+        TraceFormat::Chrome => chrome_trace_json(sink),
+        TraceFormat::Table => breakdown_table(sink),
+    };
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote {} traces to {path}", sink.len());
     Ok(())
 }
 
 fn cmd_experiment(o: &Options) -> Result<(), String> {
-    let name = o
-        .positional
-        .first()
-        .ok_or("experiment needs a name: local | perf-cost | eviction-model | invocation-overhead")?;
+    let name = o.positional.first().ok_or(
+        "experiment needs a name: local | perf-cost | eviction-model | invocation-overhead",
+    )?;
     let config = SuiteConfig::default()
         .with_seed(o.seed)
         .with_samples(o.samples);
@@ -289,9 +336,8 @@ fn cmd_experiment(o: &Options) -> Result<(), String> {
                 vec![("graph-bfs", o.language)]
             };
             let grid = ExperimentGrid::new(&benchmarks, &o.providers, &o.memories);
-            let config = config.with_jobs(o.jobs);
-            let result =
-                run_perf_cost_grid(&config, &grid, o.scale, &ParallelRunner::new(o.jobs));
+            let config = config.with_jobs(o.jobs).with_trace(o.trace.is_some());
+            let result = run_perf_cost_grid(&config, &grid, o.scale, &ParallelRunner::new(o.jobs));
             for s in &result.series {
                 println!(
                     "{} {} {} MB [{:?}]: median client {:.1} ms, cost/M ${:.2}, {} failures",
@@ -315,11 +361,16 @@ fn cmd_experiment(o: &Options) -> Result<(), String> {
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 println!("wrote {} rows to {path}", store.len());
             }
+            if let Some(path) = &o.trace {
+                write_trace(path, o.trace_format, &result.traces)?;
+            }
         }
         "eviction-model" => {
             let mut suite = Suite::new(config);
-            let result =
-                run_eviction_model(&mut suite, EvictionExperimentConfig::paper_default(o.provider));
+            let result = run_eviction_model(
+                &mut suite,
+                EvictionExperimentConfig::paper_default(o.provider),
+            );
             match result.fit {
                 Some(fit) => println!(
                     "fitted eviction period P = {:.1} s with R^2 = {:.4} over {} observations",
@@ -378,15 +429,41 @@ mod tests {
         assert_eq!(o.jobs, available_jobs());
         assert!(!o.cold);
         assert!(o.csv.is_none() && o.json.is_none());
+        assert!(o.trace.is_none());
+        assert_eq!(o.trace_format, TraceFormat::Chrome);
     }
 
     #[test]
     fn full_flag_set() {
         let o = parse(&[
-            "graph-bfs", "--provider", "gcp", "--memory", "2048", "--language", "nodejs",
-            "--scale", "small", "--repetitions", "7", "--cold", "--trigger", "sdk",
-            "--samples", "99", "--seed", "5", "--jobs", "3", "--csv", "a.csv",
-            "--json", "b.json",
+            "graph-bfs",
+            "--provider",
+            "gcp",
+            "--memory",
+            "2048",
+            "--language",
+            "nodejs",
+            "--scale",
+            "small",
+            "--repetitions",
+            "7",
+            "--cold",
+            "--trigger",
+            "sdk",
+            "--samples",
+            "99",
+            "--seed",
+            "5",
+            "--jobs",
+            "3",
+            "--csv",
+            "a.csv",
+            "--json",
+            "b.json",
+            "--trace",
+            "t.json",
+            "--trace-format",
+            "table",
         ])
         .unwrap();
         assert_eq!(o.positional, vec!["graph-bfs"]);
@@ -404,15 +481,26 @@ mod tests {
         assert_eq!(o.seed, 5);
         assert_eq!(o.csv.as_deref(), Some("a.csv"));
         assert_eq!(o.json.as_deref(), Some("b.json"));
+        assert_eq!(o.trace.as_deref(), Some("t.json"));
+        assert_eq!(o.trace_format, TraceFormat::Table);
     }
 
     #[test]
     fn errors_are_descriptive() {
         assert!(parse(&["--provider", "ibm"]).unwrap_err().contains("ibm"));
-        assert!(parse(&["--memory", "lots"]).unwrap_err().contains("--memory"));
+        assert!(parse(&["--memory", "lots"])
+            .unwrap_err()
+            .contains("--memory"));
         assert!(parse(&["--memory"]).unwrap_err().contains("needs a value"));
-        assert!(parse(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
-        assert!(parse(&["--trigger", "carrier-pigeon"]).unwrap_err().contains("carrier-pigeon"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(parse(&["--trigger", "carrier-pigeon"])
+            .unwrap_err()
+            .contains("carrier-pigeon"));
+        assert!(parse(&["--trace-format", "flamegraph"])
+            .unwrap_err()
+            .contains("flamegraph"));
     }
 
     #[test]
@@ -436,7 +524,9 @@ mod tests {
         let o = parse(&["--memory", "128, 512,1024"]).unwrap();
         assert_eq!(o.memories, vec![128, 512, 1024]);
         assert_eq!(o.memory, 128, "first size wins");
-        assert!(parse(&["--memory", "128,big"]).unwrap_err().contains("--memory"));
+        assert!(parse(&["--memory", "128,big"])
+            .unwrap_err()
+            .contains("--memory"));
     }
 
     #[test]

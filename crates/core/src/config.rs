@@ -27,6 +27,10 @@ pub struct SuiteConfig {
     /// every value. Defaults to 1; the CLI defaults `--jobs` to the host's
     /// available parallelism.
     pub jobs: usize,
+    /// Collect per-invocation traces (see the `sebs-trace` crate). Purely
+    /// observational: enabling this never changes any result, and the
+    /// collected traces are byte-identical for every `jobs` value.
+    pub trace: bool,
 }
 
 impl Default for SuiteConfig {
@@ -39,6 +43,7 @@ impl Default for SuiteConfig {
             ci_target_fraction: 0.05,
             max_samples: 1000,
             jobs: 1,
+            trace: false,
         }
     }
 }
@@ -68,6 +73,12 @@ impl SuiteConfig {
     /// least 1). Results never depend on this value.
     pub fn with_jobs(mut self, jobs: usize) -> SuiteConfig {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables or disables per-invocation trace collection.
+    pub fn with_trace(mut self, trace: bool) -> SuiteConfig {
+        self.trace = trace;
         self
     }
 
@@ -106,5 +117,11 @@ mod tests {
         assert_eq!(SuiteConfig::default().jobs, 1);
         assert_eq!(SuiteConfig::default().with_jobs(8).jobs, 8);
         assert_eq!(SuiteConfig::default().with_jobs(0).jobs, 1);
+    }
+
+    #[test]
+    fn tracing_defaults_off() {
+        assert!(!SuiteConfig::default().trace);
+        assert!(SuiteConfig::default().with_trace(true).trace);
     }
 }

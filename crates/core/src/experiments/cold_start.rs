@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn missing_series_are_skipped() {
-        let empty = PerfCostResult { series: vec![] };
+        let empty = PerfCostResult {
+            series: vec![],
+            traces: Default::default(),
+        };
         assert!(run_cold_start(&empty).is_empty());
     }
 

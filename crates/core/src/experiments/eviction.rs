@@ -8,8 +8,8 @@
 //! observations the half-life model `D_warm = D_init · 2^−⌊ΔT/P⌋` is
 //! fitted to, recovering P ≈ 380 s on the AWS profile with R² > 0.99.
 
-use sebs_sim::rng::StreamRng;
 use sebs_platform::{FunctionConfig, ProviderKind};
+use sebs_sim::rng::StreamRng;
 use sebs_sim::SimDuration;
 use sebs_stats::eviction::optimal_batch_size;
 use sebs_stats::{fit_eviction_model, EvictionFit, EvictionObservation};
@@ -98,8 +98,8 @@ impl EvictionExperimentConfig {
             // grid fit pins the period — the paper probes ΔT at second
             // granularity across 1–1600 s.
             delta_t_secs: vec![
-                1, 100, 200, 300, 379, 380, 500, 600, 700, 760, 900, 1000, 1140, 1200, 1400,
-                1520, 1600,
+                1, 100, 200, 300, 379, 380, 500, 600, 700, 760, 900, 1000, 1140, 1200, 1400, 1520,
+                1600,
             ],
         }
     }
@@ -204,7 +204,11 @@ mod tests {
             "fitted period {}",
             fit.period_secs
         );
-        assert!(fit.r_squared > 0.95, "paper: R² > 0.99; got {}", fit.r_squared);
+        assert!(
+            fit.r_squared > 0.95,
+            "paper: R² > 0.99; got {}",
+            fit.r_squared
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub fn run_faas_vs_iaas(
             let mut vm = VirtualMachine::t2_micro(storage, seed);
             let payload = vm.prepare(workload.as_ref(), scale);
             let samples: Vec<f64> = (0..repetitions)
-                .map(|_| vm.execute(workload.as_ref(), &payload).duration.as_secs_f64())
+                .map(|_| {
+                    vm.execute(workload.as_ref(), &payload)
+                        .duration
+                        .as_secs_f64()
+                })
                 .collect();
             Summary::from_values(&samples).median()
         };
@@ -82,7 +86,11 @@ pub fn run_faas_vs_iaas(
         suite.invoke(&handle); // warm up
         let mut faas = Vec::with_capacity(repetitions);
         while faas.len() < repetitions {
-            let burst = suite.config().batch_size.min(repetitions - faas.len()).max(1);
+            let burst = suite
+                .config()
+                .batch_size
+                .min(repetitions - faas.len())
+                .max(1);
             for r in suite.invoke_burst(&handle, burst) {
                 if r.outcome.is_success() && r.start == StartKind::Warm {
                     faas.push(r.provider_time.as_secs_f64());

@@ -9,9 +9,9 @@
 //! fits `overhead = a + b · payload`, reporting the adjusted R² that the
 //! paper finds near 0.99/0.89/0.90 warm (AWS/Azure/GCP) and 0.94 cold AWS.
 
+use sebs_platform::{FunctionConfig, ProviderKind, StartKind};
 use sebs_sim::bytes::Bytes;
 use sebs_sim::rng::StreamRng;
-use sebs_platform::{FunctionConfig, ProviderKind, StartKind};
 use sebs_stats::clocksync::PingPong;
 use sebs_stats::{linear_fit, ClockSync, LinearFit, SyncOutcome};
 use sebs_storage::ObjectStorage;
@@ -319,9 +319,6 @@ mod tests {
         let result = run(ProviderKind::Gcp);
         assert!(result.warm_points().count() >= 8);
         assert!(result.cold_points().count() >= 8);
-        assert!(result
-            .points
-            .iter()
-            .all(|p| p.overhead_ms.is_finite()));
+        assert!(result.points.iter().all(|p| p.overhead_ms.is_finite()));
     }
 }

@@ -17,6 +17,7 @@ use sebs_metrics::{Measurement, ResultStore};
 use sebs_platform::{InvocationRecord, ProviderKind, StartKind};
 use sebs_sim::SimDuration;
 use sebs_stats::{median_ci, ConfidenceInterval, Summary};
+use sebs_trace::TraceSink;
 use sebs_workloads::{Language, Scale};
 
 use crate::config::SuiteConfig;
@@ -100,6 +101,9 @@ impl PerfCostSeries {
 pub struct PerfCostResult {
     /// All sampled series.
     pub series: Vec<PerfCostSeries>,
+    /// Per-invocation traces in canonical cell order — empty unless
+    /// [`SuiteConfig::trace`] was set.
+    pub traces: TraceSink,
 }
 
 impl PerfCostResult {
@@ -199,11 +203,16 @@ pub fn run_perf_cost_grid(
     let cells = grid.cells();
     let sampled = runner.run(cells.len(), |i| sample_cell(config, &cells[i], scale));
     let mut series = Vec::new();
-    for (cold, warm) in sampled.into_iter().flatten() {
+    let mut traces = TraceSink::new();
+    for (cold, warm, cell_traces) in sampled.into_iter().flatten() {
         series.push(cold);
         series.push(warm);
+        traces.merge(cell_traces);
     }
-    PerfCostResult { series }
+    // Same guarantee as the ResultStore sort below: canonical cell order
+    // no matter which worker finished first.
+    traces.sort_canonical();
+    PerfCostResult { series, traces }
 }
 
 /// Samples one grid cell on its own cell-seeded suite; `None` when the
@@ -212,7 +221,7 @@ fn sample_cell(
     config: &SuiteConfig,
     cell: &GridCell,
     scale: Scale,
-) -> Option<(PerfCostSeries, PerfCostSeries)> {
+) -> Option<(PerfCostSeries, PerfCostSeries, TraceSink)> {
     let samples = config.samples;
     let batch = config.batch_size.max(1);
     let ci_frac = config.ci_target_fraction;
@@ -268,7 +277,15 @@ fn sample_cell(
     }
     cold.client_ci = median_ci(&cold.client_ms, level);
     warm.client_ci = median_ci(&warm.client_ms, level);
-    Some((cold, warm))
+
+    // Tag every trace with this cell's canonical index; the grid driver
+    // sorts the merged sinks by it.
+    let mut traces = TraceSink::new();
+    traces.extend(suite.take_traces().into_iter().map(|mut t| {
+        t.cell = Some(cell.index as u64);
+        t
+    }));
+    Some((cold, warm, traces))
 }
 
 fn new_series(
@@ -433,6 +450,31 @@ mod tests {
         assert_eq!(warm_times, series.client_ms);
         let back = sebs_metrics::ResultStore::from_json(&store.to_json()).unwrap();
         assert_eq!(back, store);
+    }
+
+    #[test]
+    fn traces_are_collected_per_cell_in_canonical_order() {
+        let suite = Suite::new(SuiteConfig::fast().with_seed(101).with_trace(true));
+        let result = run_perf_cost(
+            &suite,
+            &[("dynamic-html", Language::Python)],
+            &[ProviderKind::Aws, ProviderKind::Gcp],
+            &[256],
+            Scale::Test,
+        );
+        assert!(!result.traces.is_empty());
+        let cells: Vec<Option<u64>> = result.traces.traces().iter().map(|t| t.cell).collect();
+        assert!(cells.iter().all(Option::is_some), "every trace is tagged");
+        assert!(cells.windows(2).all(|w| w[0] <= w[1]), "canonical order");
+        // Without the knob the sink stays empty.
+        let quiet = run_perf_cost(
+            &tiny_suite(),
+            &[("dynamic-html", Language::Python)],
+            &[ProviderKind::Aws],
+            &[256],
+            Scale::Test,
+        );
+        assert!(quiet.traces.is_empty());
     }
 
     #[test]

@@ -239,7 +239,11 @@ mod tests {
     fn results_come_back_in_index_order() {
         for jobs in [1, 2, 3, 8, 64] {
             let out = ParallelRunner::new(jobs).run(37, |i| i * i);
-            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
         }
     }
 

@@ -72,10 +72,12 @@ impl Suite {
     pub fn new(config: SuiteConfig) -> Suite {
         let mut platforms = BTreeMap::new();
         for kind in [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp] {
-            platforms.insert(
-                kind,
-                FaasPlatform::new(ProviderProfile::for_kind(kind), config.seed ^ kind_salt(kind)),
+            let mut platform = FaasPlatform::new(
+                ProviderProfile::for_kind(kind),
+                config.seed ^ kind_salt(kind),
             );
+            platform.set_tracing(config.trace);
+            platforms.insert(kind, platform);
         }
         Suite {
             config,
@@ -190,6 +192,16 @@ impl Suite {
         self.platform_mut(provider).advance(d);
     }
 
+    /// Drains every platform's collected invocation traces in provider
+    /// order (AWS, Azure, GCP) — empty unless the config enabled tracing.
+    pub fn take_traces(&mut self) -> Vec<sebs_trace::InvocationTrace> {
+        let mut traces = Vec::new();
+        for platform in self.platforms.values_mut() {
+            traces.extend(platform.take_traces());
+        }
+        traces
+    }
+
     fn workload(
         &mut self,
         name: &str,
@@ -239,7 +251,13 @@ mod tests {
     fn unknown_benchmark_rejected() {
         let mut s = suite();
         let err = s
-            .deploy(ProviderKind::Aws, "nope", Language::Python, 512, Scale::Test)
+            .deploy(
+                ProviderKind::Aws,
+                "nope",
+                Language::Python,
+                512,
+                Scale::Test,
+            )
             .unwrap_err();
         assert!(matches!(err, SuiteError::UnknownBenchmark(_)));
         assert!(err.to_string().contains("nope"));
@@ -249,7 +267,13 @@ mod tests {
     fn invalid_memory_surfaces_deploy_error() {
         let mut s = suite();
         let err = s
-            .deploy(ProviderKind::Gcp, "graph-bfs", Language::Python, 300, Scale::Test)
+            .deploy(
+                ProviderKind::Gcp,
+                "graph-bfs",
+                Language::Python,
+                300,
+                Scale::Test,
+            )
             .unwrap_err();
         assert!(matches!(err, SuiteError::Deploy(_)));
     }
@@ -260,10 +284,22 @@ mod tests {
         // deployments must fail there but succeed on AWS.
         let mut s = suite();
         assert!(s
-            .deploy(ProviderKind::Gcp, "image-recognition", Language::Python, 2048, Scale::Test)
+            .deploy(
+                ProviderKind::Gcp,
+                "image-recognition",
+                Language::Python,
+                2048,
+                Scale::Test
+            )
             .is_err());
         assert!(s
-            .deploy(ProviderKind::Aws, "image-recognition", Language::Python, 1536, Scale::Test)
+            .deploy(
+                ProviderKind::Aws,
+                "image-recognition",
+                Language::Python,
+                1536,
+                Scale::Test
+            )
             .is_ok());
     }
 
@@ -271,7 +307,13 @@ mod tests {
     fn cold_enforcement_and_warm_reuse() {
         let mut s = suite();
         let h = s
-            .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 256, Scale::Test)
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
             .unwrap();
         s.invoke(&h);
         s.advance(ProviderKind::Aws, SimDuration::from_secs(1));
@@ -284,7 +326,13 @@ mod tests {
     fn trigger_kinds_flow_through_the_suite() {
         let mut s = suite();
         let h = s
-            .deploy(ProviderKind::Aws, "graph-bfs", Language::Python, 512, Scale::Test)
+            .deploy(
+                ProviderKind::Aws,
+                "graph-bfs",
+                Language::Python,
+                512,
+                Scale::Test,
+            )
             .unwrap();
         s.invoke(&h);
         s.advance(ProviderKind::Aws, SimDuration::from_secs(1));
@@ -297,10 +345,48 @@ mod tests {
     }
 
     #[test]
+    fn tracing_knob_flows_to_platforms() {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(3).with_trace(true));
+        let h = s
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
+            .unwrap();
+        s.invoke(&h);
+        let traces = s.take_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].provider, "aws");
+        assert!(s.take_traces().is_empty(), "draining");
+        // Off by default: nothing is collected.
+        let mut quiet = Suite::new(SuiteConfig::fast().with_seed(3));
+        let h = quiet
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
+            .unwrap();
+        quiet.invoke(&h);
+        assert!(quiet.take_traces().is_empty());
+    }
+
+    #[test]
     fn bursts_return_one_record_per_request() {
         let mut s = suite();
         let h = s
-            .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 256, Scale::Test)
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
             .unwrap();
         let records = s.invoke_burst(&h, 10);
         assert_eq!(records.len(), 10);

@@ -1,0 +1,164 @@
+//! Percentile histograms for latency breakdowns.
+
+/// A collection of f64 samples with deterministic percentile queries.
+///
+/// Values are kept as pushed; queries sort a copy with `total_cmp`, so the
+/// same samples always yield the same percentiles regardless of insertion
+/// order or NaN payloads (NaNs sort last and are ignored by `percentile`).
+///
+/// # Example
+///
+/// ```
+/// use sebs_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=100 {
+///     h.push(v as f64);
+/// }
+/// assert_eq!(h.percentile(50.0), 50.0);
+/// assert_eq!(h.percentile(99.0), 99.0);
+/// assert_eq!(h.len(), 100);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    values: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Builds a histogram from a slice of samples.
+    pub fn from_values(values: &[f64]) -> Histogram {
+        Histogram {
+            values: values.to_vec(),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Absorbs another histogram's samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100) by the nearest-rank method over finite
+    /// samples; `NaN` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let mut sorted: Vec<f64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        sorted.sort_by(f64::total_cmp);
+        let p = p.clamp(0.0, 100.0);
+        // Nearest rank: the smallest index whose cumulative share >= p.
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Arithmetic mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.sum() / self.values.len() as f64
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let h = Histogram::from_values(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(25.0), 10.0);
+        assert_eq!(h.percentile(50.0), 20.0);
+        assert_eq!(h.percentile(75.0), 30.0);
+        assert_eq!(h.percentile(100.0), 40.0);
+        assert_eq!(h.p50(), 20.0);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = Histogram::from_values(&[3.0, 1.0, 2.0]);
+        let b = Histogram::from_values(&[2.0, 3.0, 1.0]);
+        for p in [0.0, 33.0, 50.0, 66.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), b.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert!(h.percentile(50.0).is_nan());
+        assert!(h.mean().is_nan());
+        let h = Histogram::from_values(&[f64::NAN, 5.0]);
+        assert_eq!(h.percentile(50.0), 5.0, "NaNs are ignored");
+        assert_eq!(h.len(), 2, "but still counted as samples");
+    }
+
+    #[test]
+    fn merge_and_stats() {
+        let mut a = Histogram::from_values(&[1.0, 2.0]);
+        let b = Histogram::from_values(&[3.0, 4.0]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.p99(), 4.0);
+        assert_eq!(a.p95(), 4.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.push(7.5);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 7.5);
+        }
+        assert_eq!(h.mean(), 7.5);
+    }
+}

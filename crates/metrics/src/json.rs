@@ -374,7 +374,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -481,8 +483,8 @@ mod tests {
 
     #[test]
     fn parses_standard_forms() {
-        let v = Json::parse(r#" { "k" : [ 1 , 2.5e2 , -3 , true , false , null , "sA" ] } "#)
-            .unwrap();
+        let v =
+            Json::parse(r#" { "k" : [ 1 , 2.5e2 , -3 , true , false , null , "sA" ] } "#).unwrap();
         let items = v.get("k").unwrap().as_array().unwrap();
         assert_eq!(items[1], Json::Num(250.0));
         assert_eq!(items[6], Json::Str("sA".into()));
@@ -519,7 +521,10 @@ mod tests {
         let v = Json::parse(r#"{"s":"x","n":2,"a":[1]}"#).unwrap();
         assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
         assert_eq!(v.get("n").and_then(Json::as_f64), Some(2.0));
-        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("x"), None);
         assert_eq!(Json::Null.as_str(), None);

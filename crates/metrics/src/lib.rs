@@ -8,11 +8,13 @@
 //! tables the `sebs-bench` binaries print for each paper table/figure.
 
 pub mod csv;
+pub mod histogram;
 pub mod json;
 pub mod measurement;
 pub mod store;
 pub mod table;
 
+pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use measurement::Measurement;
 pub use store::ResultStore;

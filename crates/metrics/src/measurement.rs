@@ -78,9 +78,7 @@ impl Measurement {
                 Json::Array(
                     self.tags
                         .iter()
-                        .map(|(k, v)| {
-                            Json::Array(vec![Json::Str(k.clone()), Json::Str(v.clone())])
-                        })
+                        .map(|(k, v)| Json::Array(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
                         .collect(),
                 ),
             ),
@@ -109,9 +107,7 @@ impl Measurement {
             .ok_or_else(|| JsonError::Schema("field 'tags' is not an array".into()))?
             .iter()
             .map(|pair| match pair.as_array() {
-                Some([Json::Str(k), Json::Str(tag_value)]) => {
-                    Ok((k.clone(), tag_value.clone()))
-                }
+                Some([Json::Str(k), Json::Str(tag_value)]) => Ok((k.clone(), tag_value.clone())),
                 _ => Err(JsonError::Schema(
                     "tag entries must be [string, string] pairs".into(),
                 )),

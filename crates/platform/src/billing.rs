@@ -248,7 +248,9 @@ mod tests {
         let b = BillingModel::aws();
         let small = b.bill(SimDuration::ZERO, 128, 128, 10).egress_usd;
         let exactly_one = b.bill(SimDuration::ZERO, 128, 128, 512 * 1024).egress_usd;
-        let two_units = b.bill(SimDuration::ZERO, 128, 128, 512 * 1024 + 1).egress_usd;
+        let two_units = b
+            .bill(SimDuration::ZERO, 128, 128, 512 * 1024 + 1)
+            .egress_usd;
         assert!(small > 0.0, "even tiny responses pay one unit");
         assert!(two_units > exactly_one);
     }

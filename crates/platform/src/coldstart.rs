@@ -31,6 +31,30 @@ pub enum MemoryEffect {
     None,
 }
 
+/// One sampled cold start, split into the §2 ❺ phases. The tracing layer
+/// exports each phase as a child span of `sandbox.acquire`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdStartBreakdown {
+    /// Infrastructure provisioning: scheduler picks a server, boots the
+    /// sandbox (includes the GCP-style memory slowdown).
+    pub provisioning: SimDuration,
+    /// Deployment-package fetch from the deployment store.
+    pub package_fetch: SimDuration,
+    /// Language-runtime boot (includes the AWS-style memory speedup).
+    pub runtime_boot: SimDuration,
+    /// User-code initialization (imports, model loads).
+    pub user_init: SimDuration,
+    /// Erratic extra delay (Azure/GCP cold noise, Figure 6).
+    pub noise: SimDuration,
+}
+
+impl ColdStartBreakdown {
+    /// The full cold-start latency: the sum of all phases.
+    pub fn total(&self) -> SimDuration {
+        self.provisioning + self.package_fetch + self.runtime_boot + self.user_init + self.noise
+    }
+}
+
 /// A provider's cold-start model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColdStartModel {
@@ -112,6 +136,36 @@ impl ColdStartModel {
         init_work: u64,
         ops_per_sec: f64,
     ) -> SimDuration {
+        self.sample_breakdown(
+            rng,
+            language,
+            cpu_share,
+            memory_mb,
+            code_bytes,
+            init_work,
+            ops_per_sec,
+        )
+        .total()
+    }
+
+    /// Samples a cold start and returns its per-phase decomposition.
+    ///
+    /// Draw order (provisioning, boot, noise) is identical to [`sample`],
+    /// so switching between the two never perturbs the RNG stream — a
+    /// requirement of the tracing determinism contract.
+    ///
+    /// [`sample`]: ColdStartModel::sample
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_breakdown(
+        &self,
+        rng: &mut StreamRng,
+        language: Language,
+        cpu_share: f64,
+        memory_mb: u32,
+        code_bytes: u64,
+        init_work: u64,
+        ops_per_sec: f64,
+    ) -> ColdStartBreakdown {
         let mut provisioning = self.provisioning_ms.sample_millis(rng);
         let fetch = SimDuration::from_secs_f64(code_bytes as f64 / self.package_fetch_bps);
         let mut boot = match language {
@@ -133,7 +187,13 @@ impl ColdStartModel {
             MemoryEffect::None => {}
         }
         let noise = self.cold_noise_ms.sample_millis(rng);
-        provisioning + fetch + boot + init + noise
+        ColdStartBreakdown {
+            provisioning,
+            package_fetch: fetch,
+            runtime_boot: boot,
+            user_init: init,
+            noise,
+        }
     }
 }
 
@@ -228,6 +288,54 @@ mod tests {
         let mut rng = SimRng::new(10).stream("init");
         let with = m.sample(&mut rng, Language::Python, 1.0, 1792, 0, 6_000_000_000, 6e9);
         assert!(with > without + SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn breakdown_total_matches_sample_and_shares_draw_order() {
+        for model in [
+            ColdStartModel::aws(),
+            ColdStartModel::azure(),
+            ColdStartModel::gcp(),
+        ] {
+            let mut a = SimRng::new(42).stream("bd");
+            let mut b = SimRng::new(42).stream("bd");
+            for _ in 0..50 {
+                let total = model.sample(
+                    &mut a,
+                    Language::Python,
+                    0.4,
+                    512,
+                    8_000_000,
+                    1_000_000,
+                    6e9,
+                );
+                let bd = model.sample_breakdown(
+                    &mut b,
+                    Language::Python,
+                    0.4,
+                    512,
+                    8_000_000,
+                    1_000_000,
+                    6e9,
+                );
+                assert_eq!(total, bd.total());
+            }
+            // Streams stayed in lockstep: the next draws agree too.
+            assert_eq!(
+                model.sample(&mut a, Language::NodeJs, 1.0, 1792, 0, 0, 6e9),
+                model.sample(&mut b, Language::NodeJs, 1.0, 1792, 0, 0, 6e9),
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_fetch_is_pure_bandwidth() {
+        let m = ColdStartModel::aws();
+        let mut rng = SimRng::new(1).stream("f");
+        let bd = m.sample_breakdown(&mut rng, Language::Python, 1.0, 1792, 220_000_000, 0, 6e9);
+        // 220 MB at 220 MB/s = exactly one second.
+        assert_eq!(bd.package_fetch, SimDuration::from_secs_f64(1.0));
+        assert_eq!(bd.user_init, SimDuration::ZERO);
     }
 
     #[test]

@@ -96,7 +96,14 @@ mod tests {
             period: SimDuration::from_secs(380),
         };
         let t0 = SimTime::ZERO;
-        for (dt, expect) in [(0u64, 16usize), (379, 16), (380, 8), (760, 4), (1140, 2), (1520, 1)] {
+        for (dt, expect) in [
+            (0u64, 16usize),
+            (379, 16),
+            (380, 8),
+            (760, 4),
+            (1140, 2),
+            (1520, 1),
+        ] {
             let survivors =
                 policy.survivors(batch(16, t0), t0 + SimDuration::from_secs(dt), &mut rng());
             assert_eq!(survivors.len(), expect, "ΔT = {dt}s");
@@ -112,7 +119,9 @@ mod tests {
         for d_init in [1u64, 2, 3, 5, 8, 20] {
             for k in 0..4u64 {
                 let dt = SimDuration::from_secs(380 * k + 10);
-                let got = policy.survivors(batch(d_init, t0), t0 + dt, &mut rng()).len();
+                let got = policy
+                    .survivors(batch(d_init, t0), t0 + dt, &mut rng())
+                    .len();
                 let expected = (d_init as f64 * 0.5f64.powi(k as i32)).ceil() as usize;
                 assert_eq!(got, expected, "D={d_init} k={k}");
             }

@@ -60,6 +60,19 @@ impl InvocationOutcome {
     pub fn is_success(&self) -> bool {
         matches!(self, InvocationOutcome::Success)
     }
+
+    /// Stable kebab-case label for trace args and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InvocationOutcome::Success => "success",
+            InvocationOutcome::OutOfMemory { .. } => "oom",
+            InvocationOutcome::Timeout => "timeout",
+            InvocationOutcome::Throttled => "throttled",
+            InvocationOutcome::ServiceUnavailable => "unavailable",
+            InvocationOutcome::PayloadTooLarge { .. } => "payload-too-large",
+            InvocationOutcome::FunctionError(_) => "function-error",
+        }
+    }
 }
 
 /// Full measurement record of one invocation.

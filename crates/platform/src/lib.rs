@@ -34,7 +34,7 @@ pub mod trigger;
 pub mod vm;
 
 pub use billing::{BillingModel, InvocationBill};
-pub use coldstart::ColdStartModel;
+pub use coldstart::{ColdStartBreakdown, ColdStartModel};
 pub use container::{Container, ContainerId, ContainerState};
 pub use eviction::EvictionPolicy;
 pub use function::{FunctionConfig, FunctionId};

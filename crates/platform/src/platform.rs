@@ -3,11 +3,12 @@
 
 use std::collections::BTreeMap;
 
-use sebs_sim::rng::{Rng, StreamRng};
 use sebs_cloud::DriftingClock;
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::{SimDuration, SimRng, SimTime};
-use sebs_storage::SimObjectStore;
-use sebs_workloads::{InvocationCtx, Payload, Workload};
+use sebs_storage::{SimObjectStore, StorageOp};
+use sebs_trace::{InvocationTrace, TraceSpan};
+use sebs_workloads::{InvocationCtx, IoEvent, IoKind, Payload, Workload};
 
 use crate::billing::InvocationBill;
 use crate::function::{FunctionConfig, FunctionId};
@@ -90,6 +91,11 @@ pub struct FaasPlatform {
     rng_memory: StreamRng,
     /// Client-side bandwidth to the provider's endpoints, bytes/second.
     client_bandwidth_bps: f64,
+    // Tracing is strictly observational: it consumes no randomness and no
+    // host time, so results are identical with it on or off.
+    tracing: bool,
+    trace_seq: u64,
+    traces: Vec<InvocationTrace>,
 }
 
 impl std::fmt::Debug for FaasPlatform {
@@ -124,7 +130,27 @@ impl FaasPlatform {
             rng_failure: root.stream("failure"),
             rng_memory: root.stream("memory"),
             client_bandwidth_bps: 30e6,
+            tracing: false,
+            trace_seq: 0,
+            traces: Vec::new(),
         }
+    }
+
+    /// Switches per-invocation trace collection on or off. Collection is
+    /// purely observational — it never touches an RNG stream, so toggling
+    /// it cannot change any simulation result.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    /// Whether trace collection is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    /// Drains the traces collected so far, in invocation order.
+    pub fn take_traces(&mut self) -> Vec<InvocationTrace> {
+        std::mem::take(&mut self.traces)
     }
 
     /// The provider profile in force.
@@ -305,10 +331,7 @@ impl FaasPlatform {
         } else {
             SimDuration::ZERO
         };
-        let trigger_overhead = self
-            .profile
-            .trigger
-            .overhead(&mut self.rng_net, trigger);
+        let trigger_overhead = self.profile.trigger.overhead(&mut self.rng_net, trigger);
         let req_transfer = if trigger.crosses_wan() {
             SimDuration::from_secs_f64(payload.size_bytes() as f64 / self.client_bandwidth_bps)
         } else {
@@ -344,6 +367,7 @@ impl FaasPlatform {
                 limit: limits.payload_bytes,
             };
             record.t_recv_client = (self.now + rtt).as_secs_f64();
+            self.record_failure_trace(&deployed.config.name, &record);
             return record;
         }
 
@@ -352,6 +376,7 @@ impl FaasPlatform {
             record.outcome = InvocationOutcome::Throttled;
             record.client_time = rtt + req_transfer;
             record.t_recv_client = (self.now + record.client_time).as_secs_f64();
+            self.record_failure_trace(&deployed.config.name, &record);
             return record;
         }
 
@@ -362,6 +387,7 @@ impl FaasPlatform {
             record.outcome = InvocationOutcome::ServiceUnavailable;
             record.client_time = rtt + req_transfer + SimDuration::from_millis(500);
             record.t_recv_client = (self.now + record.client_time).as_secs_f64();
+            self.record_failure_trace(&deployed.config.name, &record);
             return record;
         }
 
@@ -379,9 +405,9 @@ impl FaasPlatform {
         );
         record.container = Some(acquired.id());
         let cpu_share = self.profile.cpu.share(memory);
-        let cold_init = if acquired.is_cold() {
+        let cold_breakdown = if acquired.is_cold() {
             record.start = StartKind::Cold;
-            self.profile.cold_start.sample(
+            Some(self.profile.cold_start.sample_breakdown(
                 &mut self.rng_cold,
                 language,
                 cpu_share,
@@ -389,26 +415,37 @@ impl FaasPlatform {
                 deployed.config.code_package_bytes,
                 deployed.config.init_work,
                 self.profile.ops_per_sec_full_cpu,
-            )
+            ))
         } else {
-            SimDuration::ZERO
+            None
         };
+        let cold_init = cold_breakdown
+            .as_ref()
+            .map_or(SimDuration::ZERO, |b| b.total());
 
         // 5. Execute the function body. Warm containers keep workload
         // caches (e.g. the loaded model) alive between invocations.
         let exec_payload = with_cache_param(payload, !acquired.is_cold());
         let mut exec_rng = self.rng_exec.clone();
         self.rng_exec.gen::<u64>(); // decorrelate subsequent invocations
-        let (result, counters, raw_io, peak_alloc) = {
+        let (result, counters, raw_io, peak_alloc, io_events) = {
             let mut ctx = InvocationCtx::new(&mut self.storage, &mut exec_rng);
+            if self.tracing {
+                ctx.enable_io_recording();
+            }
             let result = workload.execute(&exec_payload, &mut ctx);
-            (result, ctx.counters(), ctx.io_time(), ctx.peak_alloc_bytes())
+            (
+                result,
+                ctx.counters(),
+                ctx.io_time(),
+                ctx.peak_alloc_bytes(),
+                ctx.io_events().to_vec(),
+            )
         };
 
         // 6. Convert counters into time under this allocation.
         let compute_rate = self.profile.compute_rate(memory, language);
-        let compute_time =
-            SimDuration::from_secs_f64(counters.instructions as f64 / compute_rate);
+        let compute_time = SimDuration::from_secs_f64(counters.instructions as f64 / compute_rate);
         let io_scale = self.profile.io_scale(memory);
         let contention = 1.0 + 0.05 * ((concurrency.saturating_sub(1)).min(16) as f64);
         let io_time = raw_io.mul_f64(contention / io_scale);
@@ -493,12 +530,211 @@ impl FaasPlatform {
         record.t_recv_client = (self.now + record.client_time).as_secs_f64();
         record.outcome = outcome;
 
+        if self.tracing {
+            let root = self.build_invocation_span(
+                &deployed,
+                &record,
+                SpanParts {
+                    rtt,
+                    trigger_overhead,
+                    req_transfer,
+                    cold_breakdown,
+                    sandbox_overhead,
+                    penalty,
+                    contention,
+                    io_scale,
+                    io_events: &io_events,
+                },
+            );
+            debug_assert_eq!(
+                root.validate(),
+                Ok(()),
+                "invocation span tree is well-formed"
+            );
+            self.push_trace(&deployed.config.name, memory, root);
+        }
+
         releases.push((
             deployed.pool_key.clone(),
             acquired.id(),
             self.now + record.provider_time,
         ));
         record
+    }
+
+    /// Lays out the full span tree of a completed invocation. Every child
+    /// interval is derived from the same quantities that produced the
+    /// record, so the tree tiles `[submitted_at, submitted_at+client_time)`
+    /// exactly and `validate()` always holds.
+    fn build_invocation_span(
+        &self,
+        deployed: &Deployed,
+        record: &InvocationRecord,
+        parts: SpanParts<'_>,
+    ) -> TraceSpan {
+        let start_kind = if record.start == StartKind::Cold {
+            "cold"
+        } else {
+            "warm"
+        };
+        let t0 = record.submitted_at;
+        let mut root = TraceSpan::new("invocation", t0, record.client_time)
+            .with_arg("benchmark", deployed.config.name.as_str())
+            .with_arg("provider", self.profile.kind.to_string())
+            .with_arg("start", start_kind)
+            .with_arg("outcome", record.outcome.label())
+            .with_arg("memory_mb", record.configured_memory_mb.to_string())
+            .with_arg("concurrency", record.concurrency.to_string());
+        let mut cursor = t0;
+
+        let request_leg = parts.rtt / 2 + parts.req_transfer;
+        root.push_child(TraceSpan::new("network.request", cursor, request_leg));
+        cursor += request_leg;
+
+        root.push_child(TraceSpan::new(
+            "trigger.dispatch",
+            cursor,
+            parts.trigger_overhead,
+        ));
+        cursor += parts.trigger_overhead;
+
+        let cold_init = parts
+            .cold_breakdown
+            .as_ref()
+            .map_or(SimDuration::ZERO, |b| b.total());
+        let mut acquire =
+            TraceSpan::new("sandbox.acquire", cursor, cold_init).with_arg("start", start_kind);
+        if let Some(bd) = &parts.cold_breakdown {
+            let mut at = cursor;
+            for (phase, dur) in [
+                ("cold.provisioning", bd.provisioning),
+                ("cold.package-fetch", bd.package_fetch),
+                ("cold.runtime-boot", bd.runtime_boot),
+                ("cold.user-init", bd.user_init),
+                ("cold.noise", bd.noise),
+            ] {
+                acquire.push_child(TraceSpan::new(phase, at, dur));
+                at += dur;
+            }
+        }
+        root.push_child(acquire);
+        cursor += cold_init;
+
+        let exec_dur = record.benchmark_time + parts.sandbox_overhead + parts.penalty;
+        let exec_end = cursor + exec_dur;
+        let mut exec = TraceSpan::new("execute", cursor, exec_dur);
+        if matches!(record.outcome, InvocationOutcome::Timeout) {
+            // The run was cut off at the limit, so per-operation sub-spans
+            // would spill past the truncated window.
+            exec = exec.with_arg("truncated", "true");
+        } else {
+            let overhead = parts.sandbox_overhead + parts.penalty;
+            let mut at = cursor;
+            exec.push_child(TraceSpan::new("runtime.overhead", at, overhead));
+            at += overhead;
+            for ev in parts.io_events {
+                // Per-op durations are scaled like the aggregate io_time;
+                // clamping absorbs sub-nanosecond float rounding.
+                let scaled = ev.duration.mul_f64(parts.contention / parts.io_scale);
+                let dur = scaled.min(remaining_until(at, exec_end));
+                exec.push_child(self.io_span(ev, at, dur));
+                at += dur;
+            }
+            exec.push_child(TraceSpan::new(
+                "exec.compute",
+                at,
+                remaining_until(at, exec_end),
+            ));
+        }
+        root.push_child(exec);
+        cursor = exec_end;
+
+        root.push_child(
+            TraceSpan::new("billing.finalize", cursor, SimDuration::ZERO)
+                .with_arg(
+                    "billed_ms",
+                    format!("{:.3}", record.bill.billed_duration.as_millis_f64()),
+                )
+                .with_arg("cost_usd", format!("{:.9}", record.bill.total_usd())),
+        );
+        root.push_child(TraceSpan::new(
+            "network.response",
+            cursor,
+            remaining_until(cursor, t0 + record.client_time),
+        ));
+        root
+    }
+
+    fn io_span(&self, ev: &IoEvent, at: SimTime, dur: SimDuration) -> TraceSpan {
+        match ev.kind {
+            IoKind::Get | IoKind::Put => {
+                let op = if ev.kind == IoKind::Get {
+                    StorageOp::Get
+                } else {
+                    StorageOp::Put
+                };
+                TraceSpan::new(format!("storage.{}", op.name()), at, dur)
+                    .with_arg("object", format!("{}/{}", ev.bucket, ev.key))
+                    .with_arg("bytes", ev.bytes.to_string())
+                    .with_arg(
+                        "transfer_ms",
+                        format!(
+                            "{:.3}",
+                            self.storage.transfer_time(op, ev.bytes).as_millis_f64()
+                        ),
+                    )
+            }
+            IoKind::External => TraceSpan::new("io.external", at, dur),
+        }
+    }
+
+    /// Records a root-only trace for invocations rejected before a sandbox
+    /// was ever acquired (payload limit, throttle, availability error).
+    fn record_failure_trace(&mut self, benchmark: &str, record: &InvocationRecord) {
+        if !self.tracing {
+            return;
+        }
+        let root = TraceSpan::new("invocation", record.submitted_at, record.client_time)
+            .with_arg("benchmark", benchmark)
+            .with_arg("provider", self.profile.kind.to_string())
+            .with_arg("outcome", record.outcome.label())
+            .with_arg("memory_mb", record.configured_memory_mb.to_string())
+            .with_arg("concurrency", record.concurrency.to_string());
+        self.push_trace(benchmark, record.configured_memory_mb, root);
+    }
+
+    fn push_trace(&mut self, benchmark: &str, memory_mb: u32, root: TraceSpan) {
+        let seq = self.trace_seq;
+        self.trace_seq += 1;
+        self.traces.push(InvocationTrace {
+            provider: self.profile.kind.to_string(),
+            benchmark: benchmark.to_string(),
+            memory_mb,
+            cell: None,
+            seq,
+            root,
+        });
+    }
+}
+
+/// The intermediate quantities of `invoke_one` that the span layout needs.
+struct SpanParts<'a> {
+    rtt: SimDuration,
+    trigger_overhead: SimDuration,
+    req_transfer: SimDuration,
+    cold_breakdown: Option<crate::coldstart::ColdStartBreakdown>,
+    sandbox_overhead: SimDuration,
+    penalty: SimDuration,
+    contention: f64,
+    io_scale: f64,
+    io_events: &'a [IoEvent],
+}
+
+fn remaining_until(at: SimTime, end: SimTime) -> SimDuration {
+    if at < end {
+        end - at
+    } else {
+        SimDuration::ZERO
     }
 }
 
@@ -553,16 +789,14 @@ mod tests {
         ));
         assert!(matches!(
             p.deploy(
-                FunctionConfig::new("f", Language::Python, 256)
-                    .with_code_package(300_000_000)
+                FunctionConfig::new("f", Language::Python, 256).with_code_package(300_000_000)
             ),
             Err(DeployError::PackageTooLarge { .. })
         ));
-        assert!(p.deploy(FunctionConfig::new("f", Language::Python, 256)).is_ok());
-        let err = DeployError::PackageTooLarge {
-            bytes: 2,
-            limit: 1,
-        };
+        assert!(p
+            .deploy(FunctionConfig::new("f", Language::Python, 256))
+            .is_ok());
+        let err = DeployError::PackageTooLarge { bytes: 2, limit: 1 };
         assert!(err.to_string().contains("exceeds"));
     }
 
@@ -591,7 +825,11 @@ mod tests {
         let mut p = aws();
         let (fid_small, wl, payload) = deploy_html(&mut p, 128);
         let fid_big = p
-            .deploy(FunctionConfig::new("dynamic-html-big", Language::Python, 1792))
+            .deploy(FunctionConfig::new(
+                "dynamic-html-big",
+                Language::Python,
+                1792,
+            ))
             .unwrap();
         // Warm both.
         p.invoke(fid_small, &wl, &payload);
@@ -670,7 +908,10 @@ mod tests {
         let r = p.invoke(fid, &wl, &huge);
         assert!(matches!(
             r.outcome,
-            InvocationOutcome::PayloadTooLarge { limit: 6_000_000, .. }
+            InvocationOutcome::PayloadTooLarge {
+                limit: 6_000_000,
+                ..
+            }
         ));
     }
 
@@ -704,14 +945,10 @@ mod tests {
         let mut p = FaasPlatform::new(ProviderProfile::azure(), 5);
         let wl = DynamicHtml::new(Language::Python);
         let f1 = p
-            .deploy(
-                FunctionConfig::new("f1", Language::Python, 512).in_app("shared-app"),
-            )
+            .deploy(FunctionConfig::new("f1", Language::Python, 512).in_app("shared-app"))
             .unwrap();
         let f2 = p
-            .deploy(
-                FunctionConfig::new("f2", Language::Python, 512).in_app("shared-app"),
-            )
+            .deploy(FunctionConfig::new("f2", Language::Python, 512).in_app("shared-app"))
             .unwrap();
         let payload = p.prepare(&wl, Scale::Test);
         let r1 = p.invoke(f1, &wl, &payload);
@@ -875,5 +1112,113 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn tracing_never_changes_results() {
+        let run = |tracing: bool| {
+            let mut p = FaasPlatform::new(ProviderProfile::gcp(), 77);
+            p.set_tracing(tracing);
+            let wl = Uploader::new(Language::Python);
+            let fid = p
+                .deploy(FunctionConfig::new("uploader", Language::Python, 512))
+                .unwrap();
+            let payload = p.prepare(&wl, Scale::Test);
+            let burst = p.invoke_burst(fid, &wl, &vec![payload.clone(); 4]);
+            p.advance(SimDuration::from_secs(2));
+            let warm = p.invoke(fid, &wl, &payload);
+            (
+                burst.iter().map(|r| r.client_time).collect::<Vec<_>>(),
+                warm.client_time,
+                warm.bill.total_usd(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_tree_tiles_the_invocation() {
+        let mut p = aws();
+        p.set_tracing(true);
+        let (fid, wl, payload) = deploy_html(&mut p, 512);
+        let cold = p.invoke(fid, &wl, &payload);
+        p.advance(SimDuration::from_secs(2));
+        let warm = p.invoke(fid, &wl, &payload);
+        let traces = p.take_traces();
+        assert_eq!(traces.len(), 2);
+        assert!(p.take_traces().is_empty(), "take_traces drains");
+
+        let t = &traces[0];
+        assert_eq!((t.provider.as_str(), t.seq), ("aws", 0));
+        assert_eq!(t.benchmark, "dynamic-html");
+        assert_eq!(t.memory_mb, 512);
+        assert_eq!(t.cell, None);
+        assert_eq!(t.root.validate(), Ok(()));
+        assert_eq!(t.root.duration, cold.client_time);
+        // Cold start decomposes under sandbox.acquire.
+        let acquire = t.root.find("sandbox.acquire").unwrap();
+        assert_eq!(acquire.args[0], ("start".into(), "cold".into()));
+        let phase_sum: SimDuration = acquire.children.iter().map(|c| c.duration).sum();
+        assert_eq!(phase_sum, acquire.duration);
+        assert!(t.root.find("cold.runtime-boot").is_some());
+        // The provider phase matches the record.
+        let exec = t.root.find("execute").unwrap();
+        assert!(t.root.find("exec.compute").is_some());
+        assert!(
+            exec.duration + acquire.duration <= cold.provider_time + SimDuration::from_nanos(1)
+        );
+
+        // Warm invocation: no cold children, zero-length acquire.
+        let w = &traces[1];
+        assert_eq!(w.seq, 1);
+        assert_eq!(w.root.duration, warm.client_time);
+        let acquire = w.root.find("sandbox.acquire").unwrap();
+        assert_eq!(acquire.duration, SimDuration::ZERO);
+        assert!(acquire.children.is_empty());
+    }
+
+    #[test]
+    fn io_bound_trace_records_storage_spans() {
+        let mut p = aws();
+        p.set_tracing(true);
+        let wl = Uploader::new(Language::Python);
+        let fid = p
+            .deploy(FunctionConfig::new("uploader", Language::Python, 1024))
+            .unwrap();
+        let payload = p.prepare(&wl, Scale::Test);
+        let r = p.invoke(fid, &wl, &payload);
+        assert!(r.outcome.is_success());
+        let traces = p.take_traces();
+        let root = &traces[0].root;
+        let put = root.find("storage.put").expect("uploader uploads");
+        assert!(put.args.iter().any(|(k, _)| k == "object"));
+        assert!(put.args.iter().any(|(k, _)| k == "bytes"));
+        assert!(put.args.iter().any(|(k, _)| k == "transfer_ms"));
+        assert_eq!(root.validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejected_invocations_leave_root_only_traces() {
+        let mut p = FaasPlatform::new(ProviderProfile::gcp(), 7);
+        p.set_tracing(true);
+        let wl = DynamicHtml::new(Language::Python);
+        let fid = p
+            .deploy(FunctionConfig::new("f", Language::Python, 256))
+            .unwrap();
+        let payload = p.prepare(&wl, Scale::Test);
+        let records = p.invoke_burst(fid, &wl, &vec![payload; 120]);
+        let traces = p.take_traces();
+        assert_eq!(traces.len(), records.len(), "every request gets a trace");
+        let throttled: Vec<_> = traces
+            .iter()
+            .filter(|t| {
+                t.root
+                    .args
+                    .iter()
+                    .any(|(k, v)| k == "outcome" && v == "throttled")
+            })
+            .collect();
+        assert_eq!(throttled.len(), 20);
+        assert!(throttled.iter().all(|t| t.root.children.is_empty()));
     }
 }

@@ -217,15 +217,24 @@ mod tests {
         let mut r = rng();
         let t0 = SimTime::ZERO;
         // Warm 8 containers.
-        let ids: Vec<_> = (0..8).map(|_| pool.acquire(t0, &mut r, 0.0, true)).collect();
+        let ids: Vec<_> = (0..8)
+            .map(|_| pool.acquire(t0, &mut r, 0.0, true))
+            .collect();
         for a in &ids {
             pool.release(a.id(), t0 + SimDuration::from_millis(10));
         }
         assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(100), &mut r), 8);
         assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(390), &mut r), 4);
         assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(770), &mut r), 2);
-        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(1150), &mut r), 1);
-        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(1530), &mut r), 1, "slot 0 survives forever");
+        assert_eq!(
+            pool.warm_count(t0 + SimDuration::from_secs(1150), &mut r),
+            1
+        );
+        assert_eq!(
+            pool.warm_count(t0 + SimDuration::from_secs(1530), &mut r),
+            1,
+            "slot 0 survives forever"
+        );
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
         let t0 = SimTime::ZERO;
         let a = pool.acquire(t0, &mut r, 0.0, true);
         // Never released: still busy hours later.
-        assert_eq!(pool.warm_count(t0 + SimDuration::from_secs(10_000), &mut r), 1);
+        assert_eq!(
+            pool.warm_count(t0 + SimDuration::from_secs(10_000), &mut r),
+            1
+        );
         pool.release(a.id(), t0 + SimDuration::from_secs(10_000));
     }
 

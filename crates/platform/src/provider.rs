@@ -470,7 +470,10 @@ mod tests {
 
     #[test]
     fn for_kind_and_all() {
-        assert_eq!(ProviderProfile::for_kind(ProviderKind::Aws).kind, ProviderKind::Aws);
+        assert_eq!(
+            ProviderProfile::for_kind(ProviderKind::Aws).kind,
+            ProviderKind::Aws
+        );
         assert_eq!(ProviderProfile::all().len(), 3);
         assert_eq!(ProviderKind::Azure.to_string(), "azure");
     }

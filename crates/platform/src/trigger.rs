@@ -95,7 +95,11 @@ impl TriggerModel {
     }
 
     /// Samples the trigger-path overhead for a (resolved) trigger kind.
-    pub fn overhead<R: sebs_sim::rng::RngCore>(&self, rng: &mut R, kind: TriggerKind) -> SimDuration {
+    pub fn overhead<R: sebs_sim::rng::RngCore>(
+        &self,
+        rng: &mut R,
+        kind: TriggerKind,
+    ) -> SimDuration {
         match kind {
             TriggerKind::Http => self.gateway_ms.sample_millis(rng),
             TriggerKind::Sdk => self.sdk_ms.sample_millis(rng),
@@ -143,7 +147,10 @@ mod tests {
             .map(|_| m.overhead(&mut rng, TriggerKind::Http).as_secs_f64())
             .sum();
         let event: f64 = (0..200)
-            .map(|_| m.overhead(&mut rng, TriggerKind::StorageEvent).as_secs_f64())
+            .map(|_| {
+                m.overhead(&mut rng, TriggerKind::StorageEvent)
+                    .as_secs_f64()
+            })
             .sum();
         assert!(event > 5.0 * http, "event {event} vs http {http}");
     }

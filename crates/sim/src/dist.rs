@@ -295,7 +295,17 @@ mod tests {
             sigma: 0.3,
         }
         .scaled(4.0);
-        assert!((ln.mean() - Dist::LogNormal { mu: 0.0, sigma: 0.3 }.mean() * 4.0).abs() < 1e-9);
+        assert!(
+            (ln.mean()
+                - Dist::LogNormal {
+                    mu: 0.0,
+                    sigma: 0.3
+                }
+                .mean()
+                    * 4.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

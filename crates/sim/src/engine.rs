@@ -36,6 +36,27 @@ pub struct EventId(u64);
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
 
+/// What an observer learns about one event dispatch.
+///
+/// Deliberately restricted to deterministic simulation data: the sim-time
+/// instant, the event's id and the queue counters. No wall-clock reading
+/// and no allocation-order artifact is exposed, so anything derived from
+/// dispatches (trace files, progress displays) stays byte-identical across
+/// runs and worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventDispatch {
+    /// Sim-time instant the event fires at.
+    pub at: SimTime,
+    /// The fired event's id.
+    pub id: EventId,
+    /// Events still pending after this one was dequeued.
+    pub pending: usize,
+    /// Events executed before this one.
+    pub processed: u64,
+}
+
+type DispatchHook = Box<dyn FnMut(&EventDispatch)>;
+
 /// Scheduling context handed to each event handler.
 ///
 /// Splitting the context from the world lets handlers mutate the world while
@@ -103,6 +124,7 @@ pub struct Engine<W> {
     next_id: u64,
     rng: SimRng,
     processed: u64,
+    dispatch_hook: Option<DispatchHook>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -139,7 +161,21 @@ impl<W> Engine<W> {
             next_id: 0,
             rng: SimRng::new(seed),
             processed: 0,
+            dispatch_hook: None,
         }
+    }
+
+    /// Installs an observer called once per dispatched event, just before
+    /// the event body runs. The hook sees only the deterministic
+    /// [`EventDispatch`] data — it cannot perturb the simulation, and what
+    /// it observes is identical on every run with the same seed.
+    pub fn set_dispatch_hook(&mut self, hook: impl FnMut(&EventDispatch) + 'static) {
+        self.dispatch_hook = Some(Box::new(hook));
+    }
+
+    /// Removes the dispatch observer, if any.
+    pub fn clear_dispatch_hook(&mut self) {
+        self.dispatch_hook = None;
     }
 
     /// The current virtual time.
@@ -263,6 +299,14 @@ impl<W> Engine<W> {
             };
             debug_assert!(key.at >= self.now, "event queue went backwards");
             self.now = key.at;
+            if let Some(hook) = self.dispatch_hook.as_mut() {
+                hook(&EventDispatch {
+                    at: key.at,
+                    id: key.id,
+                    pending: self.live.len(),
+                    processed: self.processed,
+                });
+            }
             let mut ctx = Ctx {
                 now: self.now,
                 rng: &self.rng,
@@ -484,6 +528,59 @@ mod tests {
         assert_eq!(n, 4);
         assert_eq!(e.processed(), 4);
         assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn dispatch_hook_sees_deterministic_monotone_dispatches() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        fn run_once() -> Vec<EventDispatch> {
+            let seen: Rc<RefCell<Vec<EventDispatch>>> = Rc::default();
+            let sink = Rc::clone(&seen);
+            let mut e: Engine<u32> = Engine::new(0, 3);
+            e.set_dispatch_hook(move |d| sink.borrow_mut().push(*d));
+            let cancelled = e.schedule(SimDuration::from_millis(5), |w, _| *w += 100);
+            for i in 0..8u64 {
+                e.schedule(SimDuration::from_millis(i * 13 % 40), |w, _| *w += 1);
+            }
+            assert!(e.cancel(cancelled));
+            e.run();
+            drop(e); // releases the hook's clone of `seen`
+            Rc::try_unwrap(seen).unwrap().into_inner()
+        }
+
+        let a = run_once();
+        assert_eq!(a.len(), 8, "cancelled events are never observed");
+        assert!(
+            a.windows(2).all(|w| w[0].at <= w[1].at),
+            "sim-time monotone"
+        );
+        assert!(
+            a.iter().enumerate().all(|(i, d)| d.processed == i as u64),
+            "processed counts each dispatch exactly once"
+        );
+        assert_eq!(a.last().unwrap().pending, 0);
+        assert_eq!(a, run_once(), "dispatch stream is deterministic");
+    }
+
+    #[test]
+    fn dispatch_hook_can_be_cleared() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let count = Rc::new(Cell::new(0u32));
+        let sink = Rc::clone(&count);
+        let mut e: Engine<u32> = Engine::new(0, 0);
+        e.set_dispatch_hook(move |_| sink.set(sink.get() + 1));
+        e.schedule(SimDuration::from_millis(1), |w, _| *w += 1);
+        e.run();
+        assert_eq!(count.get(), 1);
+        e.clear_dispatch_hook();
+        e.schedule(SimDuration::from_millis(1), |w, _| *w += 1);
+        e.run();
+        assert_eq!(count.get(), 1, "cleared hook observes nothing");
+        assert_eq!(*e.world(), 2, "events still run without a hook");
     }
 
     #[test]

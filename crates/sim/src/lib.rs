@@ -36,6 +36,6 @@ pub mod time;
 
 pub use bytes::Bytes;
 pub use dist::Dist;
-pub use engine::{Engine, EventId};
+pub use engine::{Engine, EventDispatch, EventId};
 pub use rng::{Rng, RngCore, SimRng, StreamRng};
 pub use time::{SimDuration, SimTime};

@@ -10,7 +10,6 @@
 //! (N = 200 sufficed on AWS); [`ConfidenceInterval::is_within_of_median`]
 //! implements that stopping rule.
 
-
 use crate::summary::Summary;
 
 /// Supported confidence levels (the paper reports 95% and 99%).

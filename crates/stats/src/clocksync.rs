@@ -12,7 +12,6 @@
 //! Over the minimal-RTT exchange, the offset estimate is
 //! `θ = t_server − (t_send + RTT_min / 2)`.
 
-
 /// One ping-pong exchange: client send time, server receive time (server
 /// clock) and client receive time, all in seconds on their own clocks.
 #[derive(Debug, Clone, Copy, PartialEq)]

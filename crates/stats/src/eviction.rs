@@ -13,7 +13,6 @@
 //! reports the R² of the fit (the paper reports R² > 0.99). Equation 2's
 //! time-optimal warm batch size is provided by [`optimal_batch_size`].
 
-
 use crate::regression::r_squared;
 
 /// One data point of the eviction experiment.

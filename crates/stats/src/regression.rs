@@ -4,7 +4,6 @@
 //! adjusted R² of the fit (0.99 for AWS warm, 0.89 Azure warm, 0.90 GCP
 //! warm, 0.94 AWS cold). This module provides exactly that computation.
 
-
 /// Result of a simple linear regression `y ≈ intercept + slope · x`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// Summary statistics of a one-dimensional sample.
 ///
 /// Percentiles use linear interpolation between closest ranks, matching the
@@ -35,7 +34,10 @@ impl Summary {
     /// Panics if no finite values remain.
     pub fn from_values(values: &[f64]) -> Self {
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        assert!(!sorted.is_empty(), "summary of an empty (or all-NaN) sample");
+        assert!(
+            !sorted.is_empty(),
+            "summary of an empty (or all-NaN) sample"
+        );
         sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let mean = sorted.iter().sum::<f64>() / n;

@@ -45,6 +45,17 @@ pub enum StorageOp {
     List,
 }
 
+impl StorageOp {
+    /// Stable lowercase name, used in trace span labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageOp::Get => "get",
+            StorageOp::Put => "put",
+            StorageOp::List => "list",
+        }
+    }
+}
+
 /// Cumulative operation counters, the inputs to the cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StorageStats {
@@ -167,7 +178,10 @@ impl SimObjectStore {
         read_bps: f64,
         write_bps: f64,
     ) -> Self {
-        assert!(read_bps > 0.0 && write_bps > 0.0, "bandwidth must be positive");
+        assert!(
+            read_bps > 0.0 && write_bps > 0.0,
+            "bandwidth must be positive"
+        );
         SimObjectStore {
             buckets: BTreeMap::new(),
             get_latency_ms,
@@ -231,12 +245,24 @@ impl SimObjectStore {
     }
 
     fn op_latency(&self, rng: &mut StreamRng, op: StorageOp, bytes: u64) -> SimDuration {
-        let (base, bps) = match op {
-            StorageOp::Get => (&self.get_latency_ms, self.read_bps),
-            StorageOp::Put => (&self.put_latency_ms, self.write_bps),
-            StorageOp::List => (&self.list_latency_ms, self.read_bps),
+        let base = match op {
+            StorageOp::Get => &self.get_latency_ms,
+            StorageOp::Put => &self.put_latency_ms,
+            StorageOp::List => &self.list_latency_ms,
         };
-        base.sample_millis(rng) + SimDuration::from_secs_f64(bytes as f64 / bps)
+        base.sample_millis(rng) + self.transfer_time(op, bytes)
+    }
+
+    /// The pure bandwidth component of an operation's latency
+    /// (`bytes / bandwidth`), with no first-byte latency and no randomness.
+    /// Used by the tracing layer to annotate storage spans without touching
+    /// any RNG stream.
+    pub fn transfer_time(&self, op: StorageOp, bytes: u64) -> SimDuration {
+        let bps = match op {
+            StorageOp::Get | StorageOp::List => self.read_bps,
+            StorageOp::Put => self.write_bps,
+        };
+        SimDuration::from_secs_f64(bytes as f64 / bps)
     }
 }
 
@@ -407,7 +433,8 @@ mod tests {
         let mut s = store();
         let mut r = rng();
         s.create_bucket("b");
-        s.put(&mut r, "b", "k", Bytes::from(vec![1u8; 100])).unwrap();
+        s.put(&mut r, "b", "k", Bytes::from(vec![1u8; 100]))
+            .unwrap();
         s.get(&mut r, "b", "k").unwrap();
         s.get(&mut r, "b", "k").unwrap();
         s.list(&mut r, "b").unwrap();
@@ -426,7 +453,8 @@ mod tests {
         let mut r = rng();
         s.create_bucket("b");
         s.put(&mut r, "b", "k", Bytes::from_static(b"one")).unwrap();
-        s.put(&mut r, "b", "k", Bytes::from_static(b"two!")).unwrap();
+        s.put(&mut r, "b", "k", Bytes::from_static(b"two!"))
+            .unwrap();
         let (out, _) = s.get(&mut r, "b", "k").unwrap();
         assert_eq!(out, Bytes::from_static(b"two!"));
         assert_eq!(s.object_count(), 1);
@@ -465,6 +493,27 @@ mod tests {
             c.as_secs_f64() > 5.0 * l.as_secs_f64(),
             "cloud {c} vs local {l}"
         );
+    }
+
+    #[test]
+    fn transfer_time_is_pure_bandwidth() {
+        let s = store();
+        assert_eq!(
+            s.transfer_time(StorageOp::Get, 100_000_000),
+            SimDuration::from_secs_f64(1.0)
+        );
+        assert_eq!(
+            s.transfer_time(StorageOp::Put, 100_000_000),
+            SimDuration::from_secs_f64(2.0)
+        );
+        assert_eq!(s.transfer_time(StorageOp::List, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn storage_op_names() {
+        assert_eq!(StorageOp::Get.name(), "get");
+        assert_eq!(StorageOp::Put.name(), "put");
+        assert_eq!(StorageOp::List.name(), "list");
     }
 
     #[test]

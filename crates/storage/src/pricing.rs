@@ -9,7 +9,6 @@
 //! same rates `sebs_platform`'s function-egress billing models use — keep
 //! `crates/platform/src/billing.rs` in sync when touching them.
 
-
 use crate::object::StorageStats;
 
 /// Prices for a persistent object-storage service, in USD.

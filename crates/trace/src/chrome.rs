@@ -1,0 +1,190 @@
+//! Chrome `trace_event` export — loadable in Perfetto and `about:tracing`.
+//!
+//! The export uses the JSON Object Format: a `traceEvents` array of
+//! complete (`"ph": "X"`) events with microsecond timestamps. Each grid
+//! cell becomes a process (`pid`) and each invocation a thread (`tid`), so
+//! the invocation's phase tree renders as one nested track. Serialization
+//! goes through `sebs_metrics::Json`, which escapes strings and keeps
+//! member order deterministic.
+
+use sebs_metrics::Json;
+
+use crate::sink::{InvocationTrace, TraceSink};
+use crate::span::TraceSpan;
+
+/// Renders the sink as a Chrome `trace_event` JSON document.
+///
+/// The output is a pure function of the sink's contents: exporting the same
+/// (canonically sorted) sink always yields identical bytes.
+pub fn chrome_trace_json(sink: &TraceSink) -> String {
+    let mut events = Vec::new();
+    let mut named_pids: Vec<u64> = Vec::new();
+    for trace in sink.traces() {
+        let pid = trace.cell.unwrap_or(0);
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            events.push(metadata_event(
+                "process_name",
+                pid,
+                0,
+                match trace.cell {
+                    Some(c) => format!("cell {c}"),
+                    None => "ad-hoc".to_string(),
+                },
+            ));
+        }
+        events.push(metadata_event(
+            "thread_name",
+            pid,
+            trace.seq,
+            format!(
+                "{}/{} @{} MB #{}",
+                trace.provider, trace.benchmark, trace.memory_mb, trace.seq
+            ),
+        ));
+        push_span_events(&mut events, trace, &trace.root);
+    }
+    let doc = Json::Object(vec![
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ("traceEvents".into(), Json::Array(events)),
+    ]);
+    doc.to_string_pretty() + "\n"
+}
+
+fn metadata_event(kind: &str, pid: u64, tid: u64, name: String) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::Str(kind.into())),
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::Num(pid as f64)),
+        ("tid".into(), Json::Num(tid as f64)),
+        (
+            "args".into(),
+            Json::Object(vec![("name".into(), Json::Str(name))]),
+        ),
+    ])
+}
+
+fn push_span_events(events: &mut Vec<Json>, trace: &InvocationTrace, span: &TraceSpan) {
+    let pid = trace.cell.unwrap_or(0);
+    let args: Vec<(String, Json)> = span
+        .args
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    events.push(Json::Object(vec![
+        ("name".into(), Json::Str(span.name.clone())),
+        ("cat".into(), Json::Str("sebs".into())),
+        ("ph".into(), Json::Str("X".into())),
+        ("ts".into(), Json::Num(span.start.as_micros() as f64)),
+        ("dur".into(), Json::Num(span.duration.as_micros() as f64)),
+        ("pid".into(), Json::Num(pid as f64)),
+        ("tid".into(), Json::Num(trace.seq as f64)),
+        ("args".into(), Json::Object(args)),
+    ]));
+    for child in &span.children {
+        push_span_events(events, trace, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::{SimDuration, SimTime};
+
+    fn sink_with(name: &str, arg: (&str, &str)) -> TraceSink {
+        let mut root = TraceSpan::new("invocation", SimTime::ZERO, SimDuration::from_millis(5));
+        root.push_child(
+            TraceSpan::new(name, SimTime::ZERO, SimDuration::from_millis(2)).with_arg(arg.0, arg.1),
+        );
+        let mut sink = TraceSink::new();
+        sink.push(InvocationTrace {
+            provider: "aws".into(),
+            benchmark: "uploader".into(),
+            memory_mb: 256,
+            cell: Some(3),
+            seq: 1,
+            root,
+        });
+        sink
+    }
+
+    #[test]
+    fn export_parses_and_carries_spans() {
+        let text = chrome_trace_json(&sink_with("storage.get", ("object", "data/input.bin")));
+        let doc = Json::parse(&text).expect("export is valid JSON");
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // process_name + thread_name metadata, then two X events.
+        assert_eq!(events.len(), 4);
+        let x_events: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(x_events.len(), 2);
+        assert_eq!(
+            x_events[1].get("name").and_then(Json::as_str),
+            Some("storage.get")
+        );
+        assert_eq!(x_events[1].get("pid").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(x_events[1].get("tid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(x_events[1].get("dur").and_then(Json::as_f64), Some(2000.0));
+        assert_eq!(
+            x_events[1]
+                .get("args")
+                .and_then(|a| a.get("object"))
+                .and_then(Json::as_str),
+            Some("data/input.bin")
+        );
+    }
+
+    #[test]
+    fn control_characters_and_quotes_are_escaped() {
+        // Span names and args come from benchmark/bucket names; hostile
+        // content must not break the JSON document.
+        let text = chrome_trace_json(&sink_with("weird\"name\n", ("k\\ey", "va\tl\u{1}ue")));
+        let doc = Json::parse(&text).expect("escaped export still parses");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let weird = events
+            .iter()
+            .find(|e| {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("weird"))
+            })
+            .expect("escaped span survives the round-trip");
+        assert_eq!(
+            weird.get("name").and_then(Json::as_str),
+            Some("weird\"name\n")
+        );
+        assert_eq!(
+            weird
+                .get("args")
+                .and_then(|a| a.get("k\\ey"))
+                .and_then(Json::as_str),
+            Some("va\tl\u{1}ue")
+        );
+        assert!(text.contains("\\\""), "quotes are backslash-escaped");
+        assert!(text.contains("\\u0001"), "control chars use \\u escapes");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let sink = sink_with("execute", ("outcome", "success"));
+        assert_eq!(chrome_trace_json(&sink), chrome_trace_json(&sink));
+    }
+
+    #[test]
+    fn empty_sink_exports_empty_event_list() {
+        let text = chrome_trace_json(&TraceSink::new());
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

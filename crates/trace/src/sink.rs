@@ -1,0 +1,151 @@
+//! Trace collection with the same determinism contract as `ResultStore`.
+
+use crate::span::TraceSpan;
+
+/// The span tree of one invocation plus its canonical coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationTrace {
+    /// Provider name, e.g. `aws`.
+    pub provider: String,
+    /// Benchmark name, e.g. `graph-bfs`.
+    pub benchmark: String,
+    /// Configured memory in MB.
+    pub memory_mb: u32,
+    /// Grid-cell index when the invocation ran inside a grid experiment;
+    /// `None` for ad-hoc invocations. The canonical sort key.
+    pub cell: Option<u64>,
+    /// Per-platform invocation sequence number — deterministic because
+    /// every platform invokes in submission order.
+    pub seq: u64,
+    /// The root `invocation` span.
+    pub root: TraceSpan,
+}
+
+/// Collects [`InvocationTrace`]s and merges them in canonical cell order.
+///
+/// Grid experiments give every worker thread its own sink (no locks, no
+/// sharing); the driver then merges the per-cell sinks and calls
+/// [`TraceSink::sort_canonical`], mirroring `ResultStore::merge` +
+/// `sort_by_tag_index("cell")`. Exported bytes are therefore identical for
+/// every `--jobs` value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSink {
+    traces: Vec<InvocationTrace>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Adds one trace.
+    pub fn push(&mut self, trace: InvocationTrace) {
+        self.traces.push(trace);
+    }
+
+    /// Adds many traces, preserving their order.
+    pub fn extend(&mut self, traces: impl IntoIterator<Item = InvocationTrace>) {
+        self.traces.extend(traces);
+    }
+
+    /// Absorbs another sink (e.g. one worker's collection).
+    pub fn merge(&mut self, other: TraceSink) {
+        self.traces.extend(other.traces);
+    }
+
+    /// Sorts into canonical order: traces without a cell first (in
+    /// insertion order), then by ascending cell index with the per-cell
+    /// sequence preserved. The sort is stable, so merging per-cell sinks in
+    /// any order followed by `sort_canonical` yields identical bytes.
+    pub fn sort_canonical(&mut self) {
+        self.traces
+            .sort_by_key(|t| (t.cell.is_some(), t.cell.unwrap_or(0), t.seq));
+    }
+
+    /// Number of collected traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The collected traces, in current order.
+    pub fn traces(&self) -> &[InvocationTrace] {
+        &self.traces
+    }
+
+    /// Total number of spans across all traces.
+    pub fn span_count(&self) -> usize {
+        self.traces.iter().map(|t| t.root.span_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::{SimDuration, SimTime};
+
+    fn trace(cell: Option<u64>, seq: u64) -> InvocationTrace {
+        InvocationTrace {
+            provider: "aws".into(),
+            benchmark: "graph-bfs".into(),
+            memory_mb: 512,
+            cell,
+            seq,
+            root: TraceSpan::new(
+                "invocation",
+                SimTime::ZERO,
+                SimDuration::from_millis(seq + 1),
+            ),
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_merge_order_independent() {
+        // Worker A finished cells 2 and 0, worker B finished cell 1: the
+        // merged order must not depend on which worker merged first.
+        let mut a = TraceSink::new();
+        a.extend([trace(Some(2), 0), trace(Some(0), 0), trace(Some(0), 1)]);
+        let mut b = TraceSink::new();
+        b.push(trace(Some(1), 0));
+
+        let mut ab = TraceSink::new();
+        ab.merge(a.clone());
+        ab.merge(b.clone());
+        ab.sort_canonical();
+
+        let mut ba = TraceSink::new();
+        ba.merge(b);
+        ba.merge(a);
+        ba.sort_canonical();
+
+        assert_eq!(ab, ba);
+        let cells: Vec<Option<u64>> = ab.traces().iter().map(|t| t.cell).collect();
+        assert_eq!(cells, vec![Some(0), Some(0), Some(1), Some(2)]);
+        let seqs: Vec<u64> = ab.traces().iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 0, 0], "per-cell sequence is preserved");
+    }
+
+    #[test]
+    fn untagged_traces_sort_first() {
+        let mut s = TraceSink::new();
+        s.extend([trace(Some(3), 0), trace(None, 7), trace(None, 2)]);
+        s.sort_canonical();
+        let cells: Vec<Option<u64>> = s.traces().iter().map(|t| t.cell).collect();
+        assert_eq!(cells, vec![None, None, Some(3)]);
+        assert_eq!(s.traces()[0].seq, 2, "untagged traces order by seq");
+    }
+
+    #[test]
+    fn counts() {
+        let mut s = TraceSink::new();
+        assert!(s.is_empty());
+        s.push(trace(None, 0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.span_count(), 1);
+    }
+}

@@ -380,8 +380,14 @@ fn build_lengths(freq: &[u64], max_len: u8) -> Vec<u8> {
         *d = (*d).min(max_len);
         counts[*d as usize] += 1;
     }
-    let kraft =
-        |counts: &[u32]| -> u64 { counts.iter().enumerate().skip(1).map(|(l, &c)| (c as u64) << (max_len as usize - l)).sum() };
+    let kraft = |counts: &[u32]| -> u64 {
+        counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(l, &c)| (c as u64) << (max_len as usize - l))
+            .sum()
+    };
     while kraft(&counts) > 1u64 << max_len {
         // Find a symbol at depth < max_len closest to the bottom and push
         // it one level down.
@@ -529,9 +535,20 @@ impl Compression {
     /// compression has realistic structure.
     fn synth_text(rng: &mut StreamRng, bytes: usize) -> Vec<u8> {
         const WORDS: &[&str] = &[
-            "\\documentclass", "\\usepackage", "\\begin{document}", "section",
-            "theorem", "benchmark", "serverless", "function", "latency",
-            "\\cite{copik2021sebs}", "performance", "the", "of", "and",
+            "\\documentclass",
+            "\\usepackage",
+            "\\begin{document}",
+            "section",
+            "theorem",
+            "benchmark",
+            "serverless",
+            "function",
+            "latency",
+            "\\cite{copik2021sebs}",
+            "performance",
+            "the",
+            "of",
+            "and",
         ];
         let mut out = Vec::with_capacity(bytes);
         while out.len() < bytes {
@@ -569,7 +586,12 @@ impl Workload for Compression {
         for i in 0..files {
             let data = Self::synth_text(rng, per_file);
             storage
-                .put(rng, BUCKET, &format!("src/file-{i:03}.tex"), Bytes::from(data))
+                .put(
+                    rng,
+                    BUCKET,
+                    &format!("src/file-{i:03}.tex"),
+                    Bytes::from(data),
+                )
                 // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
                 .expect("bucket was just created");
         }
@@ -681,7 +703,9 @@ mod tests {
     #[test]
     fn incompressible_data_survives() {
         let mut rng = SimRng::new(77).stream("rnd");
-        let data: Vec<u8> = (0..20_000).map(|_| sebs_sim::rng::Rng::gen(&mut rng)).collect();
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| sebs_sim::rng::Rng::gen(&mut rng))
+            .collect();
         let (packed, _) = compress(&data);
         assert_eq!(decompress(&packed).unwrap(), data);
         // Random bytes may expand slightly, but not pathologically.
@@ -756,7 +780,9 @@ mod tests {
         let mut ctx = InvocationCtx::new(&mut store, &mut rng);
         wl.execute(&payload, &mut ctx).unwrap();
         let mut check_rng = SimRng::new(13).stream("check");
-        let (archive, _) = store.get(&mut check_rng, BUCKET, "src/archive.sebz").unwrap();
+        let (archive, _) = store
+            .get(&mut check_rng, BUCKET, "src/archive.sebz")
+            .unwrap();
         let raw = decompress(&archive).unwrap();
         let text = String::from_utf8_lossy(&raw);
         assert!(text.contains("== src/file-000.tex"));
@@ -771,7 +797,11 @@ mod tests {
             let len = rng.gen_range(0usize..4096);
             let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
             let (packed, _) = compress(&data);
-            assert_eq!(decompress(&packed).unwrap(), data, "failing case seed {case}");
+            assert_eq!(
+                decompress(&packed).unwrap(),
+                data,
+                "failing case seed {case}"
+            );
         }
     }
 
@@ -785,7 +815,11 @@ mod tests {
                 .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
                 .collect();
             let (packed, _) = compress(&data);
-            assert_eq!(decompress(&packed).unwrap(), data, "failing case seed {case}");
+            assert_eq!(
+                decompress(&packed).unwrap(),
+                data,
+                "failing case seed {case}"
+            );
         }
     }
 }

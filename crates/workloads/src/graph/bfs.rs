@@ -78,14 +78,12 @@ pub struct BfsStats {
 /// # Panics
 ///
 /// Panics if `source` is out of range or `alpha`/`beta` are zero.
-pub fn bfs_direction_optimizing(
-    g: &CsrGraph,
-    source: u32,
-    alpha: u64,
-    beta: u64,
-) -> BfsStats {
+pub fn bfs_direction_optimizing(g: &CsrGraph, source: u32, alpha: u64, beta: u64) -> BfsStats {
     assert!(source < g.num_vertices(), "source out of range");
-    assert!(alpha > 0 && beta > 0, "switching parameters must be positive");
+    assert!(
+        alpha > 0 && beta > 0,
+        "switching parameters must be positive"
+    );
     let n = g.num_vertices() as usize;
     let m = g.num_arcs();
     let mut dist = vec![UNREACHED; n];

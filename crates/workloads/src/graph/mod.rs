@@ -53,11 +53,7 @@ impl CsrGraph {
     /// # Panics
     ///
     /// Panics if an endpoint is `>= n`.
-    pub fn from_weighted_edges(
-        n: u32,
-        edges: &[(u32, u32, u32)],
-        undirected: bool,
-    ) -> CsrGraph {
+    pub fn from_weighted_edges(n: u32, edges: &[(u32, u32, u32)], undirected: bool) -> CsrGraph {
         let mut degree = vec![0u64; n as usize + 1];
         for &(a, b, _) in edges {
             assert!(a < n && b < n, "edge endpoint out of range");
@@ -170,7 +166,11 @@ impl CsrGraph {
 /// family (the suite cites Graph500 as the home of BFS benchmarking).
 ///
 /// Uses the standard (A, B, C) = (0.57, 0.19, 0.19) parameters.
-pub fn rmat_edges(scale: u32, edge_factor: u32, rng: &mut StreamRng) -> (u32, Vec<(u32, u32, u32)>) {
+pub fn rmat_edges(
+    scale: u32,
+    edge_factor: u32,
+    rng: &mut StreamRng,
+) -> (u32, Vec<(u32, u32, u32)>) {
     let n = 1u32 << scale;
     let m = (n as u64 * edge_factor as u64) as usize;
     let (a, b, c) = (0.57, 0.19, 0.19);
@@ -200,11 +200,7 @@ pub fn rmat_edges(scale: u32, edge_factor: u32, rng: &mut StreamRng) -> (u32, Ve
 /// Generates a uniformly random connected graph: a random spanning tree
 /// plus `extra` random edges. Useful where kernels need guaranteed
 /// connectivity (MST of a forest is ill-posed in single-tree form).
-pub fn random_connected_edges(
-    n: u32,
-    extra: usize,
-    rng: &mut StreamRng,
-) -> Vec<(u32, u32, u32)> {
+pub fn random_connected_edges(n: u32, extra: usize, rng: &mut StreamRng) -> Vec<(u32, u32, u32)> {
     assert!(n >= 1, "graph needs at least one vertex");
     let mut edges = Vec::with_capacity(n as usize - 1 + extra);
     for v in 1..n {

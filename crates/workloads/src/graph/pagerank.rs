@@ -34,7 +34,10 @@ pub struct PagerankResult {
 /// Panics if `d` is outside `(0, 1)`, `tol` is not positive, or the graph
 /// has no vertices.
 pub fn pagerank(g: &CsrGraph, d: f64, tol: f64, max_iters: u32) -> PagerankResult {
-    assert!((0.0..1.0).contains(&d) && d > 0.0, "damping must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&d) && d > 0.0,
+        "damping must be in (0,1)"
+    );
     assert!(tol > 0.0, "tolerance must be positive");
     let n = g.num_vertices() as usize;
     assert!(n > 0, "pagerank of an empty graph");
@@ -296,11 +299,11 @@ mod tests {
             let g = CsrGraph::from_edges(n, &edges, false);
             let r = pagerank(&g, damping, 1e-10, 300);
             let sum: f64 = r.ranks.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-6, "sum {sum} (failing case seed {case})");
             assert!(
-                r.ranks.iter().all(|&v| v > 0.0),
-                "failing case seed {case}"
+                (sum - 1.0).abs() < 1e-6,
+                "sum {sum} (failing case seed {case})"
             );
+            assert!(r.ranks.iter().all(|&v| v > 0.0), "failing case seed {case}");
         }
     }
 
@@ -308,7 +311,10 @@ mod tests {
     fn pagerank_is_permutation_equivariant() {
         for case in 0..24u64 {
             // Relabeling vertices permutes ranks identically.
-            let seed = SimRng::new(0x9E2A).child(case).stream("inputs").gen_range(0u64..500);
+            let seed = SimRng::new(0x9E2A)
+                .child(case)
+                .stream("inputs")
+                .gen_range(0u64..500);
             let mut rng = SimRng::new(seed).stream("perm");
             let (n, edges) = super::super::rmat_edges(5, 4, &mut rng);
             let plain: Vec<(u32, u32)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();

@@ -12,14 +12,13 @@ use std::fmt;
 
 use sebs_sim::bytes::Bytes;
 use sebs_sim::rng::StreamRng;
-use sebs_storage::{ObjectStorage, StorageError};
 use sebs_sim::SimDuration;
+use sebs_storage::{ObjectStorage, StorageError};
 
 /// Implementation language of the benchmark (paper Table 3 ships Python and
 /// Node.js variants). The language determines the sandbox's runtime-startup
 /// cost and a relative execution-speed factor in the platform model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Language {
     /// CPython 3.7 profile.
     #[default]
@@ -36,7 +35,6 @@ impl fmt::Display for Language {
         }
     }
 }
-
 
 /// Input-size selector for a benchmark, mirroring SeBS's test/small/large
 /// input generators.
@@ -171,6 +169,34 @@ pub struct WorkCounters {
     pub storage_requests: u64,
 }
 
+/// Kind of a recorded I/O event (for tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// A storage download.
+    Get,
+    /// A storage upload.
+    Put,
+    /// Non-storage external wait (e.g. origin-server download).
+    External,
+}
+
+/// One I/O operation observed during a kernel run, recorded only when the
+/// context has [`InvocationCtx::enable_io_recording`] switched on. The
+/// tracing layer turns each event into a child span of `execute`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoEvent {
+    /// What kind of operation this was.
+    pub kind: IoKind,
+    /// Bucket name (empty for external I/O).
+    pub bucket: String,
+    /// Object key (empty for external I/O).
+    pub key: String,
+    /// Bytes moved (0 for external I/O).
+    pub bytes: u64,
+    /// Unscaled model latency of the operation.
+    pub duration: SimDuration,
+}
+
 /// Per-invocation instrumentation context.
 ///
 /// Owns the mutable view of the environment (storage handle, RNG) plus the
@@ -182,6 +208,8 @@ pub struct InvocationCtx<'a> {
     io_time: SimDuration,
     current_alloc: u64,
     peak_alloc: u64,
+    record_io: bool,
+    io_events: Vec<IoEvent>,
 }
 
 impl<'a> fmt::Debug for InvocationCtx<'a> {
@@ -204,7 +232,20 @@ impl<'a> InvocationCtx<'a> {
             io_time: SimDuration::ZERO,
             current_alloc: 0,
             peak_alloc: 0,
+            record_io: false,
+            io_events: Vec::new(),
         }
+    }
+
+    /// Turns on per-operation I/O event recording (off by default; the
+    /// recording never consumes randomness, so it cannot perturb results).
+    pub fn enable_io_recording(&mut self) {
+        self.record_io = true;
+    }
+
+    /// The I/O events recorded so far (empty unless recording was enabled).
+    pub fn io_events(&self) -> &[IoEvent] {
+        &self.io_events
     }
 
     /// Adds `n` abstract work units (the kernel's "instructions executed").
@@ -233,6 +274,15 @@ impl<'a> InvocationCtx<'a> {
         self.io_time += latency;
         self.counters.storage_requests += 1;
         self.counters.storage_bytes_read += data.len() as u64;
+        if self.record_io {
+            self.io_events.push(IoEvent {
+                kind: IoKind::Get,
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+                bytes: data.len() as u64,
+                duration: latency,
+            });
+        }
         Ok(data)
     }
 
@@ -252,6 +302,15 @@ impl<'a> InvocationCtx<'a> {
         self.io_time += latency;
         self.counters.storage_requests += 1;
         self.counters.storage_bytes_written += size;
+        if self.record_io {
+            self.io_events.push(IoEvent {
+                kind: IoKind::Put,
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+                bytes: size,
+                duration: latency,
+            });
+        }
         Ok(())
     }
 
@@ -259,6 +318,15 @@ impl<'a> InvocationCtx<'a> {
     /// from an origin server.
     pub fn external_io(&mut self, wait: SimDuration) {
         self.io_time += wait;
+        if self.record_io {
+            self.io_events.push(IoEvent {
+                kind: IoKind::External,
+                bucket: String::new(),
+                key: String::new(),
+                bytes: 0,
+                duration: wait,
+            });
+        }
     }
 
     /// The RNG stream for data-dependent randomness inside kernels.
@@ -320,7 +388,10 @@ mod tests {
     use sebs_storage::SimObjectStore;
 
     fn setup() -> (SimObjectStore, StreamRng) {
-        (SimObjectStore::local_minio_model(), SimRng::new(5).stream("h"))
+        (
+            SimObjectStore::local_minio_model(),
+            SimRng::new(5).stream("h"),
+        )
     }
 
     #[test]
@@ -352,7 +423,8 @@ mod tests {
         let (mut store, mut rng) = setup();
         store.create_bucket("b");
         let mut ctx = InvocationCtx::new(&mut store, &mut rng);
-        ctx.storage_put("b", "k", Bytes::from(vec![9u8; 64])).unwrap();
+        ctx.storage_put("b", "k", Bytes::from(vec![9u8; 64]))
+            .unwrap();
         let data = ctx.storage_get("b", "k").unwrap();
         assert_eq!(data.len(), 64);
         let c = ctx.counters();
@@ -369,6 +441,36 @@ mod tests {
         let err = ctx.storage_get("missing", "k").unwrap_err();
         assert!(matches!(err, WorkloadError::Storage(_)));
         assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn io_recording_is_opt_in_and_ordered() {
+        let (mut store, mut rng) = setup();
+        store.create_bucket("b");
+        // Off by default.
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        ctx.storage_put("b", "k", Bytes::from(vec![1u8; 8]))
+            .unwrap();
+        assert!(ctx.io_events().is_empty());
+        drop(ctx);
+        // On: events appear in issue order with sizes and latencies.
+        let mut rng = SimRng::new(5).stream("h2");
+        let mut ctx = InvocationCtx::new(&mut store, &mut rng);
+        ctx.enable_io_recording();
+        ctx.storage_get("b", "k").unwrap();
+        ctx.storage_put("b", "k2", Bytes::from(vec![2u8; 32]))
+            .unwrap();
+        ctx.external_io(SimDuration::from_millis(7));
+        let ev = ctx.io_events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].kind, IoKind::Get);
+        assert_eq!((ev[0].bucket.as_str(), ev[0].key.as_str()), ("b", "k"));
+        assert_eq!(ev[0].bytes, 8);
+        assert!(ev[0].duration > SimDuration::ZERO);
+        assert_eq!(ev[1].kind, IoKind::Put);
+        assert_eq!(ev[1].bytes, 32);
+        assert_eq!(ev[2].kind, IoKind::External);
+        assert_eq!(ev[2].duration, SimDuration::from_millis(7));
     }
 
     #[test]

@@ -364,7 +364,11 @@ impl Workload for Thumbnailer {
         // paper's egress analysis (§6.3 Q4: ≈3 kB).
         let (packed, pack_work) = encode_lossy_thumbnail(&thumb);
         ctx.work(pack_work * 4);
-        ctx.storage_put(&bucket, &format!("thumb-{key}"), Bytes::from(packed.clone()))?;
+        ctx.storage_put(
+            &bucket,
+            &format!("thumb-{key}"),
+            Bytes::from(packed.clone()),
+        )?;
         ctx.free((img.byte_len() + thumb.byte_len()) as u64);
 
         Ok(Response::new(

@@ -66,7 +66,10 @@ impl Tensor {
     ///
     /// Panics when out of bounds.
     pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
-        assert!(c < self.c && y < self.h && x < self.w, "index out of bounds");
+        assert!(
+            c < self.c && y < self.h && x < self.w,
+            "index out of bounds"
+        );
         self.data[(c * self.h + y) * self.w + x]
     }
 
@@ -110,7 +113,9 @@ impl Conv2d {
         assert!(k % 2 == 1, "kernel size must be odd");
         let n = out_c * in_c * k * k;
         let weights = (0..n).map(|i| synth_weight(layer_id, i)).collect();
-        let bias = (0..out_c).map(|i| synth_weight(layer_id ^ 0xb1a5, i) * 0.1).collect();
+        let bias = (0..out_c)
+            .map(|i| synth_weight(layer_id ^ 0xb1a5, i) * 0.1)
+            .collect();
         Conv2d {
             in_c,
             out_c,

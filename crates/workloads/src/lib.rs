@@ -34,7 +34,7 @@ pub mod uploader;
 pub mod video;
 
 pub use harness::{
-    InvocationCtx, Language, Payload, Response, Scale, WorkCounters, Workload, WorkloadError,
-    WorkloadSpec,
+    InvocationCtx, IoEvent, IoKind, Language, Payload, Response, Scale, WorkCounters, Workload,
+    WorkloadError, WorkloadSpec,
 };
 pub use registry::{all_workloads, workload_by_name, Category};

@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-
 use crate::compress::Compression;
 use crate::graph::{GraphBfs, GraphMst, GraphPagerank};
 use crate::harness::{Language, Workload};
@@ -91,10 +90,7 @@ fn entry<W: Workload + Send + Sync + 'static>(
 }
 
 /// Looks up a benchmark by name and language.
-pub fn workload_by_name(
-    name: &str,
-    language: Language,
-) -> Option<Box<dyn Workload + Send + Sync>> {
+pub fn workload_by_name(name: &str, language: Language) -> Option<Box<dyn Workload + Send + Sync>> {
     all_workloads()
         .into_iter()
         .find(|r| {

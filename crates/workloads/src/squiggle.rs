@@ -245,7 +245,11 @@ impl Workload for DataVis {
 
         let json = to_json(&plot);
         ctx.work(json.len() as u64);
-        ctx.storage_put(&bucket, &format!("{key}.squiggle.json"), Bytes::from(json.clone()))?;
+        ctx.storage_put(
+            &bucket,
+            &format!("{key}.squiggle.json"),
+            Bytes::from(json.clone()),
+        )?;
         ctx.free((data.len() + points.len() * 16) as u64);
 
         let gc = gc_content(seq);
@@ -344,7 +348,9 @@ mod tests {
         let mut ctx = InvocationCtx::new(&mut store, &mut rng);
         let resp = wl.execute(&payload, &mut ctx).unwrap();
         assert!(resp.summary.contains("visualized 10000 bases"));
-        assert!(store.size_of(BUCKET, "sequence.fasta.squiggle.json").is_some());
+        assert!(store
+            .size_of(BUCKET, "sequence.fasta.squiggle.json")
+            .is_some());
         let json = std::str::from_utf8(&resp.body).unwrap();
         assert!(json.starts_with("[[") && json.ends_with("]]"));
         // Response bounded by the plotting budget, not the input size.
@@ -358,7 +364,12 @@ mod tests {
         let mut rng = SimRng::new(31).stream("vis");
         store.create_bucket(BUCKET);
         store
-            .put(&mut rng, BUCKET, INPUT_KEY, Bytes::from_static(b">header only"))
+            .put(
+                &mut rng,
+                BUCKET,
+                INPUT_KEY,
+                Bytes::from_static(b">header only"),
+            )
             .unwrap();
         let payload = Payload::with_params(vec![
             ("bucket".into(), BUCKET.into()),

@@ -158,7 +158,13 @@ fn tokenize(source: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     let mut rest = source;
     while !rest.is_empty() {
-        if let Some(start) = rest.find("{{").map(|v| (v, true)).into_iter().chain(rest.find("{%").map(|v| (v, false))).min_by_key(|(i, _)| *i) {
+        if let Some(start) = rest
+            .find("{{")
+            .map(|v| (v, true))
+            .into_iter()
+            .chain(rest.find("{%").map(|v| (v, false)))
+            .min_by_key(|(i, _)| *i)
+        {
             let (idx, is_var) = start;
             if idx > 0 {
                 tokens.push(Token::Text(rest[..idx].to_string()));
@@ -408,7 +414,10 @@ mod tests {
     use sebs_storage::SimObjectStore;
 
     fn ctx_parts() -> (SimObjectStore, StreamRng) {
-        (SimObjectStore::local_minio_model(), SimRng::new(1).stream("tpl"))
+        (
+            SimObjectStore::local_minio_model(),
+            SimRng::new(1).stream("tpl"),
+        )
     }
 
     #[test]
@@ -438,15 +447,19 @@ mod tests {
 
     #[test]
     fn nested_loops() {
-        let t =
-            Template::compile("{% for x in xs %}{% for y in ys %}{{ x }}{{ y }};{% endfor %}{% endfor %}")
-                .unwrap();
+        let t = Template::compile(
+            "{% for x in xs %}{% for y in ys %}{{ x }}{{ y }};{% endfor %}{% endfor %}",
+        )
+        .unwrap();
         let mut c = HashMap::new();
         c.insert(
             "xs".into(),
             Value::List(vec![Value::Str("a".into()), Value::Str("b".into())]),
         );
-        c.insert("ys".into(), Value::List(vec![Value::Num(1.0), Value::Num(2.0)]));
+        c.insert(
+            "ys".into(),
+            Value::List(vec![Value::Num(1.0), Value::Num(2.0)]),
+        );
         assert_eq!(t.render(&c).unwrap().0, "a1;a2;b1;b2;");
     }
 
@@ -509,7 +522,8 @@ mod tests {
         assert_eq!(html.matches("<tr>").count(), 100);
         assert!(ctx.counters().instructions > 0);
         assert_eq!(
-            ctx.counters().storage_requests, 0,
+            ctx.counters().storage_requests,
+            0,
             "dynamic-html does not touch storage"
         );
     }

@@ -93,8 +93,7 @@ impl Workload for Uploader {
 
         // "Download" from the origin: an external transfer the cloud cannot
         // accelerate; generates the actual bytes we later upload.
-        let download_time =
-            SimDuration::from_secs_f64(size as f64 / Self::ORIGIN_BANDWIDTH);
+        let download_time = SimDuration::from_secs_f64(size as f64 / Self::ORIGIN_BANDWIDTH);
         ctx.external_io(download_time);
         let mut data = vec![0u8; size];
         ctx.rng().fill_bytes(&mut data);
@@ -121,7 +120,10 @@ impl Workload for Uploader {
         let body = format!(
             "{{\"url\":\"{url}\",\"key\":\"{key}\",\"sha\":\"{checksum:016x}\",\"bytes\":{size}}}"
         );
-        Ok(Response::new(body, format!("uploaded {size} bytes as {key}")))
+        Ok(Response::new(
+            body,
+            format!("uploaded {size} bytes as {key}"),
+        ))
     }
 }
 

@@ -146,10 +146,7 @@ pub fn encode_gif_like(clip: &Clip) -> (PalettedAnimation, u64) {
         }
         frames.push(runs);
     }
-    let (w, h) = (
-        clip.frames()[0].width(),
-        clip.frames()[0].height(),
-    );
+    let (w, h) = (clip.frames()[0].width(), clip.frames()[0].height());
     (
         PalettedAnimation {
             width: w,
@@ -259,7 +256,12 @@ impl Workload for VideoProcessing {
         let (w, h, frames) = Self::clip_for(scale);
         let clip = Clip::synthetic(w, h, frames, 24);
         storage
-            .put(rng, BUCKET, INPUT_KEY, Bytes::from(Self::serialize_clip(&clip)))
+            .put(
+                rng,
+                BUCKET,
+                INPUT_KEY,
+                Bytes::from(Self::serialize_clip(&clip)),
+            )
             // audit:allow(panic-hygiene): the bucket is created two lines above in the same function
             .expect("bucket was just created");
         Payload::with_params(vec![

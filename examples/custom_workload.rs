@@ -9,8 +9,8 @@
 //! cargo run -p sebs-examples --bin custom_workload
 //! ```
 
-use sebs_sim::rng::{Rng, StreamRng};
 use sebs_platform::{FaasPlatform, FunctionConfig, ProviderProfile, StartKind};
+use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::SimDuration;
 use sebs_storage::ObjectStorage;
 use sebs_workloads::{
@@ -89,7 +89,9 @@ fn main() {
     let cold = platform.invoke(fid, &workload, &payload);
     println!(
         "  cold: {} ({}), {}",
-        cold.client_time, cold.provider_time, cold.summary()
+        cold.client_time,
+        cold.provider_time,
+        cold.summary()
     );
     let mut warm_times = Vec::new();
     for _ in 0..20 {
@@ -107,10 +109,7 @@ fn main() {
     );
     println!(
         "  bill per warm invocation: ${:.8}",
-        platform
-            .invoke(fid, &workload, &payload)
-            .bill
-            .total_usd()
+        platform.invoke(fid, &workload, &payload).bill.total_usd()
     );
 }
 

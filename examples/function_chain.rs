@@ -12,8 +12,8 @@
 //! cargo run -p sebs-examples --bin function_chain
 //! ```
 
-use sebs_sim::bytes::Bytes;
 use sebs_platform::{FaasPlatform, FunctionConfig, ProviderProfile};
+use sebs_sim::bytes::Bytes;
 use sebs_sim::{SimDuration, SimRng};
 use sebs_storage::{EphemeralKv, ObjectStorage};
 use sebs_workloads::compress::compress;

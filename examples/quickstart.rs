@@ -49,7 +49,10 @@ fn print_record(r: &sebs_platform::InvocationRecord) {
     println!("  benchmark time : {}", r.benchmark_time);
     println!("  provider time  : {}", r.provider_time);
     println!("  client time    : {}", r.client_time);
-    println!("  memory used    : {} MB of {} MB", r.used_memory_mb, r.configured_memory_mb);
+    println!(
+        "  memory used    : {} MB of {} MB",
+        r.used_memory_mb, r.configured_memory_mb
+    );
     println!("  response size  : {} B", r.response_bytes);
     println!(
         "  billed         : {} at {} MB -> ${:.8}",

@@ -57,7 +57,11 @@ fn idle_timeout_policy_is_all_or_nothing() {
         jitter_ms: Dist::Constant(0.0),
     });
     for obs in &result.observations {
-        let expected = if obs.delta_t_secs < 600.0 { obs.d_init } else { 0 };
+        let expected = if obs.delta_t_secs < 600.0 {
+            obs.d_init
+        } else {
+            0
+        };
         assert_eq!(
             obs.d_warm, expected,
             "ΔT = {}: all-or-nothing survival",

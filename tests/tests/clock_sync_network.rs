@@ -2,8 +2,8 @@
 //! over a simulated noisy link with drifting endpoint clocks (sebs-cloud) —
 //! the §6.4 measurement chain without the platform in between.
 
-use sebs_sim::rng::Rng;
 use sebs_cloud::{DriftingClock, Link, TransferKind};
+use sebs_sim::rng::Rng;
 use sebs_sim::{Dist, SimDuration, SimRng, SimTime};
 use sebs_stats::clocksync::PingPong;
 use sebs_stats::ClockSync;

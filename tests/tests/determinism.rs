@@ -60,17 +60,33 @@ fn provider_salting_decorrelates_platforms() {
     // The same suite seed must not make AWS and GCP draw identical noise.
     let mut s = Suite::new(SuiteConfig::fast().with_seed(123));
     let a = s
-        .deploy(ProviderKind::Aws, "graph-bfs", Language::Python, 512, Scale::Test)
+        .deploy(
+            ProviderKind::Aws,
+            "graph-bfs",
+            Language::Python,
+            512,
+            Scale::Test,
+        )
         .unwrap();
     let g = s
-        .deploy(ProviderKind::Gcp, "graph-bfs", Language::Python, 512, Scale::Test)
+        .deploy(
+            ProviderKind::Gcp,
+            "graph-bfs",
+            Language::Python,
+            512,
+            Scale::Test,
+        )
         .unwrap();
     let ra = s.invoke(&a);
     let rg = s.invoke(&g);
     assert_ne!(ra.client_time, rg.client_time);
     assert_ne!(
-        s.platform_mut(ProviderKind::Aws).server_clock().offset_secs(),
-        s.platform_mut(ProviderKind::Gcp).server_clock().offset_secs()
+        s.platform_mut(ProviderKind::Aws)
+            .server_clock()
+            .offset_secs(),
+        s.platform_mut(ProviderKind::Gcp)
+            .server_clock()
+            .offset_secs()
     );
 }
 
@@ -123,6 +139,36 @@ fn perf_cost_json_is_invariant_to_worker_count() {
     };
     let sequential = run(1);
     assert!(!sequential.is_empty());
+    for jobs in [2, 8] {
+        assert_eq!(run(jobs), sequential, "jobs={jobs} must match jobs=1");
+    }
+}
+
+#[test]
+fn trace_export_is_invariant_to_worker_count() {
+    // Traces ride the same per-cell pipeline as measurements: collected
+    // inside each cell's suite, tagged with the cell index, merged in
+    // canonical order. Both serializations — Chrome JSON and the breakdown
+    // table — must therefore be byte-identical for every --jobs value.
+    let grid = ExperimentGrid::new(
+        &[
+            ("thumbnailer", Language::Python),
+            ("graph-bfs", Language::Python),
+        ],
+        &[ProviderKind::Aws, ProviderKind::Gcp],
+        &[128, 512],
+    );
+    let config = SuiteConfig::fast().with_seed(2021).with_trace(true);
+    let run = |jobs: usize| {
+        let result = run_perf_cost_grid(&config, &grid, Scale::Test, &ParallelRunner::new(jobs));
+        (
+            sebs_trace::chrome_trace_json(&result.traces),
+            sebs_trace::breakdown_table(&result.traces),
+            result.to_store().to_json(),
+        )
+    };
+    let sequential = run(1);
+    assert!(sequential.0.contains("traceEvents"));
     for jobs in [2, 8] {
         assert_eq!(run(jobs), sequential, "jobs={jobs} must match jobs=1");
     }

@@ -22,8 +22,7 @@ fn gcp_kills_memory_hungry_functions_near_the_limit() {
     // the paper's deployment ships a trimmed build.
     let gcp_fid = gcp
         .deploy(
-            FunctionConfig::new(&spec.name, Language::Python, 128)
-                .with_code_package(90_000_000),
+            FunctionConfig::new(&spec.name, Language::Python, 128).with_code_package(90_000_000),
         )
         .expect("trimmed package deploys");
     let payload = gcp.prepare(&wl, Scale::Small);
@@ -37,8 +36,7 @@ fn gcp_kills_memory_hungry_functions_near_the_limit() {
     let mut aws = FaasPlatform::new(ProviderProfile::aws(), 11);
     let aws_fid = aws
         .deploy(
-            FunctionConfig::new(&spec.name, Language::Python, 128)
-                .with_code_package(240_000_000),
+            FunctionConfig::new(&spec.name, Language::Python, 128).with_code_package(240_000_000),
         )
         .expect("deploys under the 250 MB limit");
     let payload = aws.prepare(&wl, Scale::Small);
@@ -55,9 +53,7 @@ fn oom_reports_usage_and_limit() {
     let mut gcp = FaasPlatform::new(ProviderProfile::gcp(), 12);
     let wl = ImageRecognition::new(Language::Python);
     let fid = gcp
-        .deploy(
-            FunctionConfig::new("img", Language::Python, 128).with_code_package(50_000_000),
-        )
+        .deploy(FunctionConfig::new("img", Language::Python, 128).with_code_package(50_000_000))
         .expect("deploys");
     let payload = gcp.prepare(&wl, Scale::Small);
     match gcp.invoke(fid, &wl, &payload).outcome {
@@ -73,7 +69,13 @@ fn oom_reports_usage_and_limit() {
 fn bursts_above_the_concurrency_limit_throttle_the_tail() {
     let mut s = Suite::new(SuiteConfig::fast().with_seed(13));
     let handle = s
-        .deploy(ProviderKind::Gcp, "dynamic-html", Language::Python, 128, Scale::Test)
+        .deploy(
+            ProviderKind::Gcp,
+            "dynamic-html",
+            Language::Python,
+            128,
+            Scale::Test,
+        )
         .expect("deploys");
     let records = s.invoke_burst(&handle, 130);
     let throttled: Vec<usize> = records
@@ -95,7 +97,13 @@ fn azure_bursts_degrade_and_sometimes_fail() {
     // Azure; sequential invocations on the same deployment do not.
     let mut s = Suite::new(SuiteConfig::fast().with_seed(14));
     let handle = s
-        .deploy(ProviderKind::Azure, "compression", Language::Python, 512, Scale::Test)
+        .deploy(
+            ProviderKind::Azure,
+            "compression",
+            Language::Python,
+            512,
+            Scale::Test,
+        )
         .expect("deploys");
     let mut failures = 0;
     for _ in 0..6 {
@@ -123,17 +131,30 @@ fn azure_bursts_degrade_and_sometimes_fail() {
 fn oversized_payloads_bounce_at_the_trigger() {
     let mut s = Suite::new(SuiteConfig::fast().with_seed(15));
     let handle = s
-        .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 128, Scale::Test)
+        .deploy(
+            ProviderKind::Aws,
+            "dynamic-html",
+            Language::Python,
+            128,
+            Scale::Test,
+        )
         .expect("deploys");
     let mut big = handle.clone();
     big.payload.body = sebs_sim::bytes::Bytes::from(vec![0u8; 6_500_000]);
     let record = s.invoke(&big);
     assert!(matches!(
         record.outcome,
-        InvocationOutcome::PayloadTooLarge { limit: 6_000_000, .. }
+        InvocationOutcome::PayloadTooLarge {
+            limit: 6_000_000,
+            ..
+        }
     ));
     assert_eq!(record.response_bytes, 0);
-    assert_eq!(record.bill.total_usd(), 0.0, "rejected calls are not billed");
+    assert_eq!(
+        record.bill.total_usd(),
+        0.0,
+        "rejected calls are not billed"
+    );
 }
 
 #[test]
@@ -141,13 +162,16 @@ fn failed_invocations_do_not_warm_the_pool_estimate() {
     // Throttled calls never acquire a container.
     let mut s = Suite::new(SuiteConfig::fast().with_seed(16));
     let handle = s
-        .deploy(ProviderKind::Gcp, "dynamic-html", Language::Python, 128, Scale::Test)
+        .deploy(
+            ProviderKind::Gcp,
+            "dynamic-html",
+            Language::Python,
+            128,
+            Scale::Test,
+        )
         .expect("deploys");
     let records = s.invoke_burst(&handle, 120);
-    let served = records
-        .iter()
-        .filter(|r| r.container.is_some())
-        .count();
+    let served = records.iter().filter(|r| r.container.is_some()).count();
     let pool = s
         .platform_mut(ProviderKind::Gcp)
         .warm_containers(handle.function);

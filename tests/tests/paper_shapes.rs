@@ -78,10 +78,22 @@ fn azure_has_the_highest_variance() {
 fn gcp_spurious_cold_starts_grow_the_pool() {
     let mut s = suite(3);
     let aws = s
-        .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 256, Scale::Test)
+        .deploy(
+            ProviderKind::Aws,
+            "dynamic-html",
+            Language::Python,
+            256,
+            Scale::Test,
+        )
         .unwrap();
     let gcp = s
-        .deploy(ProviderKind::Gcp, "dynamic-html", Language::Python, 256, Scale::Test)
+        .deploy(
+            ProviderKind::Gcp,
+            "dynamic-html",
+            Language::Python,
+            256,
+            Scale::Test,
+        )
         .unwrap();
     let mut aws_colds = 0;
     let mut gcp_colds = 0;
@@ -100,7 +112,9 @@ fn gcp_spurious_cold_starts_grow_the_pool() {
     assert_eq!(aws_colds, 0, "AWS warm reuse is deterministic");
     assert!(gcp_colds >= 3, "GCP shows spurious colds: {gcp_colds}");
     assert!(gcp_colds <= 40, "but they stay the exception: {gcp_colds}");
-    let gcp_pool = s.platform_mut(ProviderKind::Gcp).warm_containers(gcp.function);
+    let gcp_pool = s
+        .platform_mut(ProviderKind::Gcp)
+        .warm_containers(gcp.function);
     assert!(
         gcp_pool > 1,
         "GCP's container count grows beyond concurrency: {gcp_pool}"
@@ -153,7 +167,11 @@ fn eviction_model_end_to_end() {
     config.d_init = vec![2, 8, 20];
     let result = run_eviction_model(&mut s, config);
     let fit = result.fit.expect("fits");
-    assert!((fit.period_secs - 380.0).abs() < 2.0, "P = {}", fit.period_secs);
+    assert!(
+        (fit.period_secs - 380.0).abs() < 2.0,
+        "P = {}",
+        fit.period_secs
+    );
     assert!(fit.r_squared > 0.99, "R² = {}", fit.r_squared);
 }
 

@@ -20,18 +20,30 @@ fn time_levels_ordered() {
     for case in 0..CASES {
         let mut rng = SimRng::new(0x0DE1).child(case).stream("inputs");
         let seed = rng.gen_range(0u64..1000);
-        let provider = [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp]
-            [rng.gen_range(0usize..3)];
+        let provider =
+            [ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp][rng.gen_range(0usize..3)];
         let memory = [256u32, 512, 1024][rng.gen_range(0usize..3)];
         let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
         let handle = s
-            .deploy(provider, "dynamic-html", Language::Python, memory, Scale::Test)
+            .deploy(
+                provider,
+                "dynamic-html",
+                Language::Python,
+                memory,
+                Scale::Test,
+            )
             .expect("dynamic-html deploys everywhere");
         for _ in 0..3 {
             let r = s.invoke(&handle);
-            assert!(r.benchmark_time <= r.provider_time, "failing case seed {case}");
+            assert!(
+                r.benchmark_time <= r.provider_time,
+                "failing case seed {case}"
+            );
             assert!(r.provider_time <= r.client_time, "failing case seed {case}");
-            assert!(r.t_recv_client >= r.t_send_client, "failing case seed {case}");
+            assert!(
+                r.t_recv_client >= r.t_send_client,
+                "failing case seed {case}"
+            );
             s.advance(provider, SimDuration::from_secs(1));
         }
     }
@@ -47,8 +59,16 @@ fn billing_monotone() {
         let mem = rng.gen_range(128u32..3008);
         let used = rng.gen_range(10u32..3008);
         let resp = rng.gen_range(0u64..10_000_000);
-        let (lo, hi) = if ms_a <= ms_b { (ms_a, ms_b) } else { (ms_b, ms_a) };
-        for model in [BillingModel::aws(), BillingModel::azure(), BillingModel::gcp()] {
+        let (lo, hi) = if ms_a <= ms_b {
+            (ms_a, ms_b)
+        } else {
+            (ms_b, ms_a)
+        };
+        for model in [
+            BillingModel::aws(),
+            BillingModel::azure(),
+            BillingModel::gcp(),
+        ] {
             let cheap = model.bill(SimDuration::from_millis(lo), mem, used, resp);
             let dear = model.bill(SimDuration::from_millis(hi), mem, used, resp);
             assert!(cheap.total_usd() >= 0.0, "failing case seed {case}");
@@ -74,15 +94,25 @@ fn pool_counts_monotone_under_idle() {
         let burst = rng.gen_range(1usize..12);
         let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
         let handle = s
-            .deploy(ProviderKind::Aws, "dynamic-html", Language::Python, 256, Scale::Test)
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
             .expect("deploys");
         let records = s.invoke_burst(&handle, burst);
         let served = records.iter().filter(|r| r.container.is_some()).count();
-        let mut last = s.platform_mut(ProviderKind::Aws).warm_containers(handle.function);
+        let mut last = s
+            .platform_mut(ProviderKind::Aws)
+            .warm_containers(handle.function);
         assert!(last <= served, "failing case seed {case}");
         for _ in 0..6 {
             s.advance(ProviderKind::Aws, SimDuration::from_secs(200));
-            let now = s.platform_mut(ProviderKind::Aws).warm_containers(handle.function);
+            let now = s
+                .platform_mut(ProviderKind::Aws)
+                .warm_containers(handle.function);
             assert!(
                 now <= last,
                 "idle pools never grow: {now} > {last} (failing case seed {case})"
@@ -123,7 +153,13 @@ fn costs_and_times_are_finite() {
         let seed = rng.gen_range(0u64..300);
         let mut s = Suite::new(SuiteConfig::fast().with_seed(seed));
         let handle = s
-            .deploy(ProviderKind::Azure, "data-vis", Language::Python, 512, Scale::Test)
+            .deploy(
+                ProviderKind::Azure,
+                "data-vis",
+                Language::Python,
+                512,
+                Scale::Test,
+            )
             .expect("deploys");
         let r = s.invoke(&handle);
         assert!(r.bill.total_usd().is_finite(), "failing case seed {case}");

@@ -162,5 +162,8 @@ fn storage_stats_accumulate_across_invocations() {
         s.platform_mut(ProviderKind::Aws).storage_mut().stats()
     };
     assert!(after.gets >= before.gets + 3, "one input download per run");
-    assert!(after.puts >= before.puts + 3, "one thumbnail upload per run");
+    assert!(
+        after.puts >= before.puts + 3,
+        "one thumbnail upload per run"
+    );
 }

@@ -1,0 +1,119 @@
+//! Cross-crate checks of the tracing subsystem: the cold-start span tree
+//! must reproduce the provider-policy parameters (Table 2) exactly, and
+//! the Chrome exporter must emit well-formed `trace_event` JSON.
+
+use sebs_metrics::Json;
+use sebs_platform::{FaasPlatform, FunctionConfig, ProviderProfile};
+use sebs_sim::{SimDuration, SimRng};
+use sebs_trace::{breakdown_table, chrome_trace_json, TraceSink};
+use sebs_workloads::templating::DynamicHtml;
+use sebs_workloads::{Language, Scale};
+
+const SEED: u64 = 2024;
+
+/// One traced cold invocation of dynamic-html on the given profile.
+fn cold_trace(profile: ProviderProfile, memory_mb: u32) -> sebs_trace::InvocationTrace {
+    let mut p = FaasPlatform::new(profile, SEED);
+    p.set_tracing(true);
+    let wl = DynamicHtml::new(Language::Python);
+    let fid = p
+        .deploy(FunctionConfig::new(
+            "dynamic-html",
+            Language::Python,
+            memory_mb,
+        ))
+        .unwrap();
+    let payload = p.prepare(&wl, Scale::Test);
+    let r = p.invoke(fid, &wl, &payload);
+    assert!(r.outcome.is_success());
+    p.take_traces().remove(0)
+}
+
+#[test]
+fn cold_start_trace_reproduces_provider_policy_phases() {
+    // The platform draws its cold start from the `coldstart` stream of the
+    // root seed. Replaying that stream against the same provider policy
+    // must reproduce every phase duration in the trace exactly.
+    let memory = 512;
+    let config = FunctionConfig::new("dynamic-html", Language::Python, memory);
+    let profile = ProviderProfile::aws();
+    let mut rng = SimRng::new(SEED).stream("coldstart");
+    let expected = profile.cold_start.sample_breakdown(
+        &mut rng,
+        Language::Python,
+        profile.cpu.share(memory),
+        memory,
+        config.code_package_bytes,
+        config.init_work,
+        profile.ops_per_sec_full_cpu,
+    );
+
+    let trace = cold_trace(ProviderProfile::aws(), memory);
+    let root = &trace.root;
+    assert_eq!(root.validate(), Ok(()));
+    let phase = |name: &str| root.find(name).unwrap_or_else(|| panic!("{name} span"));
+    assert_eq!(phase("cold.provisioning").duration, expected.provisioning);
+    assert_eq!(phase("cold.package-fetch").duration, expected.package_fetch);
+    assert_eq!(phase("cold.runtime-boot").duration, expected.runtime_boot);
+    assert_eq!(phase("cold.user-init").duration, expected.user_init);
+    assert_eq!(phase("cold.noise").duration, expected.noise);
+    assert_eq!(phase("sandbox.acquire").duration, expected.total());
+}
+
+#[test]
+fn aws_package_fetch_is_pure_bandwidth() {
+    // Table 2 parameter: AWS fetches deployment packages at 220 MB/s, so
+    // the fetch phase is deterministic — bytes over bandwidth, no draw.
+    let trace = cold_trace(ProviderProfile::aws(), 512);
+    let code_bytes = FunctionConfig::new("x", Language::Python, 512).code_package_bytes;
+    let fetch = trace.root.find("cold.package-fetch").expect("fetch span");
+    assert_eq!(
+        fetch.duration,
+        SimDuration::from_secs_f64(code_bytes as f64 / 220e6)
+    );
+}
+
+#[test]
+fn chrome_export_is_well_formed_trace_event_json() {
+    let mut sink = TraceSink::new();
+    sink.push(cold_trace(ProviderProfile::aws(), 512));
+    sink.push(cold_trace(ProviderProfile::gcp(), 256));
+    let doc = Json::parse(&chrome_trace_json(&sink)).expect("chrome export parses");
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .collect();
+    assert!(!complete.is_empty(), "at least one complete event");
+    for e in &complete {
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+        assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+    }
+    let roots: Vec<&&Json> = complete
+        .iter()
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("invocation"))
+        .collect();
+    assert_eq!(roots.len(), 2, "one root event per invocation");
+}
+
+#[test]
+fn breakdown_table_covers_the_cold_phases() {
+    let mut sink = TraceSink::new();
+    sink.push(cold_trace(ProviderProfile::aws(), 512));
+    let table = breakdown_table(&sink);
+    for phase in [
+        "cold.provisioning",
+        "cold.package-fetch",
+        "cold.runtime-boot",
+        "network.request",
+        "execute",
+    ] {
+        assert!(table.contains(phase), "table lists {phase}:\n{table}");
+    }
+}
