@@ -154,7 +154,7 @@ impl FileScope {
         FileScope {
             clock_shim: path == "crates/cloud/src/clock.rs",
             library: in_crate_src && !path.contains("/src/bin/"),
-            deterministic_core: ["sim", "platform", "storage", "core"]
+            deterministic_core: ["sim", "platform", "storage", "core", "telemetry"]
                 .iter()
                 .any(|c| in_crate_src && path.split('/').nth(1) == Some(*c)),
         }
@@ -389,9 +389,11 @@ let start = std::time::Instant::now();
     #[test]
     fn hash_iteration_only_in_core_crates() {
         let src = "use std::collections::HashMap;";
-        let (in_core, _) = audit_rust_source("crates/platform/src/x.rs", src);
-        assert_eq!(in_core.len(), 1);
-        assert_eq!(in_core[0].rule, Rule::HashIteration);
+        for core in ["platform", "telemetry"] {
+            let (in_core, _) = audit_rust_source(&format!("crates/{core}/src/x.rs"), src);
+            assert_eq!(in_core.len(), 1, "{core} is deterministic core");
+            assert_eq!(in_core[0].rule, Rule::HashIteration);
+        }
         let (in_workloads, _) = audit_rust_source("crates/workloads/src/x.rs", src);
         assert!(in_workloads.is_empty());
     }

@@ -1,0 +1,73 @@
+//! Timed benchmark of the telemetry overhead: runs the same perf-cost
+//! grid with metrics disabled and enabled, checks the measured series are
+//! byte-identical either way (metrics are purely observational), and
+//! reports the relative wall-clock cost of registry updates and gauge
+//! sampling.
+//!
+//! Knobs: `SEBS_SAMPLES`, `SEBS_SCALE`, `SEBS_SEED`, `SEBS_JOBS` (see the
+//! crate docs).
+
+use std::time::Duration;
+
+use sebs::experiments::run_perf_cost_grid;
+use sebs::{ExperimentGrid, ParallelRunner, SuiteConfig};
+use sebs_bench::BenchEnv;
+use sebs_platform::ProviderKind;
+use sebs_telemetry::prometheus_text;
+use sebs_workloads::Language;
+
+fn main() {
+    sebs_bench::timed("bench_metrics_overhead", run);
+}
+
+fn run() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("metrics overhead"));
+
+    let grid = ExperimentGrid::new(
+        &[
+            ("graph-bfs", Language::Python),
+            ("thumbnailer", Language::Python),
+        ],
+        &[ProviderKind::Aws, ProviderKind::Azure, ProviderKind::Gcp],
+        &[128, 1024],
+    );
+    println!("grid: {} cells, metrics off vs on", grid.len());
+
+    let timed = |config: &SuiteConfig| -> (String, usize, String, Duration) {
+        // audit:allow(wall-clock): benchmark binary measures host time
+        // audit:allow(instant-usage): benchmark binary measures host time
+        let start = std::time::Instant::now();
+        let result = run_perf_cost_grid(config, &grid, env.scale, &ParallelRunner::new(env.jobs));
+        let elapsed = start.elapsed();
+        (
+            result.to_store().to_json(),
+            result.metrics.point_count(),
+            prometheus_text(&result.metrics),
+            elapsed,
+        )
+    };
+
+    let base = env.suite_config();
+    let (json_off, n_off, _, t_off) = timed(&base.clone().with_metrics(false));
+    let (json_on, n_on, prom, t_on) = timed(&base.with_metrics(true));
+
+    let identical = json_off == json_on;
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+    println!("metrics off      {t_off:>12.3?} ({n_off} points)");
+    println!("metrics on       {t_on:>12.3?} ({n_on} points)");
+    println!(
+        "overhead {:.1}% | results byte-identical: {}",
+        overhead * 100.0,
+        if identical { "yes" } else { "NO — BUG" }
+    );
+    assert!(n_off == 0 && n_on > 0, "metrics must be opt-in");
+    assert!(
+        prom.contains("sebs_invocations_total"),
+        "export carries the invocation counters"
+    );
+    assert!(
+        identical,
+        "enabling metrics must not change any measured result"
+    );
+}

@@ -22,6 +22,7 @@ use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
 use sebs_metrics::TextTable;
 use sebs_platform::{ProviderKind, StartKind, TriggerKind};
 use sebs_sim::SimDuration;
+use sebs_telemetry::{csv_timeseries, prometheus_text, MetricsSink};
 use sebs_trace::{breakdown_table, chrome_trace_json, TraceSink};
 use sebs_workloads::{all_workloads, Language, Scale};
 
@@ -80,7 +81,14 @@ USAGE:
                 [--trace-format chrome|table] (chrome: trace_event JSON for
                                                Perfetto/chrome://tracing;
                                                table: latency breakdown with
-                                               p50/p95/p99 per phase)";
+                                               p50/p95/p99 per phase)
+                [--metrics FILE]              (write fleet-wide sim-time
+                                               metrics; byte-identical for
+                                               any --jobs and never changes
+                                               benchmark results)
+                [--metrics-format prom|csv]   (prom: Prometheus text
+                                               snapshot; csv: sampled
+                                               time series)";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -105,12 +113,20 @@ struct Options {
     json: Option<String>,
     trace: Option<String>,
     trace_format: TraceFormat,
+    metrics: Option<String>,
+    metrics_format: MetricsFormat,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TraceFormat {
     Chrome,
     Table,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Prom,
+    Csv,
 }
 
 impl Options {
@@ -133,6 +149,8 @@ impl Options {
             json: None,
             trace: None,
             trace_format: TraceFormat::Chrome,
+            metrics: None,
+            metrics_format: MetricsFormat::Prom,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -211,6 +229,14 @@ impl Options {
                         f => return Err(format!("unknown trace format `{f}`")),
                     }
                 }
+                "--metrics" => o.metrics = Some(value("--metrics")?),
+                "--metrics-format" => {
+                    o.metrics_format = match value("--metrics-format")?.as_str() {
+                        "prom" => MetricsFormat::Prom,
+                        "csv" => MetricsFormat::Csv,
+                        f => return Err(format!("unknown metrics format `{f}`")),
+                    }
+                }
                 "--trigger" => {
                     o.trigger = match value("--trigger")?.as_str() {
                         "http" => TriggerKind::Http,
@@ -253,7 +279,8 @@ fn cmd_invoke(o: &Options) -> Result<(), String> {
     let mut suite = Suite::new(
         SuiteConfig::default()
             .with_seed(o.seed)
-            .with_trace(o.trace.is_some()),
+            .with_trace(o.trace.is_some())
+            .with_metrics(o.metrics.is_some()),
     );
     let handle = suite
         .deploy(o.provider, benchmark, o.language, o.memory, o.scale)
@@ -291,6 +318,9 @@ fn cmd_invoke(o: &Options) -> Result<(), String> {
         sink.sort_canonical();
         write_trace(path, o.trace_format, &sink)?;
     }
+    if let Some(path) = &o.metrics {
+        write_metrics(path, o.metrics_format, &suite.take_metrics())?;
+    }
     Ok(())
 }
 
@@ -302,6 +332,21 @@ fn write_trace(path: &str, format: TraceFormat, sink: &TraceSink) -> Result<(), 
     };
     std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
     println!("wrote {} traces to {path}", sink.len());
+    Ok(())
+}
+
+/// Serializes a metrics sink in the selected format.
+fn write_metrics(path: &str, format: MetricsFormat, sink: &MetricsSink) -> Result<(), String> {
+    let body = match format {
+        MetricsFormat::Prom => prometheus_text(sink),
+        MetricsFormat::Csv => csv_timeseries(sink),
+    };
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote metrics for {} platform(s) ({} sample points) to {path}",
+        sink.len(),
+        sink.point_count()
+    );
     Ok(())
 }
 
@@ -336,7 +381,10 @@ fn cmd_experiment(o: &Options) -> Result<(), String> {
                 vec![("graph-bfs", o.language)]
             };
             let grid = ExperimentGrid::new(&benchmarks, &o.providers, &o.memories);
-            let config = config.with_jobs(o.jobs).with_trace(o.trace.is_some());
+            let config = config
+                .with_jobs(o.jobs)
+                .with_trace(o.trace.is_some())
+                .with_metrics(o.metrics.is_some());
             let result = run_perf_cost_grid(&config, &grid, o.scale, &ParallelRunner::new(o.jobs));
             for s in &result.series {
                 println!(
@@ -363,6 +411,9 @@ fn cmd_experiment(o: &Options) -> Result<(), String> {
             }
             if let Some(path) = &o.trace {
                 write_trace(path, o.trace_format, &result.traces)?;
+            }
+            if let Some(path) = &o.metrics {
+                write_metrics(path, o.metrics_format, &result.metrics)?;
             }
         }
         "eviction-model" => {
@@ -431,6 +482,8 @@ mod tests {
         assert!(o.csv.is_none() && o.json.is_none());
         assert!(o.trace.is_none());
         assert_eq!(o.trace_format, TraceFormat::Chrome);
+        assert!(o.metrics.is_none());
+        assert_eq!(o.metrics_format, MetricsFormat::Prom);
     }
 
     #[test]
@@ -464,6 +517,10 @@ mod tests {
             "t.json",
             "--trace-format",
             "table",
+            "--metrics",
+            "m.csv",
+            "--metrics-format",
+            "csv",
         ])
         .unwrap();
         assert_eq!(o.positional, vec!["graph-bfs"]);
@@ -483,6 +540,8 @@ mod tests {
         assert_eq!(o.json.as_deref(), Some("b.json"));
         assert_eq!(o.trace.as_deref(), Some("t.json"));
         assert_eq!(o.trace_format, TraceFormat::Table);
+        assert_eq!(o.metrics.as_deref(), Some("m.csv"));
+        assert_eq!(o.metrics_format, MetricsFormat::Csv);
     }
 
     #[test]
@@ -501,6 +560,10 @@ mod tests {
         assert!(parse(&["--trace-format", "flamegraph"])
             .unwrap_err()
             .contains("flamegraph"));
+        assert!(parse(&["--metrics-format", "influx"])
+            .unwrap_err()
+            .contains("influx"));
+        assert!(parse(&["--metrics"]).unwrap_err().contains("needs a value"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Suite-wide configuration.
 
+use sebs_sim::SimDuration;
 use sebs_stats::ConfidenceLevel;
 
 /// Configuration shared by all experiments.
@@ -31,6 +32,12 @@ pub struct SuiteConfig {
     /// observational: enabling this never changes any result, and the
     /// collected traces are byte-identical for every `jobs` value.
     pub trace: bool,
+    /// Collect fleet-wide metrics (see the `sebs-telemetry` crate). Like
+    /// tracing, purely observational: results never change and the exports
+    /// are byte-identical for every `jobs` value.
+    pub metrics: bool,
+    /// Sim-time interval between gauge samples when `metrics` is on.
+    pub metrics_interval: SimDuration,
 }
 
 impl Default for SuiteConfig {
@@ -44,6 +51,8 @@ impl Default for SuiteConfig {
             max_samples: 1000,
             jobs: 1,
             trace: false,
+            metrics: false,
+            metrics_interval: sebs_telemetry::DEFAULT_SAMPLE_INTERVAL,
         }
     }
 }
@@ -79,6 +88,18 @@ impl SuiteConfig {
     /// Enables or disables per-invocation trace collection.
     pub fn with_trace(mut self, trace: bool) -> SuiteConfig {
         self.trace = trace;
+        self
+    }
+
+    /// Enables or disables fleet-wide metrics collection.
+    pub fn with_metrics(mut self, metrics: bool) -> SuiteConfig {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Sets the sim-time gauge-sampling interval (clamped to ≥ 1 ns).
+    pub fn with_metrics_interval(mut self, interval: SimDuration) -> SuiteConfig {
+        self.metrics_interval = interval.max(SimDuration::from_nanos(1));
         self
     }
 
@@ -123,5 +144,24 @@ mod tests {
     fn tracing_defaults_off() {
         assert!(!SuiteConfig::default().trace);
         assert!(SuiteConfig::default().with_trace(true).trace);
+    }
+
+    #[test]
+    fn metrics_default_off_with_one_second_sampling() {
+        let c = SuiteConfig::default();
+        assert!(!c.metrics);
+        assert_eq!(c.metrics_interval, SimDuration::from_secs(1));
+        let on = c
+            .with_metrics(true)
+            .with_metrics_interval(SimDuration::from_millis(250));
+        assert!(on.metrics);
+        assert_eq!(on.metrics_interval, SimDuration::from_millis(250));
+        assert_eq!(
+            SuiteConfig::default()
+                .with_metrics_interval(SimDuration::ZERO)
+                .metrics_interval,
+            SimDuration::from_nanos(1),
+            "zero interval is clamped"
+        );
     }
 }

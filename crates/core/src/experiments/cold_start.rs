@@ -145,6 +145,7 @@ mod tests {
         let empty = PerfCostResult {
             series: vec![],
             traces: Default::default(),
+            metrics: Default::default(),
         };
         assert!(run_cold_start(&empty).is_empty());
     }

@@ -17,6 +17,7 @@ use sebs_metrics::{Measurement, ResultStore};
 use sebs_platform::{InvocationRecord, ProviderKind, StartKind};
 use sebs_sim::SimDuration;
 use sebs_stats::{median_ci, ConfidenceInterval, Summary};
+use sebs_telemetry::MetricsSink;
 use sebs_trace::TraceSink;
 use sebs_workloads::{Language, Scale};
 
@@ -104,6 +105,9 @@ pub struct PerfCostResult {
     /// Per-invocation traces in canonical cell order — empty unless
     /// [`SuiteConfig::trace`] was set.
     pub traces: TraceSink,
+    /// Fleet-wide metrics chunks in canonical cell order — empty unless
+    /// [`SuiteConfig::metrics`] was set.
+    pub metrics: MetricsSink,
 }
 
 impl PerfCostResult {
@@ -204,15 +208,22 @@ pub fn run_perf_cost_grid(
     let sampled = runner.run(cells.len(), |i| sample_cell(config, &cells[i], scale));
     let mut series = Vec::new();
     let mut traces = TraceSink::new();
-    for (cold, warm, cell_traces) in sampled.into_iter().flatten() {
+    let mut metrics = MetricsSink::new();
+    for (cold, warm, cell_traces, cell_metrics) in sampled.into_iter().flatten() {
         series.push(cold);
         series.push(warm);
         traces.merge(cell_traces);
+        metrics.merge(cell_metrics);
     }
     // Same guarantee as the ResultStore sort below: canonical cell order
     // no matter which worker finished first.
     traces.sort_canonical();
-    PerfCostResult { series, traces }
+    metrics.sort_canonical();
+    PerfCostResult {
+        series,
+        traces,
+        metrics,
+    }
 }
 
 /// Samples one grid cell on its own cell-seeded suite; `None` when the
@@ -221,7 +232,7 @@ fn sample_cell(
     config: &SuiteConfig,
     cell: &GridCell,
     scale: Scale,
-) -> Option<(PerfCostSeries, PerfCostSeries, TraceSink)> {
+) -> Option<(PerfCostSeries, PerfCostSeries, TraceSink, MetricsSink)> {
     let samples = config.samples;
     let batch = config.batch_size.max(1);
     let ci_frac = config.ci_target_fraction;
@@ -278,14 +289,18 @@ fn sample_cell(
     cold.client_ci = median_ci(&cold.client_ms, level);
     warm.client_ci = median_ci(&warm.client_ms, level);
 
-    // Tag every trace with this cell's canonical index; the grid driver
-    // sorts the merged sinks by it.
+    // Tag every trace and metrics chunk with this cell's canonical index;
+    // the grid driver sorts the merged sinks by it.
     let mut traces = TraceSink::new();
     traces.extend(suite.take_traces().into_iter().map(|mut t| {
         t.cell = Some(cell.index as u64);
         t
     }));
-    Some((cold, warm, traces))
+    let mut metrics = suite.take_metrics();
+    for chunk in metrics.chunks_mut() {
+        chunk.cell = Some(cell.index as u64);
+    }
+    Some((cold, warm, traces, metrics))
 }
 
 fn new_series(
@@ -475,6 +490,33 @@ mod tests {
             Scale::Test,
         );
         assert!(quiet.traces.is_empty());
+    }
+
+    #[test]
+    fn metrics_are_collected_per_cell_in_canonical_order() {
+        let suite = Suite::new(SuiteConfig::fast().with_seed(101).with_metrics(true));
+        let result = run_perf_cost(
+            &suite,
+            &[("dynamic-html", Language::Python)],
+            &[ProviderKind::Aws, ProviderKind::Gcp],
+            &[256],
+            Scale::Test,
+        );
+        assert!(!result.metrics.is_empty());
+        let cells: Vec<Option<u64>> = result.metrics.chunks().iter().map(|c| c.cell).collect();
+        assert!(cells.iter().all(Option::is_some), "every chunk is tagged");
+        assert!(cells.windows(2).all(|w| w[0] <= w[1]), "canonical order");
+        assert!(result.metrics.point_count() > 0, "gauges were sampled");
+        // Collection changes no simulation result.
+        let quiet = run_perf_cost(
+            &tiny_suite(),
+            &[("dynamic-html", Language::Python)],
+            &[ProviderKind::Aws, ProviderKind::Gcp],
+            &[256],
+            Scale::Test,
+        );
+        assert!(quiet.metrics.is_empty());
+        assert_eq!(quiet.series, result.series, "metrics on/off: same series");
     }
 
     #[test]

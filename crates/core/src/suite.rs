@@ -77,6 +77,9 @@ impl Suite {
                 config.seed ^ kind_salt(kind),
             );
             platform.set_tracing(config.trace);
+            if config.metrics {
+                platform.enable_metrics(config.metrics_interval);
+            }
             platforms.insert(kind, platform);
         }
         Suite {
@@ -200,6 +203,21 @@ impl Suite {
             traces.extend(platform.take_traces());
         }
         traces
+    }
+
+    /// Drains every platform's collected metrics into one sink, in
+    /// provider order (AWS, Azure, GCP). Providers that saw no activity
+    /// are skipped; the sink is empty unless the config enabled metrics.
+    pub fn take_metrics(&mut self) -> sebs_telemetry::MetricsSink {
+        let mut sink = sebs_telemetry::MetricsSink::new();
+        for platform in self.platforms.values_mut() {
+            if let Some(chunk) = platform.take_metrics() {
+                if !chunk.is_idle() {
+                    sink.push(chunk);
+                }
+            }
+        }
+        sink
     }
 
     fn workload(
@@ -374,6 +392,39 @@ mod tests {
             .unwrap();
         quiet.invoke(&h);
         assert!(quiet.take_traces().is_empty());
+    }
+
+    #[test]
+    fn metrics_knob_flows_to_platforms() {
+        let mut s = Suite::new(SuiteConfig::fast().with_seed(3).with_metrics(true));
+        let h = s
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
+            .unwrap();
+        s.invoke(&h);
+        s.advance(ProviderKind::Aws, SimDuration::from_secs(3));
+        let sink = s.take_metrics();
+        assert_eq!(sink.len(), 1, "only the active provider is exported");
+        assert_eq!(sink.chunks()[0].provider, "aws");
+        assert!(!sink.chunks()[0].points.is_empty(), "gauges were sampled");
+        // Off by default: nothing is collected.
+        let mut quiet = Suite::new(SuiteConfig::fast().with_seed(3));
+        let h = quiet
+            .deploy(
+                ProviderKind::Aws,
+                "dynamic-html",
+                Language::Python,
+                256,
+                Scale::Test,
+            )
+            .unwrap();
+        quiet.invoke(&h);
+        assert!(quiet.take_metrics().is_empty());
     }
 
     #[test]

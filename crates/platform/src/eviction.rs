@@ -51,17 +51,10 @@ impl EvictionPolicy {
         rng: &mut StreamRng,
     ) -> Vec<Container> {
         match self {
-            EvictionPolicy::HalfLife { period } => {
-                let period_ns = period.as_nanos().max(1);
-                containers
-                    .into_iter()
-                    .filter(|c| {
-                        let idle = c.idle_for(now).as_nanos();
-                        let p = (idle / period_ns).min(63);
-                        c.slot % (1u64 << p) == 0
-                    })
-                    .collect()
-            }
+            EvictionPolicy::HalfLife { .. } => containers
+                .into_iter()
+                .filter(|c| self.would_survive(c, now))
+                .collect(),
             EvictionPolicy::IdleTimeout { timeout, jitter_ms } => containers
                 .into_iter()
                 .filter(|c| {
@@ -70,6 +63,27 @@ impl EvictionPolicy {
                 })
                 .collect(),
             EvictionPolicy::Never => containers,
+        }
+    }
+
+    /// RNG-free survival check for a single idle container at `now`, used
+    /// by read-only telemetry observation.
+    ///
+    /// For [`EvictionPolicy::HalfLife`] this is *exactly* the eviction
+    /// rule (which is deterministic). For [`EvictionPolicy::IdleTimeout`]
+    /// the per-container jitter cannot be consulted without advancing an
+    /// RNG stream, so the check uses the jitter-free base timeout — a
+    /// documented approximation that errs toward "evicted" by at most the
+    /// jitter width. [`EvictionPolicy::Never`] always survives.
+    pub fn would_survive(&self, c: &Container, now: SimTime) -> bool {
+        match self {
+            EvictionPolicy::HalfLife { period } => {
+                let period_ns = period.as_nanos().max(1);
+                let p = (c.idle_for(now).as_nanos() / period_ns).min(63);
+                c.slot % (1u64 << p) == 0
+            }
+            EvictionPolicy::IdleTimeout { timeout, .. } => c.idle_for(now) < *timeout,
+            EvictionPolicy::Never => true,
         }
     }
 }
@@ -191,6 +205,46 @@ mod tests {
             &mut rng(),
         );
         assert!(!survivors.is_empty() && survivors.len() < 200);
+    }
+
+    #[test]
+    fn would_survive_matches_half_life_survivors_exactly() {
+        let policy = EvictionPolicy::HalfLife {
+            period: SimDuration::from_secs(380),
+        };
+        let t0 = SimTime::ZERO;
+        for dt in [0u64, 379, 380, 760, 1140, 1520] {
+            let now = t0 + SimDuration::from_secs(dt);
+            let via_survivors: Vec<u64> = policy
+                .survivors(batch(16, t0), now, &mut rng())
+                .iter()
+                .map(|c| c.slot)
+                .collect();
+            let via_observation: Vec<u64> = batch(16, t0)
+                .iter()
+                .filter(|c| policy.would_survive(c, now))
+                .map(|c| c.slot)
+                .collect();
+            assert_eq!(via_survivors, via_observation, "ΔT = {dt}s");
+        }
+    }
+
+    #[test]
+    fn would_survive_is_jitter_free_for_idle_timeout() {
+        let policy = EvictionPolicy::IdleTimeout {
+            timeout: SimDuration::from_secs(100),
+            jitter_ms: Dist::Uniform {
+                lo: 0.0,
+                hi: 100_000.0,
+            },
+        };
+        let c = &batch(1, SimTime::ZERO)[0];
+        assert!(policy.would_survive(c, SimTime::from_secs(99)));
+        assert!(
+            !policy.would_survive(c, SimTime::from_secs(100)),
+            "base timeout, no jitter consulted"
+        );
+        assert!(EvictionPolicy::Never.would_survive(c, SimTime::from_secs(1_000_000)));
     }
 
     #[test]

@@ -97,11 +97,25 @@ impl MonitoringApi {
         self.reports_memory && self.memory_metrics_reliable
     }
 
+    /// Whether the service reports memory per invocation at all (GCP does
+    /// not; AWS and Azure do).
+    pub fn reports_memory(&self) -> bool {
+        self.reports_memory
+    }
+
+    /// Whether the reported memory values are trustworthy (Azure's are
+    /// not — paper footnote 3).
+    pub fn memory_reliable(&self) -> bool {
+        self.memory_metrics_reliable
+    }
+
     /// Produces the monitoring view of a ground-truth invocation record.
     pub fn report(&self, record: &InvocationRecord, rng: &mut StreamRng) -> MonitoredInvocation {
-        let duration = record
-            .provider_time
-            .round_up_to(self.query_interval.min(SimDuration::from_millis(1)));
+        // Durations are quantized to the service's query interval: Azure
+        // Monitor cannot resolve below 1 s, GCP below 100 ms. (This used
+        // to take `min(interval, 1ms)`, collapsing every provider to the
+        // 1 ms quantum and erasing Azure's coarseness entirely.)
+        let duration = record.provider_time.round_up_to(self.query_interval);
         let memory_mb = if !self.reports_memory {
             None
         } else if self.memory_metrics_reliable {
@@ -185,6 +199,51 @@ mod tests {
             }
         }
         assert!(wrong > 60, "Azure memory wrong in {wrong}/100 reports");
+    }
+
+    #[test]
+    fn reported_durations_land_on_the_query_interval() {
+        // Regression: the quantum used to be `min(interval, 1ms)` — always
+        // 1 ms — so Azure durations never showed the 1 s granularity the
+        // paper measured.
+        let mut rng = SimRng::new(5).stream("mon");
+        for (kind, quantum_ns) in [
+            (ProviderKind::Azure, 1_000_000_000u64),
+            (ProviderKind::Gcp, 100_000_000),
+            (ProviderKind::Aws, 1_000_000),
+        ] {
+            let api = MonitoringApi::for_kind(kind);
+            let record = sample_record(kind);
+            let m = api.report(&record, &mut rng);
+            assert_eq!(
+                m.duration.as_nanos() % quantum_ns,
+                0,
+                "{kind:?} durations must land on {quantum_ns} ns boundaries"
+            );
+            assert!(m.duration >= record.provider_time, "rounding is upward");
+            assert!(m.duration.as_nanos() - record.provider_time.as_nanos() < quantum_ns);
+        }
+        // Concretely: Azure reports ⌈provider_time / 1 s⌉ whole seconds.
+        let azure = MonitoringApi::for_kind(ProviderKind::Azure);
+        let record = sample_record(ProviderKind::Azure);
+        assert!(record.provider_time > SimDuration::ZERO);
+        let m = azure.report(&record, &mut rng);
+        let expected_secs = record.provider_time.as_nanos().div_ceil(1_000_000_000);
+        assert_eq!(m.duration, SimDuration::from_secs(expected_secs));
+        assert_ne!(
+            m.duration, record.provider_time,
+            "a 1 s quantum must actually coarsen sub-second precision"
+        );
+    }
+
+    #[test]
+    fn fidelity_accessors_mirror_the_paper_table() {
+        let aws = MonitoringApi::for_kind(ProviderKind::Aws);
+        assert!(aws.reports_memory() && aws.memory_reliable());
+        let azure = MonitoringApi::for_kind(ProviderKind::Azure);
+        assert!(azure.reports_memory() && !azure.memory_reliable());
+        let gcp = MonitoringApi::for_kind(ProviderKind::Gcp);
+        assert!(!gcp.reports_memory() && gcp.memory_reliable());
     }
 
     #[test]

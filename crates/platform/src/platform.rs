@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 use sebs_cloud::DriftingClock;
 use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::{SimDuration, SimRng, SimTime};
-use sebs_storage::{SimObjectStore, StorageOp};
+use sebs_storage::{ObjectStorage, SimObjectStore, StorageOp};
+use sebs_telemetry::{MetricsChunk, MetricsHub, DEFAULT_SAMPLE_INTERVAL};
 use sebs_trace::{InvocationTrace, TraceSpan};
 use sebs_workloads::{InvocationCtx, IoEvent, IoKind, Payload, Workload};
 
@@ -96,6 +97,9 @@ pub struct FaasPlatform {
     tracing: bool,
     trace_seq: u64,
     traces: Vec<InvocationTrace>,
+    // Metrics collection shares the tracing contract: purely observational,
+    // no RNG draw and no wall-clock read, so results never change with it.
+    metrics: Option<MetricsHub>,
 }
 
 impl std::fmt::Debug for FaasPlatform {
@@ -133,6 +137,7 @@ impl FaasPlatform {
             tracing: false,
             trace_seq: 0,
             traces: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -153,6 +158,190 @@ impl FaasPlatform {
         std::mem::take(&mut self.traces)
     }
 
+    /// Enables fleet-wide metrics collection with gauge sampling every
+    /// `interval` of sim time. Like tracing, collection is purely
+    /// observational — no RNG stream is touched and no wall clock is read,
+    /// so enabling it cannot change any simulation result.
+    pub fn enable_metrics(&mut self, interval: SimDuration) {
+        let mut hub = MetricsHub::new(interval);
+        // Static platform facts, exported once as info-gauges: the
+        // concurrency ceiling the burst gauges are judged against, and the
+        // monitoring-fidelity caveats behind Figure 5b (Azure's memory
+        // numbers exist but are garbage; GCP reports none at all).
+        let mon = crate::monitoring::MonitoringApi::for_kind(self.profile.kind);
+        hub.gauge_set(
+            "sebs_concurrency_limit",
+            &[],
+            self.profile.limits.concurrency as f64,
+        );
+        hub.gauge_set(
+            "sebs_monitoring_reports_memory",
+            &[],
+            mon.reports_memory() as u64 as f64,
+        );
+        hub.gauge_set(
+            "sebs_monitoring_memory_reliable",
+            &[],
+            mon.memory_reliable() as u64 as f64,
+        );
+        self.metrics = Some(hub);
+    }
+
+    /// Switches metrics collection on (at [`DEFAULT_SAMPLE_INTERVAL`]) or
+    /// off, mirroring [`FaasPlatform::set_tracing`].
+    pub fn set_metrics(&mut self, enabled: bool) {
+        if enabled {
+            self.enable_metrics(DEFAULT_SAMPLE_INTERVAL);
+        } else {
+            self.metrics = None;
+        }
+    }
+
+    /// Whether metrics collection is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Drains the metrics collected so far as one provider-tagged chunk,
+    /// re-arming an empty hub with the same interval. Observed gauges and
+    /// counters are refreshed as of the current instant first, so the
+    /// final snapshot reflects the platform state at drain time. Returns
+    /// `None` when collection is disabled.
+    pub fn take_metrics(&mut self) -> Option<MetricsChunk> {
+        self.refresh_observed_metrics(self.now);
+        let hub = self.metrics.take()?;
+        let interval = hub.interval();
+        let chunk = hub.into_chunk(&self.profile.kind.to_string());
+        self.enable_metrics(interval);
+        Some(chunk)
+    }
+
+    /// Fires the gauge sampler for every interval boundary `<= upto`,
+    /// refreshing the observed pool and storage metrics at each boundary.
+    fn pump_metrics(&mut self, upto: SimTime) {
+        loop {
+            let Some(due) = self.metrics.as_ref().and_then(|h| h.next_due(upto)) else {
+                return;
+            };
+            self.refresh_observed_metrics(due);
+            if let Some(hub) = self.metrics.as_mut() {
+                hub.sample_at(due);
+            }
+        }
+    }
+
+    /// Re-reads every externally-maintained metric source — pool occupancy
+    /// and statistics, storage statistics — into the hub, as of instant
+    /// `t`. Pure observation: pools are not advanced and no RNG is drawn.
+    fn refresh_observed_metrics(&mut self, t: SimTime) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let pools: Vec<(String, crate::pool::PoolObservation, u64, u64, u64)> = self
+            .pools
+            .iter()
+            .map(|(key, pool)| {
+                (
+                    key.clone(),
+                    pool.observe(t),
+                    pool.cold_starts,
+                    pool.warm_hits,
+                    pool.evictions,
+                )
+            })
+            .collect();
+        let storage = self.storage.stats();
+        let Some(hub) = self.metrics.as_mut() else {
+            return;
+        };
+        // Counter snapshots at zero stay absent (Prometheus convention:
+        // a counter series appears on first increment) — otherwise an
+        // untouched platform would export all-zero storage counters and
+        // never count as idle.
+        for (key, obs, cold, warm_hits, evictions) in &pools {
+            let labels = [("pool", key.as_str())];
+            hub.gauge_set("sebs_containers_warm", &labels, obs.warm as f64);
+            hub.gauge_set("sebs_containers_idle", &labels, obs.idle as f64);
+            hub.gauge_set("sebs_containers_active", &labels, obs.active as f64);
+            for (metric, value) in [
+                ("sebs_pool_cold_starts_total", *cold),
+                ("sebs_pool_warm_hits_total", *warm_hits),
+                ("sebs_pool_evictions_total", *evictions),
+            ] {
+                if value > 0 {
+                    hub.counter_set(metric, &labels, value as f64);
+                }
+            }
+        }
+        for (op, count) in [
+            ("get", storage.gets),
+            ("put", storage.puts),
+            ("list", storage.lists),
+        ] {
+            if count > 0 {
+                hub.counter_set("sebs_storage_requests_total", &[("op", op)], count as f64);
+            }
+        }
+        for (direction, bytes) in [("in", storage.bytes_in), ("out", storage.bytes_out)] {
+            if bytes > 0 {
+                hub.counter_set(
+                    "sebs_storage_bytes_total",
+                    &[("direction", direction)],
+                    bytes as f64,
+                );
+            }
+        }
+    }
+
+    /// Records the per-invocation event metrics for one completed (or
+    /// rejected) invocation.
+    fn record_invocation_metrics(&mut self, name: &str, record: &InvocationRecord, spurious: bool) {
+        let Some(hub) = self.metrics.as_mut() else {
+            return;
+        };
+        hub.counter_add(
+            "sebs_invocations_total",
+            &[("function", name), ("outcome", record.outcome.label())],
+            1.0,
+        );
+        if record.container.is_none() {
+            // Rejected before a sandbox was acquired (payload limit,
+            // throttle, availability): no start, no bill.
+            return;
+        }
+        let start = match (record.start, spurious) {
+            (StartKind::Cold, true) => "spurious_cold",
+            (StartKind::Cold, false) => "cold",
+            (StartKind::Warm, _) => "warm",
+        };
+        hub.counter_add(
+            "sebs_starts_total",
+            &[("function", name), ("kind", start)],
+            1.0,
+        );
+        hub.observe_ms(
+            "sebs_invocation_latency_ms",
+            &[("function", name), ("start", start)],
+            record.client_time.as_millis_f64(),
+        );
+        let fun = [("function", name)];
+        hub.counter_add(
+            "sebs_billed_duration_ms_total",
+            &fun,
+            record.bill.billed_duration.as_millis_f64(),
+        );
+        let gb_s = record.bill.billed_memory_mb as f64 / 1024.0
+            * record.bill.billed_duration.as_secs_f64();
+        hub.counter_add("sebs_billed_gb_seconds_total", &fun, gb_s);
+        hub.counter_add("sebs_cost_usd_total", &fun, record.bill.total_usd());
+        hub.counter_add(
+            "sebs_egress_bytes_total",
+            &fun,
+            record.response_bytes as f64,
+        );
+        hub.gauge_set("sebs_burst_concurrency", &fun, record.concurrency as f64);
+    }
+
     /// The provider profile in force.
     pub fn profile(&self) -> &ProviderProfile {
         &self.profile
@@ -169,9 +358,12 @@ impl FaasPlatform {
         self.now
     }
 
-    /// Advances the platform clock (evictions apply lazily).
+    /// Advances the platform clock (evictions apply lazily). When metrics
+    /// are enabled, the gauge sampler fires for every interval boundary
+    /// the clock crosses.
     pub fn advance(&mut self, d: SimDuration) {
         self.now += d;
+        self.pump_metrics(self.now);
     }
 
     /// The platform's persistent object storage.
@@ -368,6 +560,7 @@ impl FaasPlatform {
             };
             record.t_recv_client = (self.now + rtt).as_secs_f64();
             self.record_failure_trace(&deployed.config.name, &record);
+            self.record_invocation_metrics(&deployed.config.name, &record, false);
             return record;
         }
 
@@ -377,6 +570,7 @@ impl FaasPlatform {
             record.client_time = rtt + req_transfer;
             record.t_recv_client = (self.now + record.client_time).as_secs_f64();
             self.record_failure_trace(&deployed.config.name, &record);
+            self.record_invocation_metrics(&deployed.config.name, &record, false);
             return record;
         }
 
@@ -388,6 +582,7 @@ impl FaasPlatform {
             record.client_time = rtt + req_transfer + SimDuration::from_millis(500);
             record.t_recv_client = (self.now + record.client_time).as_secs_f64();
             self.record_failure_trace(&deployed.config.name, &record);
+            self.record_invocation_metrics(&deployed.config.name, &record, false);
             return record;
         }
 
@@ -404,6 +599,10 @@ impl FaasPlatform {
             quirks.deterministic_warm_reuse,
         );
         record.container = Some(acquired.id());
+        // A cold acquisition while idle containers survive means the
+        // provider ignored a warm candidate — GCP's unexpected cold starts
+        // (§6.1); a regular cold start only happens when the pool is dry.
+        let spurious = acquired.is_cold() && pool.idle_count() > 0;
         let cpu_share = self.profile.cpu.share(memory);
         let cold_breakdown = if acquired.is_cold() {
             record.start = StartKind::Cold;
@@ -553,6 +752,8 @@ impl FaasPlatform {
             );
             self.push_trace(&deployed.config.name, memory, root);
         }
+
+        self.record_invocation_metrics(&deployed.config.name, &record, spurious);
 
         releases.push((
             deployed.pool_key.clone(),
@@ -1134,6 +1335,150 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn metrics_never_change_results() {
+        let run = |metrics: bool| {
+            let mut p = FaasPlatform::new(ProviderProfile::gcp(), 77);
+            p.set_metrics(metrics);
+            let wl = Uploader::new(Language::Python);
+            let fid = p
+                .deploy(FunctionConfig::new("uploader", Language::Python, 512))
+                .unwrap();
+            let payload = p.prepare(&wl, Scale::Test);
+            let burst = p.invoke_burst(fid, &wl, &vec![payload.clone(); 4]);
+            p.advance(SimDuration::from_secs(2));
+            let warm = p.invoke(fid, &wl, &payload);
+            p.advance(SimDuration::from_secs(500));
+            let later = p.invoke(fid, &wl, &payload);
+            (
+                burst.iter().map(|r| r.client_time).collect::<Vec<_>>(),
+                warm.client_time,
+                later.client_time,
+                later.bill.total_usd(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn metrics_capture_starts_occupancy_and_billing() {
+        let mut p = aws();
+        p.enable_metrics(SimDuration::from_secs(1));
+        let (fid, wl, payload) = deploy_html(&mut p, 512);
+        let burst = p.invoke_burst(fid, &wl, &vec![payload.clone(); 4]);
+        assert_eq!(burst.len(), 4);
+        p.advance(SimDuration::from_secs(5));
+        let warm = p.invoke(fid, &wl, &payload);
+        assert_eq!(warm.start, StartKind::Warm);
+
+        let chunk = p.take_metrics().expect("metrics enabled");
+        assert_eq!(chunk.provider, "aws");
+        let counter = |name: &str, labels: &[(&str, &str)]| {
+            let key = sebs_telemetry::SeriesKey::new(name, labels);
+            chunk
+                .counters
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(
+            counter(
+                "sebs_starts_total",
+                &[("function", "dynamic-html"), ("kind", "cold")]
+            ),
+            Some(4.0)
+        );
+        assert_eq!(
+            counter(
+                "sebs_starts_total",
+                &[("function", "dynamic-html"), ("kind", "warm")]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            counter(
+                "sebs_invocations_total",
+                &[("function", "dynamic-html"), ("outcome", "success")]
+            ),
+            Some(5.0)
+        );
+        let billed = counter(
+            "sebs_billed_duration_ms_total",
+            &[("function", "dynamic-html")],
+        )
+        .unwrap();
+        let expected: f64 = burst
+            .iter()
+            .chain(std::iter::once(&warm))
+            .map(|r| r.bill.billed_duration.as_millis_f64())
+            .sum();
+        assert!((billed - expected).abs() < 1e-9);
+
+        // The sampled series saw all 4 containers warm while the clock
+        // advanced past the burst.
+        let max_warm = chunk
+            .points
+            .iter()
+            .filter(|pt| {
+                pt.series.name == "sebs_containers_warm"
+                    && pt.series.labels == vec![("pool".to_string(), "fn:0".to_string())]
+            })
+            .map(|pt| pt.value)
+            .fold(0.0f64, f64::max);
+        assert_eq!(max_warm, 4.0);
+
+        // Static info-gauges reflect AWS monitoring fidelity and limits.
+        let gauge = |name: &str| {
+            let key = sebs_telemetry::SeriesKey::new(name, &[]);
+            chunk
+                .gauges
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(gauge("sebs_concurrency_limit"), Some(1000.0));
+        assert_eq!(gauge("sebs_monitoring_reports_memory"), Some(1.0));
+        assert_eq!(gauge("sebs_monitoring_memory_reliable"), Some(1.0));
+
+        // take_metrics drains and re-arms: event-driven series and sampled
+        // points are gone; only absolute pool/storage snapshots reappear.
+        let again = p.take_metrics().expect("still enabled");
+        assert!(again.points.is_empty());
+        assert!(again
+            .counters
+            .iter()
+            .all(|(k, _)| !k.name.starts_with("sebs_starts")
+                && !k.name.starts_with("sebs_invocations")));
+    }
+
+    #[test]
+    fn metrics_flag_spurious_cold_starts() {
+        // Azure/GCP-style spurious colds: probability 1 makes every warm
+        // candidate get ignored.
+        let mut p = FaasPlatform::new(ProviderProfile::gcp(), 5);
+        p.profile_mut().quirks.spurious_cold_start = 1.0;
+        p.enable_metrics(SimDuration::from_secs(1));
+        let wl = DynamicHtml::new(Language::Python);
+        let fid = p
+            .deploy(FunctionConfig::new("f", Language::Python, 256))
+            .unwrap();
+        let payload = p.prepare(&wl, Scale::Test);
+        p.invoke(fid, &wl, &payload);
+        p.advance(SimDuration::from_secs(1));
+        p.invoke(fid, &wl, &payload); // cold despite a warm candidate
+        let chunk = p.take_metrics().unwrap();
+        let spurious = chunk
+            .counters
+            .iter()
+            .find(|(k, _)| {
+                k.name == "sebs_starts_total"
+                    && k.labels
+                        .contains(&("kind".to_string(), "spurious_cold".to_string()))
+            })
+            .map(|(_, v)| *v);
+        assert_eq!(spurious, Some(1.0));
     }
 
     #[test]

@@ -30,6 +30,21 @@ impl Acquired {
     }
 }
 
+/// A read-only snapshot of a pool's occupancy at one instant, taken
+/// without advancing time, RNG streams or container state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolObservation {
+    /// Containers alive at the instant: `active + idle`.
+    pub warm: usize,
+    /// Containers idle at the instant that the eviction policy would keep
+    /// (jitter-free check; see [`EvictionPolicy::would_survive`]).
+    pub idle: usize,
+    /// Containers executing an invocation at the instant — either marked
+    /// busy or released with a future `last_used_at` (the simulation
+    /// completes invocations eagerly and post-dates the release).
+    pub active: usize,
+}
+
 /// The pool of containers for one deployed function.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContainerPool {
@@ -41,6 +56,10 @@ pub struct ContainerPool {
     pub cold_starts: u64,
     /// Total warm hits served (statistics).
     pub warm_hits: u64,
+    /// Total containers evicted by the policy in [`ContainerPool::advance`]
+    /// (statistics; `evict_all` resets are not counted — they model a
+    /// configuration update, not provider eviction).
+    pub evictions: u64,
 }
 
 impl ContainerPool {
@@ -53,6 +72,7 @@ impl ContainerPool {
             next_slot: 0,
             cold_starts: 0,
             warm_hits: 0,
+            evictions: 0,
         }
     }
 
@@ -65,8 +85,12 @@ impl ContainerPool {
             .into_iter()
             .partition(|c| c.state == ContainerState::Busy);
         self.containers = busy;
+        let busy_count = self.containers.len();
+        let idle_before = idle.len();
         self.containers
             .extend(self.policy.survivors(idle, now, rng));
+        let idle_after = self.containers.len() - busy_count;
+        self.evictions += (idle_before - idle_after) as u64;
         if self.containers.is_empty() {
             // A fully drained pool restarts its slot sequence, matching the
             // paper's per-batch D_init semantics.
@@ -149,6 +173,28 @@ impl ContainerPool {
             .iter()
             .filter(|c| c.state == ContainerState::Idle)
             .count()
+    }
+
+    /// Observes the pool's occupancy as of instant `t` without mutating
+    /// anything: no time advance, no RNG draw, no eviction applied.
+    ///
+    /// A container counts as **active** when it is marked busy or its
+    /// `last_used_at` lies in the future (the platform completes
+    /// invocations eagerly and post-dates releases). An **idle** container
+    /// additionally has to pass the jitter-free
+    /// [`EvictionPolicy::would_survive`] check, so an idle container the
+    /// policy would already have reclaimed is not reported warm.
+    pub fn observe(&self, t: SimTime) -> PoolObservation {
+        let mut obs = PoolObservation::default();
+        for c in &self.containers {
+            if c.state == ContainerState::Busy || c.last_used_at > t {
+                obs.active += 1;
+            } else if self.policy.would_survive(c, t) {
+                obs.idle += 1;
+            }
+        }
+        obs.warm = obs.active + obs.idle;
+        obs
     }
 
     /// Kills every container — the suite's "enforce cold start" switch
@@ -293,6 +339,53 @@ mod tests {
     fn releasing_unknown_container_panics() {
         let mut pool = aws_pool();
         pool.release(ContainerId(42), SimTime::ZERO);
+    }
+
+    #[test]
+    fn observe_is_read_only_and_splits_active_idle() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let a = pool.acquire(t0, &mut r, 0.0, true);
+        let b = pool.acquire(t0, &mut r, 0.0, true);
+        // `a` finishes at t=10s; `b` is released post-dated to t=30s, the
+        // way the platform records in-flight work.
+        pool.release(a.id(), t0 + SimDuration::from_secs(10));
+        pool.release(b.id(), t0 + SimDuration::from_secs(30));
+
+        let before = pool.clone();
+        let at20 = pool.observe(t0 + SimDuration::from_secs(20));
+        assert_eq!((at20.warm, at20.idle, at20.active), (2, 1, 1));
+        let at40 = pool.observe(t0 + SimDuration::from_secs(40));
+        assert_eq!((at40.warm, at40.idle, at40.active), (2, 2, 0));
+        // Past the first half-life after `b`'s release, slot 1 is gone
+        // from the observation — even though advance() has not run.
+        let late = pool.observe(t0 + SimDuration::from_secs(30 + 380));
+        assert_eq!(late.warm, 1);
+        assert_eq!(pool, before, "observe never mutates the pool");
+    }
+
+    #[test]
+    fn evictions_counter_tracks_policy_reclaims_only() {
+        let mut pool = aws_pool();
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        let ids: Vec<_> = (0..8)
+            .map(|_| pool.acquire(t0, &mut r, 0.0, true))
+            .collect();
+        for a in &ids {
+            pool.release(a.id(), t0 + SimDuration::from_millis(10));
+        }
+        assert_eq!(pool.evictions, 0);
+        pool.advance(t0 + SimDuration::from_secs(390), &mut r);
+        assert_eq!(pool.evictions, 4, "one half-life evicts half of 8");
+        pool.advance(t0 + SimDuration::from_secs(770), &mut r);
+        assert_eq!(pool.evictions, 6);
+        pool.evict_all();
+        assert_eq!(
+            pool.evictions, 6,
+            "evict_all is a config reset, not eviction"
+        );
     }
 
     #[test]

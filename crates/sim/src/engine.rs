@@ -57,6 +57,8 @@ pub struct EventDispatch {
 
 type DispatchHook = Box<dyn FnMut(&EventDispatch)>;
 
+type SampleHook<W> = Box<dyn FnMut(&mut W, SimTime)>;
+
 /// Scheduling context handed to each event handler.
 ///
 /// Splitting the context from the world lets handlers mutate the world while
@@ -125,6 +127,8 @@ pub struct Engine<W> {
     rng: SimRng,
     processed: u64,
     dispatch_hook: Option<DispatchHook>,
+    // (interval, next boundary, hook) of the periodic sampler, if any.
+    sample: Option<(SimDuration, SimTime, SampleHook<W>)>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -162,6 +166,7 @@ impl<W> Engine<W> {
             rng: SimRng::new(seed),
             processed: 0,
             dispatch_hook: None,
+            sample: None,
         }
     }
 
@@ -176,6 +181,43 @@ impl<W> Engine<W> {
     /// Removes the dispatch observer, if any.
     pub fn clear_dispatch_hook(&mut self) {
         self.dispatch_hook = None;
+    }
+
+    /// Installs a periodic sampler fired on sim-clock interval boundaries.
+    ///
+    /// Starting from the current instant, the hook runs at `now + k·interval`
+    /// for `k = 1, 2, …` whenever the clock crosses (or lands on) such a
+    /// boundary — *before* any event scheduled at a later instant, and
+    /// before events at the boundary itself, so it observes the world state
+    /// as of the boundary. Sampling happens between events, never inside
+    /// one, and receives no RNG; with a deterministic hook body the sampled
+    /// stream is identical on every run. An `interval` of zero is clamped
+    /// to one nanosecond.
+    pub fn set_sample_hook(
+        &mut self,
+        interval: SimDuration,
+        hook: impl FnMut(&mut W, SimTime) + 'static,
+    ) {
+        let interval = interval.max(SimDuration::from_nanos(1));
+        self.sample = Some((interval, self.now + interval, Box::new(hook)));
+    }
+
+    /// Removes the periodic sampler, if any.
+    pub fn clear_sample_hook(&mut self) {
+        self.sample = None;
+    }
+
+    /// Fires the sampler for every boundary `<= upto` that has not fired
+    /// yet, in order.
+    fn pump_samples(&mut self, upto: SimTime) {
+        while let Some((interval, due, hook)) = self.sample.as_mut() {
+            if *due > upto {
+                break;
+            }
+            let at = *due;
+            *due = at + *interval;
+            hook(&mut self.world, at);
+        }
     }
 
     /// The current virtual time.
@@ -298,6 +340,7 @@ impl<W> Engine<W> {
                 continue;
             };
             debug_assert!(key.at >= self.now, "event queue went backwards");
+            self.pump_samples(key.at);
             self.now = key.at;
             if let Some(hook) = self.dispatch_hook.as_mut() {
                 hook(&EventDispatch {
@@ -324,6 +367,7 @@ impl<W> Engine<W> {
             self.processed += 1;
         }
         if deadline != SimTime::MAX && deadline > self.now {
+            self.pump_samples(deadline);
             self.now = deadline;
         }
         self.processed - before
@@ -581,6 +625,60 @@ mod tests {
         e.run();
         assert_eq!(count.get(), 1, "cleared hook observes nothing");
         assert_eq!(*e.world(), 2, "events still run without a hook");
+    }
+
+    #[test]
+    fn sample_hook_fires_on_interval_boundaries() {
+        // World: (event log, sample log).
+        let mut e: Engine<(Vec<u64>, Vec<(u64, usize)>)> = Engine::new((Vec::new(), Vec::new()), 0);
+        e.set_sample_hook(SimDuration::from_secs(10), |w, at| {
+            let events_so_far = w.0.len();
+            w.1.push((at.as_secs_f64() as u64, events_so_far));
+        });
+        e.schedule(SimDuration::from_secs(5), |w, _| w.0.push(5));
+        e.schedule(SimDuration::from_secs(25), |w, _| w.0.push(25));
+        e.run_until(SimTime::from_secs(40));
+        let (events, samples) = e.into_world();
+        assert_eq!(events, vec![5, 25]);
+        // Boundaries at 10, 20 fire before the t=25 event; 30 and 40 at
+        // the deadline rest. Each sample sees the world as of its instant.
+        assert_eq!(samples, vec![(10, 1), (20, 1), (30, 2), (40, 2)]);
+    }
+
+    #[test]
+    fn sample_hook_at_event_instant_runs_before_the_event() {
+        let mut e: Engine<Vec<&'static str>> = Engine::new(Vec::new(), 0);
+        e.set_sample_hook(SimDuration::from_secs(1), |w, _| w.push("sample"));
+        e.schedule(SimDuration::from_secs(1), |w, _| w.push("event"));
+        e.run();
+        assert_eq!(e.into_world(), vec!["sample", "event"]);
+    }
+
+    #[test]
+    fn sample_hook_is_deterministic_and_clearable() {
+        fn run_once(clear: bool) -> Vec<u64> {
+            let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 7);
+            e.set_sample_hook(SimDuration::from_millis(500), |w, at| {
+                w.push(at.as_millis());
+            });
+            if clear {
+                e.clear_sample_hook();
+            }
+            e.schedule(SimDuration::from_millis(1200), |_, _| {});
+            e.run_until(SimTime::ZERO + SimDuration::from_millis(2000));
+            e.into_world()
+        }
+        assert_eq!(run_once(false), vec![500, 1000, 1500, 2000]);
+        assert_eq!(run_once(false), run_once(false));
+        assert!(run_once(true).is_empty());
+    }
+
+    #[test]
+    fn zero_sample_interval_is_clamped_not_infinite() {
+        let mut e: Engine<u64> = Engine::new(0, 0);
+        e.set_sample_hook(SimDuration::ZERO, |w, _| *w += 1);
+        e.run_until(SimTime::from_nanos(3));
+        assert_eq!(*e.world(), 3, "one sample per nanosecond, not a hang");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Deterministic text formatting shared by the exporters.
+
+use sebs_sim::SimTime;
+
+/// Formats a metric value with Rust's shortest-round-trip float `Display`
+/// — platform-independent and allocation-stable, so exports are
+/// byte-identical across runs and hosts.
+pub(crate) fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Formats a sim instant as exact decimal seconds (nanosecond precision,
+/// trailing zeros trimmed): `380`, `12.5`, `0.000000001`.
+pub(crate) fn fmt_secs(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    let secs = ns / 1_000_000_000;
+    let frac = ns % 1_000_000_000;
+    if frac == 0 {
+        format!("{secs}")
+    } else {
+        let mut f = format!("{frac:09}");
+        while f.ends_with('0') {
+            f.pop();
+        }
+        format!("{secs}.{f}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebs_sim::SimDuration;
+
+    #[test]
+    fn values_render_shortest() {
+        assert_eq!(fmt_value(5.0), "5");
+        assert_eq!(fmt_value(0.25), "0.25");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn seconds_are_exact_decimals() {
+        assert_eq!(fmt_secs(SimTime::from_secs(380)), "380");
+        assert_eq!(
+            fmt_secs(SimTime::ZERO + SimDuration::from_millis(12_500)),
+            "12.5"
+        );
+        assert_eq!(
+            fmt_secs(SimTime::ZERO + SimDuration::from_nanos(1)),
+            "0.000000001"
+        );
+        assert_eq!(fmt_secs(SimTime::ZERO), "0");
+    }
+}

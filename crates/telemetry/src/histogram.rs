@@ -1,0 +1,136 @@
+//! Sim-time-bucketed histograms.
+//!
+//! Observations are durations measured on the simulator clock (in
+//! milliseconds), bucketed against fixed upper bounds — the classic
+//! Prometheus cumulative-histogram shape, but fed exclusively from
+//! sim-time quantities so the aggregate is reproducible bit-for-bit.
+
+use sebs_sim::SimDuration;
+
+/// Default latency buckets (ms): spans sub-millisecond warm invocations
+/// through multi-second cold starts.
+pub const DEFAULT_LATENCY_BOUNDS_MS: [f64; 14] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 30000.0,
+];
+
+/// A fixed-bucket histogram over sim-time milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimHistogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow (+Inf) bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl SimHistogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> SimHistogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        SimHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// A histogram with [`DEFAULT_LATENCY_BOUNDS_MS`].
+    pub fn latency_ms() -> SimHistogram {
+        SimHistogram::new(&DEFAULT_LATENCY_BOUNDS_MS)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Records a sim duration, in milliseconds.
+    pub fn observe_duration(&mut self, d: SimDuration) {
+        self.observe(d.as_millis_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (ms).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The configured upper bounds (without the implicit +Inf).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs, ending with the
+    /// `(+Inf, total)` bucket — the Prometheus exposition shape.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+impl Default for SimHistogram {
+    fn default() -> SimHistogram {
+        SimHistogram::latency_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let mut h = SimHistogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary: le semantics
+        h.observe(50.0);
+        h.observe(1e6); // overflow
+        assert_eq!(h.count(), 4);
+        let cum = h.cumulative();
+        assert_eq!(cum[0], (1.0, 2));
+        assert_eq!(cum[1], (10.0, 2));
+        assert_eq!(cum[2], (100.0, 3));
+        assert_eq!(cum[3], (f64::INFINITY, 4));
+    }
+
+    #[test]
+    fn durations_observe_in_ms() {
+        let mut h = SimHistogram::latency_ms();
+        h.observe_duration(SimDuration::from_millis(150));
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 150.0).abs() < 1e-9);
+        let cum = h.cumulative();
+        let le200 = cum
+            .iter()
+            .find(|(b, _)| *b == 200.0)
+            .expect("default bounds include 200 ms");
+        assert_eq!(le200.1, 1);
+    }
+
+    #[test]
+    fn default_bounds_are_ascending() {
+        assert!(DEFAULT_LATENCY_BOUNDS_MS.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(SimHistogram::default(), SimHistogram::latency_ms());
+    }
+}

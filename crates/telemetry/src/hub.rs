@@ -1,0 +1,198 @@
+//! The [`MetricsHub`]: one platform's metric scope plus the sim-clock
+//! sampler that turns registered gauges and counters into time series.
+//!
+//! Sampling is driven entirely by the *simulator* clock: the owner asks
+//! [`MetricsHub::next_due`] for the next interval boundary at or below its
+//! current time, refreshes whatever gauges need recomputing for that
+//! instant, and calls [`MetricsHub::sample_at`]. No wall clock and no RNG
+//! stream is ever touched, so enabling a hub cannot change any simulation
+//! result — the same invariant the trace layer established.
+
+use sebs_sim::{SimDuration, SimTime};
+
+use crate::registry::{MetricsRegistry, SeriesKey};
+use crate::sink::MetricsChunk;
+
+/// Default gauge-sampling interval: one sim-second.
+pub const DEFAULT_SAMPLE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// One sampled value of one series at one sim-time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// Sample instant on the simulator clock.
+    pub at: SimTime,
+    /// The sampled series.
+    pub series: SeriesKey,
+    /// Counter or gauge value at `at`.
+    pub value: f64,
+}
+
+/// A metric registry plus an interval sampler producing sim-time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsHub {
+    interval: SimDuration,
+    /// Samples taken so far; the next boundary is `(ticks + 1) · interval`.
+    ticks: u64,
+    registry: MetricsRegistry,
+    points: Vec<MetricPoint>,
+}
+
+impl MetricsHub {
+    /// A hub sampling every `interval` (clamped to ≥ 1 ns).
+    pub fn new(interval: SimDuration) -> MetricsHub {
+        MetricsHub {
+            interval: interval.max(SimDuration::from_nanos(1)),
+            ticks: 0,
+            registry: MetricsRegistry::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The next unsampled interval boundary, when it is at or before
+    /// `upto`. Boundaries start at `interval` (nothing fires at t = 0; the
+    /// initial state is all-zero anyway).
+    pub fn next_due(&self, upto: SimTime) -> Option<SimTime> {
+        let due = SimTime::ZERO + self.interval * (self.ticks + 1);
+        (due <= upto).then_some(due)
+    }
+
+    /// Snapshots every counter and gauge into the time series at `t` and
+    /// advances the sampling cursor. Histograms are final-snapshot-only
+    /// (they already aggregate over time) and are not sampled per tick.
+    pub fn sample_at(&mut self, t: SimTime) {
+        for (k, v) in self.registry.counters() {
+            self.points.push(MetricPoint {
+                at: t,
+                series: k.clone(),
+                value: v,
+            });
+        }
+        for (k, v) in self.registry.gauges() {
+            self.points.push(MetricPoint {
+                at: t,
+                series: k.clone(),
+                value: v,
+            });
+        }
+        self.ticks += 1;
+    }
+
+    /// Adds to a monotone counter.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.registry.counter_add(name, labels, v);
+    }
+
+    /// Sets a counter maintained by an external monotone source.
+    pub fn counter_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.registry.counter_set(name, labels, v);
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.registry.gauge_set(name, labels, v);
+    }
+
+    /// Observes a histogram value in sim-milliseconds.
+    pub fn observe_ms(&mut self, name: &str, labels: &[(&str, &str)], ms: f64) {
+        self.registry.observe_ms(name, labels, ms);
+    }
+
+    /// The current registry (final snapshot values).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The sampled time series collected so far.
+    pub fn points(&self) -> &[MetricPoint] {
+        &self.points
+    }
+
+    /// Consumes the hub into an exportable chunk tagged with the owning
+    /// provider (and no cell — grid drivers tag cells afterwards).
+    pub fn into_chunk(self, provider: &str) -> MetricsChunk {
+        let (counters, gauges, histograms) = self.registry.into_parts();
+        MetricsChunk {
+            provider: provider.to_string(),
+            cell: None,
+            counters,
+            gauges,
+            histograms,
+            points: self.points,
+        }
+    }
+}
+
+impl Default for MetricsHub {
+    fn default() -> MetricsHub {
+        MetricsHub::new(DEFAULT_SAMPLE_INTERVAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fire_once_per_interval() {
+        let mut hub = MetricsHub::new(SimDuration::from_secs(10));
+        hub.gauge_set("g", &[], 1.0);
+        let upto = SimTime::from_secs(35);
+        let mut fired = Vec::new();
+        while let Some(t) = hub.next_due(upto) {
+            hub.sample_at(t);
+            fired.push(t.as_secs_f64());
+        }
+        assert_eq!(fired, vec![10.0, 20.0, 30.0]);
+        assert_eq!(hub.points().len(), 3);
+        // Nothing more is due until the clock passes 40 s.
+        assert_eq!(hub.next_due(SimTime::from_secs(39)), None);
+        assert_eq!(
+            hub.next_due(SimTime::from_secs(40)),
+            Some(SimTime::from_secs(40))
+        );
+    }
+
+    #[test]
+    fn samples_capture_counters_and_gauges_not_histograms() {
+        let mut hub = MetricsHub::new(SimDuration::from_secs(1));
+        hub.counter_add("c", &[], 2.0);
+        hub.gauge_set("g", &[], 7.0);
+        hub.observe_ms("h", &[], 5.0);
+        hub.sample_at(SimTime::from_secs(1));
+        let names: Vec<&str> = hub
+            .points()
+            .iter()
+            .map(|p| p.series.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["c", "g"], "histograms are snapshot-only");
+        assert_eq!(hub.points()[0].value, 2.0);
+        assert_eq!(hub.points()[1].value, 7.0);
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let hub = MetricsHub::new(SimDuration::ZERO);
+        assert!(hub.interval() >= SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn into_chunk_carries_everything() {
+        let mut hub = MetricsHub::new(SimDuration::from_secs(1));
+        hub.counter_add("c", &[("f", "x")], 1.0);
+        hub.gauge_set("g", &[], 3.0);
+        hub.observe_ms("h", &[], 9.0);
+        hub.sample_at(SimTime::from_secs(1));
+        let chunk = hub.into_chunk("aws");
+        assert_eq!(chunk.provider, "aws");
+        assert_eq!(chunk.cell, None);
+        assert_eq!(chunk.counters.len(), 1);
+        assert_eq!(chunk.gauges.len(), 1);
+        assert_eq!(chunk.histograms.len(), 1);
+        assert_eq!(chunk.points.len(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Prometheus text exposition of the final metric snapshot.
+//!
+//! One `# TYPE` family per metric name; series are flattened across all
+//! chunks with `provider` (and, inside grids, `cell`) grafted onto their
+//! labels and globally sorted, so the output is a pure function of the
+//! collected data — byte-identical for every worker count.
+
+use std::collections::BTreeMap;
+
+use crate::fmt::fmt_value;
+use crate::histogram::SimHistogram;
+use crate::sink::MetricsSink;
+
+enum Sample {
+    Value(f64),
+    Hist(SimHistogram),
+}
+
+/// Renders the sink's final snapshot in Prometheus text exposition format.
+pub fn prometheus_text(sink: &MetricsSink) -> String {
+    // name -> (type, labels -> sample); BTreeMaps give the global sort.
+    let mut families: BTreeMap<String, (&'static str, BTreeMap<Vec<(String, String)>, Sample>)> =
+        BTreeMap::new();
+    for chunk in sink.chunks() {
+        let mut extra = vec![("provider".to_string(), chunk.provider.clone())];
+        if let Some(cell) = chunk.cell {
+            extra.push(("cell".to_string(), cell.to_string()));
+        }
+        for (key, v) in &chunk.counters {
+            families
+                .entry(key.name.clone())
+                .or_insert_with(|| ("counter", BTreeMap::new()))
+                .1
+                .insert(key.labels_with(&extra), Sample::Value(*v));
+        }
+        for (key, v) in &chunk.gauges {
+            families
+                .entry(key.name.clone())
+                .or_insert_with(|| ("gauge", BTreeMap::new()))
+                .1
+                .insert(key.labels_with(&extra), Sample::Value(*v));
+        }
+        for (key, h) in &chunk.histograms {
+            families
+                .entry(key.name.clone())
+                .or_insert_with(|| ("histogram", BTreeMap::new()))
+                .1
+                .insert(key.labels_with(&extra), Sample::Hist(h.clone()));
+        }
+    }
+
+    let mut out = String::new();
+    for (name, (kind, series)) in &families {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for (labels, sample) in series {
+            match sample {
+                Sample::Value(v) => {
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        label_block(labels),
+                        fmt_value(*v)
+                    ));
+                }
+                Sample::Hist(h) => {
+                    for (le, count) in h.cumulative() {
+                        let mut with_le = labels.clone();
+                        with_le.push(("le".to_string(), fmt_value(le)));
+                        with_le.sort();
+                        out.push_str(&format!("{name}_bucket{} {count}\n", label_block(&with_le)));
+                    }
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        label_block(labels),
+                        fmt_value(h.sum())
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        label_block(labels),
+                        h.count()
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::MetricsHub;
+    use sebs_sim::SimDuration;
+
+    fn sink_with(f: impl FnOnce(&mut MetricsHub)) -> MetricsSink {
+        let mut hub = MetricsHub::new(SimDuration::from_secs(1));
+        f(&mut hub);
+        let mut sink = MetricsSink::new();
+        sink.push(hub.into_chunk("aws"));
+        sink
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let sink = sink_with(|h| {
+            h.counter_add("sebs_starts_total", &[("kind", "cold")], 3.0);
+            h.gauge_set("sebs_containers_warm", &[("pool", "fn:0")], 5.0);
+        });
+        let text = prometheus_text(&sink);
+        assert!(text.contains("# TYPE sebs_starts_total counter\n"));
+        assert!(text.contains("sebs_starts_total{kind=\"cold\",provider=\"aws\"} 3\n"));
+        assert!(text.contains("# TYPE sebs_containers_warm gauge\n"));
+        assert!(text.contains("sebs_containers_warm{pool=\"fn:0\",provider=\"aws\"} 5\n"));
+    }
+
+    #[test]
+    fn histograms_render_buckets_sum_count() {
+        let sink = sink_with(|h| {
+            h.observe_ms("sebs_lat_ms", &[], 4.0);
+            h.observe_ms("sebs_lat_ms", &[], 40.0);
+        });
+        let text = prometheus_text(&sink);
+        assert!(text.contains("# TYPE sebs_lat_ms histogram\n"));
+        assert!(text.contains("sebs_lat_ms_bucket{le=\"5\",provider=\"aws\"} 1\n"));
+        assert!(text.contains("sebs_lat_ms_bucket{le=\"50\",provider=\"aws\"} 2\n"));
+        assert!(text.contains("sebs_lat_ms_bucket{le=\"+Inf\",provider=\"aws\"} 2\n"));
+        assert!(text.contains("sebs_lat_ms_sum{provider=\"aws\"} 44\n"));
+        assert!(text.contains("sebs_lat_ms_count{provider=\"aws\"} 2\n"));
+    }
+
+    #[test]
+    fn cell_label_is_grafted_and_output_is_merge_order_independent() {
+        let mk = |cell: u64, v: f64| {
+            let mut hub = MetricsHub::new(SimDuration::from_secs(1));
+            hub.counter_add("c_total", &[], v);
+            let mut chunk = hub.into_chunk("aws");
+            chunk.cell = Some(cell);
+            chunk
+        };
+        let mut a = MetricsSink::new();
+        a.push(mk(1, 1.0));
+        a.push(mk(0, 2.0));
+        let mut b = MetricsSink::new();
+        b.push(mk(0, 2.0));
+        b.push(mk(1, 1.0));
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+        assert!(prometheus_text(&a).contains("c_total{cell=\"0\",provider=\"aws\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let sink = sink_with(|h| h.gauge_set("g", &[("k", "a\"b\\c")], 1.0));
+        assert!(prometheus_text(&sink).contains("k=\"a\\\"b\\\\c\""));
+    }
+}
