@@ -23,6 +23,12 @@
 //!   and each of its timer sites carries an explicit
 //!   `audit:allow(instant-usage)` so every host-clock read stays visible
 //!   in the audit report.
+//! * **failure-probability** — drawing against a `*_rate` probability in
+//!   the deterministic core (`.gen…` and `_rate` on one line) is reserved
+//!   for the fault injector (`crates/resilience/src/fault.rs`); ad-hoc
+//!   failure draws elsewhere fragment the failure model and must either
+//!   move behind a [`FaultPlan`] or carry an explicit allow naming the
+//!   paper section they reproduce.
 //!
 //! A finding can be suppressed with a comment:
 //!
@@ -48,6 +54,7 @@ pub enum Rule {
     HashIteration,
     PanicHygiene,
     InstantUsage,
+    FailureProbability,
 }
 
 impl Rule {
@@ -60,11 +67,12 @@ impl Rule {
             Rule::HashIteration => "hash-iteration",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::InstantUsage => "instant-usage",
+            Rule::FailureProbability => "failure-probability",
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::RegistryDeps,
             Rule::WallClock,
@@ -72,6 +80,7 @@ impl Rule {
             Rule::HashIteration,
             Rule::PanicHygiene,
             Rule::InstantUsage,
+            Rule::FailureProbability,
         ]
     }
 }
@@ -145,6 +154,9 @@ pub struct FileScope {
     pub library: bool,
     /// File belongs to a crate whose iteration order must be deterministic.
     pub deterministic_core: bool,
+    /// The one file allowed to turn probabilities into failures: the
+    /// seeded fault injector.
+    pub fault_injector: bool,
 }
 
 impl FileScope {
@@ -154,9 +166,17 @@ impl FileScope {
         FileScope {
             clock_shim: path == "crates/cloud/src/clock.rs",
             library: in_crate_src && !path.contains("/src/bin/"),
-            deterministic_core: ["sim", "platform", "storage", "core", "telemetry"]
-                .iter()
-                .any(|c| in_crate_src && path.split('/').nth(1) == Some(*c)),
+            deterministic_core: [
+                "sim",
+                "platform",
+                "storage",
+                "core",
+                "telemetry",
+                "resilience",
+            ]
+            .iter()
+            .any(|c| in_crate_src && path.split('/').nth(1) == Some(*c)),
+            fault_injector: path == "crates/resilience/src/fault.rs",
         }
     }
 }
@@ -172,6 +192,11 @@ const RANDOMNESS_TOKENS: [&str; 5] = [
 const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
 const PANIC_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
 const INSTANT_TOKEN: &str = "std::time::Instant";
+/// A `failure-probability` finding needs both tokens on one code line: an
+/// RNG draw (`.gen::<f64>()`, `.gen_bool(…)`, …) compared against a
+/// `*_rate` probability knob.
+const FAILURE_DRAW_TOKEN: &str = ".gen";
+const FAILURE_RATE_TOKEN: &str = "_rate";
 
 /// Audits one Rust source file; returns raw findings (suppression is applied
 /// by the caller so allows can be accounted for centrally).
@@ -227,6 +252,14 @@ pub fn audit_rust_source(path: &str, source: &str) -> (Vec<Finding>, Vec<Allow>)
                     push(Rule::PanicHygiene);
                 }
             }
+        }
+        if scope.deterministic_core
+            && !scope.fault_injector
+            && !test_lines[idx]
+            && l.code.contains(FAILURE_DRAW_TOKEN)
+            && l.code.contains(FAILURE_RATE_TOKEN)
+        {
+            push(Rule::FailureProbability);
         }
     }
     (findings, allows)
@@ -448,6 +481,67 @@ mod tests {
         let (findings, allows) = audit_rust_source("crates/sim/src/x.rs", &src);
         assert_eq!(findings.len(), 1);
         assert!(!is_suppressed(&findings[0], &allows));
+    }
+
+    #[test]
+    fn failure_probability_draws_flagged_outside_the_injector() {
+        let src = "\
+if self.rng.gen::<f64>() < self.crash_rate {
+    // ad-hoc failure draw
+}
+";
+        let (findings, _) = audit_rust_source("crates/platform/src/x.rs", src);
+        let fails: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::FailureProbability)
+            .collect();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].line, 1);
+        // The fault injector itself is the sanctioned home for these draws.
+        let (injector, _) = audit_rust_source("crates/resilience/src/fault.rs", src);
+        assert!(injector.iter().all(|f| f.rule != Rule::FailureProbability));
+        // Other resilience files are still deterministic core.
+        let (retry, _) = audit_rust_source("crates/resilience/src/retry.rs", src);
+        assert!(retry.iter().any(|f| f.rule == Rule::FailureProbability));
+        // Non-core crates (workload models draw service rates) are exempt.
+        let (workloads, _) = audit_rust_source("crates/workloads/src/x.rs", src);
+        assert!(workloads.is_empty());
+    }
+
+    #[test]
+    fn failure_probability_needs_both_tokens_and_skips_tests() {
+        let draws_only = "let x = rng.gen::<f64>();";
+        let rate_only = "let r = self.error_rate;";
+        for src in [draws_only, rate_only] {
+            let (findings, _) = audit_rust_source("crates/sim/src/x.rs", src);
+            assert!(
+                findings.iter().all(|f| f.rule != Rule::FailureProbability),
+                "{src}"
+            );
+        }
+        let test_src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { assert!(rng.gen::<f64>() < plan.crash_rate); }
+}
+";
+        let (findings, _) = audit_rust_source("crates/platform/src/x.rs", test_src);
+        assert!(findings.iter().all(|f| f.rule != Rule::FailureProbability));
+    }
+
+    #[test]
+    fn failure_probability_suppressed_by_allow() {
+        let src = "\
+// audit:allow(failure-probability): reproduces the paper's availability model
+if self.rng_failure.gen::<f64>() < quirks.availability_error_rate {
+}
+";
+        let (findings, allows) = audit_rust_source("crates/platform/src/x.rs", src);
+        let live: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::FailureProbability && !is_suppressed(f, &allows))
+            .collect();
+        assert!(live.is_empty());
     }
 
     #[test]

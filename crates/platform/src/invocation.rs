@@ -25,6 +25,57 @@ pub enum StartKind {
     Cold,
 }
 
+/// Why a function body failed, structured so retry classification never
+/// string-matches error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionErrorKind {
+    /// A required storage object was missing or a storage call failed
+    /// permanently (retrying re-reads the same missing object).
+    Storage,
+    /// A storage call failed transiently (injected fault) — retryable.
+    TransientStorage,
+    /// The payload was malformed for this benchmark — retrying resends
+    /// the same bad request.
+    BadRequest,
+    /// The sandbox crashed mid-execution (injected fault) — retryable.
+    SandboxCrash,
+    /// The request payload was corrupted in flight (injected fault) —
+    /// retryable, the client still holds the pristine payload.
+    CorruptPayload,
+}
+
+impl FunctionErrorKind {
+    /// Stable kebab-case tag for trace args and metrics labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FunctionErrorKind::Storage => "storage",
+            FunctionErrorKind::TransientStorage => "transient-storage",
+            FunctionErrorKind::BadRequest => "bad-request",
+            FunctionErrorKind::SandboxCrash => "sandbox-crash",
+            FunctionErrorKind::CorruptPayload => "corrupt-payload",
+        }
+    }
+
+    /// Whether a retry can plausibly succeed.
+    pub fn retryable(self) -> bool {
+        match self {
+            FunctionErrorKind::TransientStorage
+            | FunctionErrorKind::SandboxCrash
+            | FunctionErrorKind::CorruptPayload => true,
+            FunctionErrorKind::Storage | FunctionErrorKind::BadRequest => false,
+        }
+    }
+
+    /// Every variant, for exhaustiveness tests and metrics pre-registration.
+    pub const ALL: [FunctionErrorKind; 5] = [
+        FunctionErrorKind::Storage,
+        FunctionErrorKind::TransientStorage,
+        FunctionErrorKind::BadRequest,
+        FunctionErrorKind::SandboxCrash,
+        FunctionErrorKind::CorruptPayload,
+    ];
+}
+
 /// Terminal status of an invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InvocationOutcome {
@@ -52,7 +103,12 @@ pub enum InvocationOutcome {
         limit: u64,
     },
     /// The function body itself returned an error.
-    FunctionError(String),
+    FunctionError {
+        /// Structured failure class driving retry decisions.
+        kind: FunctionErrorKind,
+        /// Human-readable detail for logs and traces.
+        message: String,
+    },
 }
 
 impl InvocationOutcome {
@@ -70,7 +126,25 @@ impl InvocationOutcome {
             InvocationOutcome::Throttled => "throttled",
             InvocationOutcome::ServiceUnavailable => "unavailable",
             InvocationOutcome::PayloadTooLarge { .. } => "payload-too-large",
-            InvocationOutcome::FunctionError(_) => "function-error",
+            InvocationOutcome::FunctionError { .. } => "function-error",
+        }
+    }
+
+    /// Whether a client retry can plausibly change the outcome.
+    ///
+    /// `Throttled` and `ServiceUnavailable` are transient by definition;
+    /// function errors delegate to their [`FunctionErrorKind`]. `Timeout`
+    /// is *not* retryable here: the simulated workload is deterministic,
+    /// so a retry would time out identically. OOM and oversized payloads
+    /// fail the same way every time.
+    pub fn retryable(&self) -> bool {
+        match self {
+            InvocationOutcome::Throttled | InvocationOutcome::ServiceUnavailable => true,
+            InvocationOutcome::FunctionError { kind, .. } => kind.retryable(),
+            InvocationOutcome::Success
+            | InvocationOutcome::OutOfMemory { .. }
+            | InvocationOutcome::Timeout
+            | InvocationOutcome::PayloadTooLarge { .. } => false,
         }
     }
 }
@@ -135,6 +209,62 @@ impl InvocationRecord {
     }
 }
 
+/// The client-visible result of `FaasPlatform::invoke_with_policy`: every
+/// attempt the policy launched (each one billed by the platform exactly
+/// like a standalone invocation), the backoff waits between them, and the
+/// effective end-to-end outcome the caller observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptChain {
+    /// Every attempt, in launch order (the hedge attempt, if any, follows
+    /// the primary attempt it raced).
+    pub attempts: Vec<InvocationRecord>,
+    /// Backoff wait before each retry: `waits[i]` precedes `attempts[i+1]`
+    /// (hedges have no wait and no entry here).
+    pub waits: Vec<SimDuration>,
+    /// Whether a hedge attempt was launched.
+    pub hedged: bool,
+    /// Whether the hedge attempt produced the effective response.
+    pub hedge_won: bool,
+    /// Whether the circuit breaker rejected the call locally (no attempts
+    /// were launched and nothing was billed).
+    pub breaker_rejected: bool,
+    /// The effective outcome the client observed.
+    pub outcome: InvocationOutcome,
+    /// End-to-end client latency across all attempts and waits.
+    pub client_time: SimDuration,
+}
+
+impl AttemptChain {
+    /// A chain wrapping one plain invocation (the no-op-policy fast path).
+    pub fn single(record: InvocationRecord) -> AttemptChain {
+        AttemptChain {
+            waits: Vec::new(),
+            hedged: false,
+            hedge_won: false,
+            breaker_rejected: false,
+            outcome: record.outcome.clone(),
+            client_time: record.client_time,
+            attempts: vec![record],
+        }
+    }
+
+    /// Whether the chain ended in success.
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_success()
+    }
+
+    /// How many attempts the platform billed (all of them — retries and
+    /// hedges are real invocations).
+    pub fn billed_attempts(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// Total cost across every attempt.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.attempts.iter().map(|a| a.bill.total_usd()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +321,65 @@ mod tests {
         assert!(r.benchmark_time <= r.provider_time);
         assert!(r.provider_time <= r.client_time);
         assert!((r.client_secs() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_error_kinds_are_exhaustive_with_stable_tags() {
+        // `ALL` must cover every variant: this match fails to compile if a
+        // variant is added without extending the list and classification.
+        for kind in FunctionErrorKind::ALL {
+            let (tag, retryable) = match kind {
+                FunctionErrorKind::Storage => ("storage", false),
+                FunctionErrorKind::TransientStorage => ("transient-storage", true),
+                FunctionErrorKind::BadRequest => ("bad-request", false),
+                FunctionErrorKind::SandboxCrash => ("sandbox-crash", true),
+                FunctionErrorKind::CorruptPayload => ("corrupt-payload", true),
+            };
+            assert_eq!(kind.as_str(), tag);
+            assert_eq!(kind.retryable(), retryable, "{tag}");
+        }
+        let tags: std::collections::BTreeSet<_> =
+            FunctionErrorKind::ALL.iter().map(|k| k.as_str()).collect();
+        assert_eq!(
+            tags.len(),
+            FunctionErrorKind::ALL.len(),
+            "tags must be unique"
+        );
+    }
+
+    #[test]
+    fn outcome_retryability_classification() {
+        assert!(InvocationOutcome::Throttled.retryable());
+        assert!(InvocationOutcome::ServiceUnavailable.retryable());
+        assert!(!InvocationOutcome::Success.retryable());
+        assert!(!InvocationOutcome::Timeout.retryable());
+        assert!(!InvocationOutcome::OutOfMemory {
+            used_mb: 300,
+            limit_mb: 256
+        }
+        .retryable());
+        assert!(!InvocationOutcome::PayloadTooLarge {
+            bytes: 10,
+            limit: 5
+        }
+        .retryable());
+        assert!(InvocationOutcome::FunctionError {
+            kind: FunctionErrorKind::SandboxCrash,
+            message: "sandbox crashed".into(),
+        }
+        .retryable());
+        assert!(!InvocationOutcome::FunctionError {
+            kind: FunctionErrorKind::BadRequest,
+            message: "bad payload".into(),
+        }
+        .retryable());
+        assert_eq!(
+            InvocationOutcome::FunctionError {
+                kind: FunctionErrorKind::Storage,
+                message: String::new(),
+            }
+            .label(),
+            "function-error"
+        );
     }
 }

@@ -38,7 +38,9 @@ pub use coldstart::{ColdStartBreakdown, ColdStartModel};
 pub use container::{Container, ContainerId, ContainerState};
 pub use eviction::EvictionPolicy;
 pub use function::{FunctionConfig, FunctionId};
-pub use invocation::{InvocationOutcome, InvocationRecord, StartKind};
+pub use invocation::{
+    AttemptChain, FunctionErrorKind, InvocationOutcome, InvocationRecord, StartKind,
+};
 pub use monitoring::{MonitoredInvocation, MonitoringApi};
 pub use platform::FaasPlatform;
 pub use pool::ContainerPool;

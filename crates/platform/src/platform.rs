@@ -4,16 +4,20 @@
 use std::collections::BTreeMap;
 
 use sebs_cloud::DriftingClock;
+use sebs_resilience::{CircuitBreaker, FaultInjector, FaultPlan, FaultyStore, HedgeTracker};
+use sebs_resilience::{InjectionCounts, RetryPolicy};
 use sebs_sim::rng::{Rng, StreamRng};
 use sebs_sim::{SimDuration, SimRng, SimTime};
 use sebs_storage::{ObjectStorage, SimObjectStore, StorageOp};
 use sebs_telemetry::{MetricsChunk, MetricsHub, DEFAULT_SAMPLE_INTERVAL};
 use sebs_trace::{InvocationTrace, TraceSpan};
-use sebs_workloads::{InvocationCtx, IoEvent, IoKind, Payload, Workload};
+use sebs_workloads::{InvocationCtx, IoEvent, IoKind, Payload, Workload, WorkloadError};
 
 use crate::billing::InvocationBill;
 use crate::function::{FunctionConfig, FunctionId};
-use crate::invocation::{InvocationOutcome, InvocationRecord, StartKind};
+use crate::invocation::{
+    AttemptChain, FunctionErrorKind, InvocationOutcome, InvocationRecord, StartKind,
+};
 use crate::pool::ContainerPool;
 use crate::provider::ProviderProfile;
 use crate::trigger::TriggerKind;
@@ -100,6 +104,25 @@ pub struct FaasPlatform {
     // Metrics collection shares the tracing contract: purely observational,
     // no RNG draw and no wall-clock read, so results never change with it.
     metrics: Option<MetricsHub>,
+    // The platform's root seed, kept so fault injection and retry state
+    // can derive their own dedicated streams lazily.
+    seed: u64,
+    // Fault injection: `None` (or an empty plan) is bit-identical to a
+    // platform built before the subsystem existed — the injector draws
+    // from its own stream and only when a rate is non-zero.
+    faults: Option<FaultInjector>,
+    // Client-side resilience: `None` (the `RetryPolicy::none()` mapping)
+    // makes `invoke_with_policy` a plain `invoke` with no extra draws.
+    resilience: Option<ResilienceState>,
+}
+
+/// Mutable client-side state behind `invoke_with_policy`.
+struct ResilienceState {
+    policy: RetryPolicy,
+    rng_backoff: StreamRng,
+    breaker: Option<CircuitBreaker>,
+    hedge: Option<HedgeTracker>,
+    retries_spent: u64,
 }
 
 impl std::fmt::Debug for FaasPlatform {
@@ -138,7 +161,68 @@ impl FaasPlatform {
             trace_seq: 0,
             traces: Vec::new(),
             metrics: None,
+            seed,
+            faults: None,
+            resilience: None,
         }
+    }
+
+    /// Installs a fault plan. An empty plan removes the injector entirely,
+    /// restoring bit-identical behavior to a platform that never had one;
+    /// a non-empty plan compiles into a [`FaultInjector`] drawing from the
+    /// dedicated `fault-injector` stream of the platform's seed.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(
+                plan,
+                SimRng::new(self.seed).stream("fault-injector"),
+            ))
+        };
+    }
+
+    /// The fault plan in force (empty when no injector is installed).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults
+            .as_ref()
+            .map_or_else(FaultPlan::empty, |f| f.plan().clone())
+    }
+
+    /// How many faults of each kind have been injected so far.
+    pub fn fault_counts(&self) -> InjectionCounts {
+        self.faults
+            .as_ref()
+            .map_or_else(InjectionCounts::default, |f| f.counts())
+    }
+
+    /// How many RNG values fault injection has consumed — stays at zero
+    /// for empty plans, the observable half of the bit-identity guarantee.
+    pub fn fault_draws(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.draws())
+    }
+
+    /// Installs the client-side retry policy driven by
+    /// [`FaasPlatform::invoke_with_policy`]. [`RetryPolicy::none`] removes
+    /// the state entirely: the wrapper then performs exactly one plain
+    /// `invoke` and touches no extra randomness.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.resilience = if policy.is_none() {
+            None
+        } else {
+            Some(ResilienceState {
+                breaker: policy.breaker.map(CircuitBreaker::new),
+                hedge: policy.hedge_after_quantile.map(HedgeTracker::new),
+                rng_backoff: SimRng::new(self.seed).stream("retry-backoff"),
+                retries_spent: 0,
+                policy,
+            })
+        };
+    }
+
+    /// Whether a non-trivial retry policy is installed.
+    pub fn resilience_active(&self) -> bool {
+        self.resilience.is_some()
     }
 
     /// Switches per-invocation trace collection on or off. Collection is
@@ -251,6 +335,7 @@ impl FaasPlatform {
             })
             .collect();
         let storage = self.storage.stats();
+        let fault_counts = self.faults.as_ref().map(|f| f.counts());
         let Some(hub) = self.metrics.as_mut() else {
             return;
         };
@@ -289,6 +374,17 @@ impl FaasPlatform {
                     &[("direction", direction)],
                     bytes as f64,
                 );
+            }
+        }
+        if let Some(counts) = fault_counts {
+            for (kind, count) in counts.entries() {
+                if count > 0 {
+                    hub.counter_set(
+                        "sebs_faults_injected_total",
+                        &[("kind", kind)],
+                        count as f64,
+                    );
+                }
             }
         }
     }
@@ -456,9 +552,188 @@ impl FaasPlatform {
             .expect("burst of one yields one record")
     }
 
-    /// Invokes a function with `payloads.len()` concurrent requests
-    /// arriving at the current instant — the paper's batched concurrent
-    /// invocations (50 per batch in the Perf-Cost experiment).
+    /// Invokes a function once under the installed [`RetryPolicy`],
+    /// returning the full [`AttemptChain`].
+    ///
+    /// With no policy installed ([`RetryPolicy::none`]) this is exactly
+    /// one plain [`FaasPlatform::invoke`] — same draws, same clock, same
+    /// records. With a policy, failed retryable attempts are retried with
+    /// exponential backoff (the platform clock advances by each attempt's
+    /// client time plus the wait, so breaker cooldowns and container
+    /// lifecycles see real time passing), slow first attempts may be
+    /// hedged, and a tripped circuit breaker rejects calls locally.
+    /// **Every launched attempt is billed** — the chain's cost is the sum
+    /// over attempts, exactly what the cloud would charge.
+    pub fn invoke_with_policy(
+        &mut self,
+        id: FunctionId,
+        workload: &dyn Workload,
+        payload: &Payload,
+    ) -> AttemptChain {
+        let Some(mut state) = self.resilience.take() else {
+            return AttemptChain::single(self.invoke(id, workload, payload));
+        };
+        let chain = self.run_chain(id, workload, payload, &mut state);
+        self.resilience = Some(state);
+        chain
+    }
+
+    fn run_chain(
+        &mut self,
+        id: FunctionId,
+        workload: &dyn Workload,
+        payload: &Payload,
+        state: &mut ResilienceState,
+    ) -> AttemptChain {
+        let name = self.functions[id.0 as usize].config.name.clone();
+        let memory = self.functions[id.0 as usize].effective_memory_mb;
+        let chain_start = self.now;
+        let policy = state.policy.clone();
+
+        if let Some(breaker) = state.breaker.as_mut() {
+            let admitted = breaker.allow(self.now);
+            let breaker_state = breaker.state();
+            let rejections = breaker.rejections();
+            if let Some(hub) = self.metrics.as_mut() {
+                let fun = [("function", name.as_str())];
+                hub.gauge_set("sebs_breaker_state", &fun, breaker_state.as_gauge() as f64);
+                if rejections > 0 {
+                    hub.counter_set("sebs_breaker_rejections_total", &fun, rejections as f64);
+                }
+            }
+            if !admitted {
+                return AttemptChain {
+                    attempts: Vec::new(),
+                    waits: Vec::new(),
+                    hedged: false,
+                    hedge_won: false,
+                    breaker_rejected: true,
+                    outcome: InvocationOutcome::ServiceUnavailable,
+                    client_time: SimDuration::ZERO,
+                };
+            }
+        }
+
+        let mut chain = AttemptChain {
+            attempts: Vec::new(),
+            waits: Vec::new(),
+            hedged: false,
+            hedge_won: false,
+            breaker_rejected: false,
+            outcome: InvocationOutcome::ServiceUnavailable,
+            client_time: SimDuration::ZERO,
+        };
+        let mut elapsed = SimDuration::ZERO;
+        let mut hedge_offset: Option<SimDuration> = None;
+        loop {
+            let attempt_index = chain.attempts.len() as u32;
+            let primary = self.invoke(id, workload, payload);
+            if attempt_index > 0 {
+                if let Some(hub) = self.metrics.as_mut() {
+                    hub.counter_add(
+                        "sebs_retry_attempts_total",
+                        &[("function", name.as_str())],
+                        1.0,
+                    );
+                }
+            }
+            // Hedge the first attempt when its latency exceeds the learned
+            // quantile threshold: the hedge launches at the threshold
+            // instant, and the effective response is whichever attempt
+            // answers first (successes preferred).
+            let hedge_threshold = state.hedge.as_ref().and_then(|h| h.threshold());
+            let mut attempt_outcome = primary.outcome.clone();
+            let mut attempt_time = primary.client_time;
+            let mut attempt_extent = primary.client_time;
+            if primary.outcome.is_success() {
+                if let Some(h) = state.hedge.as_mut() {
+                    h.observe(primary.client_time);
+                }
+            }
+            let primary_time = primary.client_time;
+            let primary_outcome = primary.outcome.clone();
+            chain.attempts.push(primary);
+            if attempt_index == 0 {
+                if let Some(threshold) = hedge_threshold.filter(|t| primary_time > *t) {
+                    chain.hedged = true;
+                    hedge_offset = Some(threshold);
+                    let hedge = self.invoke(id, workload, payload);
+                    if hedge.outcome.is_success() {
+                        if let Some(h) = state.hedge.as_mut() {
+                            h.observe(hedge.client_time);
+                        }
+                    }
+                    let hedge_total = threshold + hedge.client_time;
+                    attempt_extent = primary_time.max(hedge_total);
+                    let hedge_wins =
+                        match (primary_outcome.is_success(), hedge.outcome.is_success()) {
+                            (true, false) => false,
+                            (false, true) => true,
+                            _ => hedge_total < primary_time,
+                        };
+                    if hedge_wins {
+                        chain.hedge_won = true;
+                        attempt_outcome = hedge.outcome.clone();
+                        attempt_time = hedge_total;
+                    }
+                    if let Some(hub) = self.metrics.as_mut() {
+                        let result = if hedge_wins { "won" } else { "lost" };
+                        hub.counter_add("sebs_hedge_attempts_total", &[("result", result)], 1.0);
+                    }
+                    chain.attempts.push(hedge);
+                }
+            }
+
+            if let Some(breaker) = state.breaker.as_mut() {
+                if attempt_outcome.is_success() {
+                    breaker.record_success();
+                } else {
+                    breaker.record_failure(self.now + attempt_time);
+                }
+                let breaker_state = breaker.state();
+                if let Some(hub) = self.metrics.as_mut() {
+                    hub.gauge_set(
+                        "sebs_breaker_state",
+                        &[("function", name.as_str())],
+                        breaker_state.as_gauge() as f64,
+                    );
+                }
+            }
+
+            elapsed += attempt_time;
+            chain.outcome = attempt_outcome.clone();
+            let retryable = attempt_outcome.retryable();
+            let attempts_left = attempt_index + 1 < policy.max_attempts;
+            let budget_left = policy
+                .retry_budget
+                .is_none_or(|budget| state.retries_spent < budget);
+            if attempt_outcome.is_success() || !retryable || !attempts_left || !budget_left {
+                // The clock did not advance for the final attempt — same
+                // contract as a plain invoke, the driver owns time.
+                break;
+            }
+            let wait = policy.backoff_for(attempt_index, &mut state.rng_backoff);
+            if let Some(deadline) = policy.deadline {
+                if elapsed + wait >= deadline {
+                    break;
+                }
+            }
+            state.retries_spent += 1;
+            chain.waits.push(wait);
+            elapsed += wait;
+            // Let sim time pass for the attempt and the backoff so pool
+            // lifecycles, outage windows and breaker cooldowns see it.
+            self.advance(attempt_extent + wait);
+        }
+        chain.client_time = elapsed;
+
+        if self.tracing && chain.attempts.len() > 1 {
+            let root = build_chain_span(&chain, chain_start, hedge_offset);
+            debug_assert_eq!(root.validate(), Ok(()), "chain span tree is well-formed");
+            self.push_trace(&name, memory, root);
+        }
+        chain
+    }
     ///
     /// Returns one record per request, in submission order. The platform
     /// clock does **not** advance (the driver controls time).
@@ -574,19 +849,37 @@ impl FaasPlatform {
             return record;
         }
 
-        // 3. Availability under heavy concurrency (§6.2 Q3).
-        if concurrency > quirks.availability_threshold
-            && self.rng_failure.gen::<f64>() < quirks.availability_error_rate
+        // 3. Injected outage windows, then availability under heavy
+        // concurrency (§6.2 Q3). The short-circuit keeps the historic
+        // `rng_failure` draw sequence intact whenever no outage fires.
+        let outage = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.sample_outage(self.now));
+        // audit:allow(failure-probability): the paper's §6.2 Q3 availability
+        // model — rate, threshold and penalty are provider Quirks, not an
+        // ad-hoc fault source.
+        if outage
+            || (concurrency > quirks.availability_threshold
+                && self.rng_failure.gen::<f64>() < quirks.availability_error_rate)
         {
             record.outcome = InvocationOutcome::ServiceUnavailable;
-            record.client_time = rtt + req_transfer + SimDuration::from_millis(500);
+            record.client_time = rtt + req_transfer + quirks.unavailable_penalty;
             record.t_recv_client = (self.now + record.client_time).as_secs_f64();
             self.record_failure_trace(&deployed.config.name, &record);
             self.record_invocation_metrics(&deployed.config.name, &record, false);
             return record;
         }
 
-        // 4. Sandbox acquisition.
+        // 4. Sandbox acquisition. Cold-start storms raise the spurious-cold
+        // probability inside their windows (a pure interval lookup) and
+        // force the probabilistic acquisition path even on providers with
+        // deterministic warm reuse; outside every window the arguments are
+        // exactly the historic ones.
+        let storm_boost = self
+            .faults
+            .as_ref()
+            .map_or(0.0, |f| f.storm_boost(self.now));
         let pool = self
             .pools
             .get_mut(&deployed.pool_key)
@@ -595,8 +888,8 @@ impl FaasPlatform {
         let acquired = pool.acquire(
             self.now,
             &mut self.rng_pool,
-            quirks.spurious_cold_start,
-            quirks.deterministic_warm_reuse,
+            quirks.spurious_cold_start.max(storm_boost),
+            quirks.deterministic_warm_reuse && storm_boost == 0.0,
         );
         record.container = Some(acquired.id());
         // A cold acquisition while idle containers survive means the
@@ -627,9 +920,10 @@ impl FaasPlatform {
         let exec_payload = with_cache_param(payload, !acquired.is_cold());
         let mut exec_rng = self.rng_exec.clone();
         self.rng_exec.gen::<u64>(); // decorrelate subsequent invocations
-        let (result, counters, raw_io, peak_alloc, io_events) = {
-            let mut ctx = InvocationCtx::new(&mut self.storage, &mut exec_rng);
-            if self.tracing {
+        let tracing = self.tracing;
+        let mut run_body = |storage: &mut dyn ObjectStorage| {
+            let mut ctx = InvocationCtx::new(storage, &mut exec_rng);
+            if tracing {
                 ctx.enable_io_recording();
             }
             let result = workload.execute(&exec_payload, &mut ctx);
@@ -640,6 +934,16 @@ impl FaasPlatform {
                 ctx.peak_alloc_bytes(),
                 ctx.io_events().to_vec(),
             )
+        };
+        // Storage faults interpose only when the plan actually has any, so
+        // the fault-free data path is byte-for-byte the historic one.
+        let (result, counters, raw_io, peak_alloc, io_events) = match self
+            .faults
+            .as_mut()
+            .filter(|f| f.plan().has_storage_faults())
+        {
+            Some(injector) => run_body(&mut FaultyStore::new(&mut self.storage, injector)),
+            None => run_body(&mut self.storage),
         };
 
         // 6. Convert counters into time under this allocation.
@@ -682,14 +986,43 @@ impl FaasPlatform {
             .sample_millis(&mut self.rng_net)
             .mul_f64(concurrency.saturating_sub(1) as f64);
 
-        let outcome = match &result {
-            Err(e) => InvocationOutcome::FunctionError(e.to_string()),
-            Ok(_) if used_mb as f64 > oom_limit => InvocationOutcome::OutOfMemory {
+        // Injected execution faults: the workload ran to completion (so
+        // every downstream RNG stream drew exactly as usual), but the
+        // sandbox crashed or the payload arrived corrupted — the attempt
+        // is billed like any function error.
+        let injected = match self.faults.as_mut() {
+            Some(f) => {
+                let corrupt = f.sample_corrupt_payload();
+                let crash = f.sample_sandbox_crash();
+                if corrupt {
+                    Some(FunctionErrorKind::CorruptPayload)
+                } else if crash {
+                    Some(FunctionErrorKind::SandboxCrash)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        let outcome = match (injected, &result) {
+            (Some(FunctionErrorKind::CorruptPayload), _) => InvocationOutcome::FunctionError {
+                kind: FunctionErrorKind::CorruptPayload,
+                message: "request payload corrupted in flight".to_string(),
+            },
+            (Some(_), _) => InvocationOutcome::FunctionError {
+                kind: FunctionErrorKind::SandboxCrash,
+                message: "sandbox crashed mid-execution".to_string(),
+            },
+            (None, Err(e)) => InvocationOutcome::FunctionError {
+                kind: classify_workload_error(e),
+                message: e.to_string(),
+            },
+            (None, Ok(_)) if used_mb as f64 > oom_limit => InvocationOutcome::OutOfMemory {
                 used_mb,
                 limit_mb: memory,
             },
-            Ok(_) if record.benchmark_time > func_timeout => InvocationOutcome::Timeout,
-            Ok(_) => InvocationOutcome::Success,
+            (None, Ok(_)) if record.benchmark_time > func_timeout => InvocationOutcome::Timeout,
+            (None, Ok(_)) => InvocationOutcome::Success,
         };
         let response_bytes = match &result {
             Ok(resp) if outcome.is_success() => resp.size_bytes(),
@@ -937,6 +1270,70 @@ fn remaining_until(at: SimTime, end: SimTime) -> SimDuration {
     } else {
         SimDuration::ZERO
     }
+}
+
+/// Maps a workload failure onto its structured, retry-relevant class.
+fn classify_workload_error(e: &WorkloadError) -> FunctionErrorKind {
+    match e {
+        WorkloadError::Storage(_) => FunctionErrorKind::Storage,
+        WorkloadError::TransientStorage(_) => FunctionErrorKind::TransientStorage,
+        WorkloadError::BadPayload(_) => FunctionErrorKind::BadRequest,
+    }
+}
+
+/// Lays out the synthetic span tree of an attempt chain: sequential
+/// `attempt` children, the `hedge` attempt offset by the quantile
+/// threshold it launched at, and `backoff.wait` spans between retries.
+/// The effective (possibly hedge-shortened) latency is an arg on the
+/// root; the root interval covers the full extent of every attempt.
+fn build_chain_span(
+    chain: &AttemptChain,
+    start: SimTime,
+    hedge_offset: Option<SimDuration>,
+) -> TraceSpan {
+    let mut cursor = SimDuration::ZERO;
+    let mut children = Vec::new();
+    let mut attempt_no: usize = 0;
+    let mut i = 0;
+    while i < chain.attempts.len() {
+        let attempt = &chain.attempts[i];
+        let mut extent = attempt.client_time;
+        children.push(
+            TraceSpan::new("attempt", start + cursor, attempt.client_time)
+                .with_arg("index", attempt_no.to_string())
+                .with_arg("outcome", attempt.outcome.label()),
+        );
+        if attempt_no == 0 && chain.hedged {
+            let offset = hedge_offset.unwrap_or(SimDuration::ZERO);
+            let hedge = &chain.attempts[i + 1];
+            children.push(
+                TraceSpan::new("hedge", start + cursor + offset, hedge.client_time)
+                    .with_arg("outcome", hedge.outcome.label())
+                    .with_arg("won", chain.hedge_won.to_string()),
+            );
+            extent = extent.max(offset + hedge.client_time);
+            i += 1;
+        }
+        cursor += extent;
+        if attempt_no < chain.waits.len() {
+            let wait = chain.waits[attempt_no];
+            children.push(TraceSpan::new("backoff.wait", start + cursor, wait));
+            cursor += wait;
+        }
+        attempt_no += 1;
+        i += 1;
+    }
+    let mut root = TraceSpan::new("invoke.chain", start, cursor)
+        .with_arg("outcome", chain.outcome.label())
+        .with_arg("attempts", chain.attempts.len().to_string())
+        .with_arg(
+            "effective_client_ms",
+            format!("{:.3}", chain.client_time.as_millis_f64()),
+        );
+    for child in children {
+        root.push_child(child);
+    }
+    root
 }
 
 fn zero_bill() -> InvocationBill {
@@ -1565,5 +1962,265 @@ mod tests {
             .collect();
         assert_eq!(throttled.len(), 20);
         assert!(throttled.iter().all(|t| t.root.children.is_empty()));
+    }
+
+    #[test]
+    fn empty_fault_plan_and_none_policy_are_bit_identical() {
+        let run = |configure: bool| {
+            let mut p = aws();
+            if configure {
+                p.set_faults(FaultPlan::empty());
+                p.set_retry_policy(RetryPolicy::none());
+            }
+            let (fid, wl, payload) = deploy_html(&mut p, 256);
+            let chain = p.invoke_with_policy(fid, &wl, &payload);
+            let mut records = p.invoke_burst(fid, &wl, &vec![payload; 8]);
+            records.extend(chain.attempts);
+            (records, p.fault_draws())
+        };
+        let (base, _) = run(false);
+        let (configured, draws) = run(true);
+        assert_eq!(base, configured);
+        assert_eq!(draws, 0);
+    }
+
+    #[test]
+    fn injected_sandbox_crashes_fail_retryably_and_are_billed() {
+        let mut p = aws();
+        p.set_faults(FaultPlan::transient(1.0));
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let r = p.invoke(fid, &wl, &payload);
+        assert!(matches!(
+            r.outcome,
+            InvocationOutcome::FunctionError {
+                kind: FunctionErrorKind::SandboxCrash,
+                ..
+            }
+        ));
+        assert!(r.outcome.retryable());
+        assert!(
+            r.bill.total_usd() > 0.0,
+            "crashed executions are billed like any function error"
+        );
+        assert_eq!(p.fault_counts().sandbox_crash, 1);
+    }
+
+    #[test]
+    fn outage_windows_reject_with_the_quirk_penalty() {
+        let mut p = aws();
+        p.set_faults(FaultPlan {
+            outages: vec![sebs_resilience::OutageWindow {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO + SimDuration::from_secs(60),
+                severity: 1.0,
+            }],
+            ..FaultPlan::empty()
+        });
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let r = p.invoke(fid, &wl, &payload);
+        assert_eq!(r.outcome, InvocationOutcome::ServiceUnavailable);
+        assert_eq!(
+            r.bill.total_usd(),
+            0.0,
+            "rejected before a sandbox: not billed"
+        );
+        assert_eq!(p.fault_draws(), 0, "hard outages are draw-free");
+        // Outside the window the platform behaves normally.
+        p.advance(SimDuration::from_secs(120));
+        let r = p.invoke(fid, &wl, &payload);
+        assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn storms_force_cold_starts_even_on_aws() {
+        let mut p = aws();
+        p.set_faults(FaultPlan {
+            storms: vec![sebs_resilience::StormWindow {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO + SimDuration::from_secs(3600),
+                spurious_cold: 1.0,
+            }],
+            ..FaultPlan::empty()
+        });
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        for _ in 0..5 {
+            let r = p.invoke(fid, &wl, &payload);
+            assert_eq!(
+                r.start,
+                StartKind::Cold,
+                "the storm churns every warm candidate"
+            );
+            p.advance(SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn storage_faults_surface_as_transient_function_errors() {
+        let mut p = aws();
+        p.set_faults(FaultPlan {
+            storage_error_rate: 1.0,
+            ..FaultPlan::empty()
+        });
+        let wl = Uploader::new(Language::Python);
+        let fid = p
+            .deploy(FunctionConfig::new("uploader", Language::Python, 256))
+            .unwrap();
+        let payload = p.prepare(&wl, Scale::Test);
+        let r = p.invoke(fid, &wl, &payload);
+        assert!(matches!(
+            r.outcome,
+            InvocationOutcome::FunctionError {
+                kind: FunctionErrorKind::TransientStorage,
+                ..
+            }
+        ));
+        assert!(r.outcome.retryable());
+    }
+
+    #[test]
+    fn retry_policy_recovers_from_transient_faults_and_bills_every_attempt() {
+        let mut p = aws();
+        p.set_faults(FaultPlan::transient(0.6));
+        p.set_retry_policy(RetryPolicy::backoff(6));
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let mut recovered = 0u32;
+        let mut multi_attempt = 0u32;
+        for _ in 0..20 {
+            let chain = p.invoke_with_policy(fid, &wl, &payload);
+            if chain.succeeded() {
+                recovered += 1;
+            }
+            if chain.billed_attempts() > 1 {
+                multi_attempt += 1;
+                assert_eq!(chain.waits.len(), chain.billed_attempts() - 1);
+                let summed: f64 = chain.attempts.iter().map(|a| a.bill.total_usd()).sum();
+                assert!((chain.total_cost_usd() - summed).abs() < 1e-15);
+                assert!(chain.total_cost_usd() > chain.attempts[0].bill.total_usd());
+            }
+            p.advance(SimDuration::from_secs(1));
+        }
+        assert!(
+            recovered >= 18,
+            "6 attempts at p=0.6 recover almost always: {recovered}"
+        );
+        assert!(
+            multi_attempt > 5,
+            "p=0.6 forces frequent retries: {multi_attempt}"
+        );
+    }
+
+    #[test]
+    fn chain_traces_record_attempts_and_backoffs() {
+        let mut p = aws();
+        p.set_tracing(true);
+        p.set_faults(FaultPlan::transient(1.0));
+        p.set_retry_policy(RetryPolicy::backoff(3));
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let chain = p.invoke_with_policy(fid, &wl, &payload);
+        assert_eq!(chain.billed_attempts(), 3);
+        assert!(!chain.succeeded());
+        let traces = p.take_traces();
+        let chain_trace = traces
+            .iter()
+            .find(|t| t.root.name == "invoke.chain")
+            .expect("a chain trace is emitted for multi-attempt chains");
+        assert_eq!(chain_trace.root.validate(), Ok(()));
+        let attempts = chain_trace
+            .root
+            .children
+            .iter()
+            .filter(|c| c.name == "attempt")
+            .count();
+        let waits = chain_trace
+            .root
+            .children
+            .iter()
+            .filter(|c| c.name == "backoff.wait")
+            .count();
+        assert_eq!(attempts, 3);
+        assert_eq!(waits, 2);
+        // Each attempt also left its own regular invocation trace.
+        assert_eq!(
+            traces
+                .iter()
+                .filter(|t| t.root.name == "invocation")
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn breaker_trips_open_and_rejects_locally() {
+        let mut p = aws();
+        p.set_faults(FaultPlan::transient(1.0));
+        p.set_retry_policy(RetryPolicy {
+            breaker: Some(sebs_resilience::BreakerConfig {
+                failure_threshold: 2,
+                cooldown: SimDuration::from_secs(3600),
+            }),
+            ..RetryPolicy::backoff(2)
+        });
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let first = p.invoke_with_policy(fid, &wl, &payload);
+        assert!(!first.succeeded());
+        assert!(!first.breaker_rejected);
+        let second = p.invoke_with_policy(fid, &wl, &payload);
+        assert!(second.breaker_rejected, "two failures tripped the breaker");
+        assert_eq!(second.billed_attempts(), 0);
+        assert_eq!(second.total_cost_usd(), 0.0);
+        assert_eq!(second.outcome, InvocationOutcome::ServiceUnavailable);
+    }
+
+    #[test]
+    fn hedging_races_a_second_attempt_past_the_quantile() {
+        let mut p = aws();
+        p.set_retry_policy(RetryPolicy {
+            hedge_after_quantile: Some(0.5),
+            ..RetryPolicy::backoff(2)
+        });
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let mut hedges = 0u32;
+        for _ in 0..40 {
+            let chain = p.invoke_with_policy(fid, &wl, &payload);
+            assert!(chain.succeeded());
+            if chain.hedged {
+                hedges += 1;
+                assert_eq!(
+                    chain.billed_attempts(),
+                    2,
+                    "the hedge is a real billed attempt"
+                );
+                if chain.hedge_won {
+                    assert!(
+                        chain.client_time < chain.attempts[0].client_time,
+                        "a winning hedge shortens the effective latency"
+                    );
+                }
+            }
+            p.advance(SimDuration::from_millis(100));
+        }
+        assert!(
+            hedges > 0,
+            "a p50 hedge threshold fires on roughly half the attempts"
+        );
+    }
+
+    #[test]
+    fn retry_budget_caps_total_retries() {
+        let mut p = aws();
+        p.set_faults(FaultPlan::transient(1.0));
+        p.set_retry_policy(RetryPolicy {
+            retry_budget: Some(3),
+            ..RetryPolicy::backoff(4)
+        });
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        let first = p.invoke_with_policy(fid, &wl, &payload);
+        assert_eq!(first.billed_attempts(), 4, "full budget available");
+        let second = p.invoke_with_policy(fid, &wl, &payload);
+        assert_eq!(
+            second.billed_attempts(),
+            1,
+            "budget exhausted: no retries remain"
+        );
     }
 }

@@ -162,6 +162,9 @@ pub struct Quirks {
     pub availability_error_rate: f64,
     /// Concurrency level above which availability errors appear.
     pub availability_threshold: u32,
+    /// How long the client waits before receiving a `ServiceUnavailable`
+    /// response (the provider's 5xx turnaround time).
+    pub unavailable_penalty: SimDuration,
     /// Whether exceeding the memory limit kills the invocation (GCP strict;
     /// AWS lenient up to an overhead factor).
     pub strict_oom: bool,
@@ -240,6 +243,7 @@ impl ProviderProfile {
                 concurrency_penalty_ms_per_peer: Dist::Constant(0.02),
                 availability_error_rate: 0.0,
                 availability_threshold: u32::MAX,
+                unavailable_penalty: SimDuration::from_millis(500),
                 strict_oom: false,
                 oom_slack_factor: 1.6,
             },
@@ -284,6 +288,7 @@ impl ProviderProfile {
                 concurrency_penalty_ms_per_peer: Dist::shifted_lognormal(4.0, 2.2, 1.0),
                 availability_error_rate: 0.02,
                 availability_threshold: 30,
+                unavailable_penalty: SimDuration::from_millis(500),
                 strict_oom: false,
                 oom_slack_factor: 1.3,
             },
@@ -330,6 +335,7 @@ impl ProviderProfile {
                 concurrency_penalty_ms_per_peer: Dist::shifted_lognormal(0.3, 0.0, 0.8),
                 availability_error_rate: 0.04,
                 availability_threshold: 40,
+                unavailable_penalty: SimDuration::from_millis(500),
                 strict_oom: true,
                 oom_slack_factor: 1.0,
             },
@@ -466,6 +472,20 @@ mod tests {
         assert!(ProviderProfile::azure().quirks.function_apps);
         assert!(ProviderProfile::gcp().quirks.strict_oom);
         assert!(!ProviderProfile::aws().quirks.strict_oom);
+    }
+
+    #[test]
+    fn unavailable_penalty_pins_the_historic_500ms() {
+        // This constant used to be hardcoded in `Platform::invoke`; moving
+        // it into `Quirks` must not change any provider's behavior.
+        for profile in ProviderProfile::all() {
+            assert_eq!(
+                profile.quirks.unavailable_penalty,
+                SimDuration::from_millis(500),
+                "{}",
+                profile.kind
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub enum StorageError {
         /// Missing key.
         key: String,
     },
+    /// A transient, retryable failure injected by a fault plan (the
+    /// storage analogue of S3's 503 SlowDown). The operation did not
+    /// take effect.
+    Transient {
+        /// Which operation failed ("get", "put", "list").
+        op: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -27,6 +34,9 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
             StorageError::NoSuchKey { bucket, key } => {
                 write!(f, "no such key: {bucket}/{key}")
+            }
+            StorageError::Transient { op } => {
+                write!(f, "transient storage error during {op}")
             }
         }
     }

@@ -135,6 +135,8 @@ impl Response {
 pub enum WorkloadError {
     /// A required storage object was missing or a storage call failed.
     Storage(String),
+    /// A storage call failed transiently (injected fault); safe to retry.
+    TransientStorage(String),
     /// The payload was malformed for this benchmark.
     BadPayload(String),
 }
@@ -143,6 +145,9 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::Storage(e) => write!(f, "storage failure: {e}"),
+            WorkloadError::TransientStorage(e) => {
+                write!(f, "transient storage failure: {e}")
+            }
             WorkloadError::BadPayload(e) => write!(f, "bad payload: {e}"),
         }
     }
@@ -152,7 +157,10 @@ impl std::error::Error for WorkloadError {}
 
 impl From<StorageError> for WorkloadError {
     fn from(e: StorageError) -> Self {
-        WorkloadError::Storage(e.to_string())
+        match e {
+            StorageError::Transient { .. } => WorkloadError::TransientStorage(e.to_string()),
+            _ => WorkloadError::Storage(e.to_string()),
+        }
     }
 }
 

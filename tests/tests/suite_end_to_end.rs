@@ -72,7 +72,7 @@ fn providers_reject_what_their_policies_reject() {
                         record.outcome.is_success()
                             || !matches!(
                                 record.outcome,
-                                sebs_platform::InvocationOutcome::FunctionError(_)
+                                sebs_platform::InvocationOutcome::FunctionError { .. }
                             ),
                         "{} on {provider}: {:?}",
                         spec.name,
