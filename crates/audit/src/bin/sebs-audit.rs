@@ -2,20 +2,28 @@
 //!
 //! ```text
 //! cargo run -p sebs-audit -- --workspace [--format json|text] [--root DIR]
+//!                            [--baseline FILE]
 //! ```
 //!
-//! Exits 0 on a clean tree, 1 when findings remain, 2 on usage or I/O
-//! errors.
+//! `--baseline FILE` diffs the run's finding fingerprints against a
+//! committed baseline (`AUDIT_BASELINE.json` at the workspace root holds
+//! the zero-findings set) and fails on any drift in either direction, so
+//! CI catches both new violations and a baseline that has gone stale.
+//!
+//! Exits 0 on a clean tree, 1 when findings remain or the baseline
+//! drifted, 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sebs_audit::{audit_workspace, find_workspace_root};
+use sebs_audit::{audit_workspace, find_workspace_root, Report};
 
-const USAGE: &str = "usage: sebs-audit [--workspace] [--format json|text] [--root DIR]";
+const USAGE: &str =
+    "usage: sebs-audit [--workspace] [--format json|text] [--root DIR] [--baseline FILE]";
 
 struct Options {
     root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     json: bool,
     help: bool,
 }
@@ -23,6 +31,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: None,
+        baseline: None,
         json: false,
         help: false,
     };
@@ -40,11 +49,76 @@ fn parse_args() -> Result<Options, String> {
                 Some(dir) => opts.root = Some(PathBuf::from(dir)),
                 None => return Err("--root expects a directory".into()),
             },
+            "--baseline" => match args.next() {
+                Some(file) => opts.baseline = Some(PathBuf::from(file)),
+                None => return Err("--baseline expects a file".into()),
+            },
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(opts)
+}
+
+/// Extracts the quoted fingerprint strings from a baseline file: every
+/// 16-char lowercase-hex string inside the `"fingerprints"` array. Lenient
+/// by design — the file is JSON, but the auditor has no JSON reader and
+/// needs none for a flat list of hashes.
+fn parse_baseline(text: &str) -> Result<Vec<String>, String> {
+    let Some(start) = text.find("\"fingerprints\"") else {
+        return Err("baseline has no \"fingerprints\" array".into());
+    };
+    let rest = &text[start..];
+    let open = rest
+        .find('[')
+        .ok_or("baseline \"fingerprints\" is not an array")?;
+    let close = rest
+        .find(']')
+        .ok_or("baseline \"fingerprints\" array is unterminated")?;
+    if close < open {
+        return Err("baseline \"fingerprints\" is not an array".into());
+    }
+    Ok(rest[open + 1..close]
+        .split('"')
+        .filter(|s| s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit()))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Compares the report's finding fingerprints against the baseline set.
+/// Returns `true` when they match exactly.
+fn check_baseline(report: &Report, baseline: &[String]) -> bool {
+    let current: Vec<&str> = report
+        .findings
+        .iter()
+        .map(|f| f.fingerprint.as_str())
+        .collect();
+    let added: Vec<&&str> = current
+        .iter()
+        .filter(|fp| !baseline.iter().any(|b| b == **fp))
+        .collect();
+    let removed: Vec<&String> = baseline
+        .iter()
+        .filter(|b| !current.contains(&b.as_str()))
+        .collect();
+    for fp in &added {
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.fingerprint == ***fp)
+            .expect("added fingerprint comes from the report");
+        eprintln!(
+            "baseline: new finding {fp} — {} {}:{} {}",
+            f.rule.name(),
+            f.file,
+            f.line,
+            f.snippet
+        );
+    }
+    for fp in &removed {
+        eprintln!("baseline: stale entry {fp} — finding no longer present; refresh the baseline");
+    }
+    added.is_empty() && removed.is_empty()
 }
 
 fn main() -> ExitCode {
@@ -67,22 +141,40 @@ fn main() -> ExitCode {
             find_workspace_root(&cwd)
         }
     };
-    match audit_workspace(&root) {
-        Ok(report) => {
-            if opts.json {
-                print!("{}", report.to_json());
-            } else {
-                print!("{}", report.to_text());
-            }
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let report = match audit_workspace(&root) {
+        Ok(report) => report,
         Err(err) => {
             eprintln!("audit failed: {err}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    let mut ok = report.is_clean();
+    if let Some(path) = opts.baseline {
+        let baseline = match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_baseline(&text) {
+                Ok(fps) => fps,
+                Err(msg) => {
+                    eprintln!("baseline {}: {msg}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) => {
+                eprintln!("baseline {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if !check_baseline(&report, &baseline) {
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

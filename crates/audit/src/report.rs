@@ -10,16 +10,24 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Every `audit:allow` comment found, sorted by (file, line).
     pub allows: Vec<Allow>,
+    /// Allows whose scope no longer suppresses any finding — dead
+    /// suppressions that should be deleted.
+    pub stale_allows: Vec<Allow>,
     /// Number of findings that were covered by an allow.
     pub suppressed_count: usize,
     /// Number of files inspected.
     pub files_scanned: usize,
+    /// Total source lines inspected (Rust files only).
+    pub lines_scanned: usize,
+    /// Number of functions in the workspace symbol graph.
+    pub symbol_count: usize,
 }
 
 impl Report {
-    /// `true` when the tree is clean.
+    /// `true` when the tree is clean (stale allows count as dirt: a dead
+    /// suppression is a latent hole in the gate).
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
+        self.findings.is_empty() && self.stale_allows.is_empty()
     }
 
     /// Findings for one rule.
@@ -44,14 +52,31 @@ impl Report {
                 f.line,
                 f.snippet
             );
+            if !f.symbol.is_empty() {
+                let _ = writeln!(out, "    in {}", f.symbol);
+            }
+            if !f.detail.is_empty() {
+                let _ = writeln!(out, "    {}", f.detail);
+            }
+        }
+        for a in &self.stale_allows {
+            let _ = writeln!(
+                out,
+                "stale-allow: {}:{}: allow({}) suppresses nothing — delete it",
+                a.file, a.line, a.rule
+            );
         }
         let _ = writeln!(
             out,
-            "{} finding(s), {} suppressed by {} allow(s), {} file(s) scanned",
+            "{} finding(s), {} suppressed by {} allow(s) ({} stale), \
+             {} file(s) / {} line(s) scanned, {} symbol(s)",
             self.findings.len(),
             self.suppressed_count,
             self.allows.len(),
-            self.files_scanned
+            self.stale_allows.len(),
+            self.files_scanned,
+            self.lines_scanned,
+            self.symbol_count
         );
         for rule in Rule::all() {
             let allows = self.allow_count(rule);
@@ -69,12 +94,16 @@ impl Report {
         for (i, f) in self.findings.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}}}",
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \
+                 \"symbol\": {}, \"detail\": {}, \"fingerprint\": {}}}",
                 if i == 0 { "" } else { "," },
                 json_str(f.rule.name()),
                 json_str(&f.file),
                 f.line,
-                json_str(&f.snippet)
+                json_str(&f.snippet),
+                json_str(&f.symbol),
+                json_str(&f.detail),
+                json_str(&f.fingerprint)
             );
         }
         if !self.findings.is_empty() {
@@ -84,21 +113,38 @@ impl Report {
         for (i, a) in self.allows.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"scope_end\": {}, \
+                 \"reason\": {}}}",
                 if i == 0 { "" } else { "," },
                 json_str(&a.rule),
                 json_str(&a.file),
                 a.line,
+                a.scope_end,
                 json_str(&a.reason)
             );
         }
         if !self.allows.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"stale_allows\": [");
+        for (i, a) in self.stale_allows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line
+            );
+        }
+        if !self.stale_allows.is_empty() {
+            out.push_str("\n  ");
+        }
         let _ = write!(
             out,
-            "],\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
-            self.suppressed_count, self.files_scanned
+            "],\n  \"suppressed\": {},\n  \"files_scanned\": {},\n  \"lines_scanned\": {},\n  \
+             \"symbols\": {}\n}}\n",
+            self.suppressed_count, self.files_scanned, self.lines_scanned, self.symbol_count
         );
         out
     }
@@ -136,15 +182,22 @@ mod tests {
                 file: "crates/x/src/lib.rs".into(),
                 line: 3,
                 snippet: "let t = Instant::now(); // \"quote\"".into(),
+                symbol: "x::tick".into(),
+                detail: String::new(),
+                fingerprint: "00ff00ff00ff00ff".into(),
             }],
             allows: vec![Allow {
                 rule: "panic-hygiene".into(),
                 file: "crates/y/src/lib.rs".into(),
                 line: 9,
                 reason: "documented invariant".into(),
+                scope_end: 15,
             }],
+            stale_allows: Vec::new(),
             suppressed_count: 1,
             files_scanned: 2,
+            lines_scanned: 40,
+            symbol_count: 3,
         }
     }
 
@@ -152,6 +205,7 @@ mod tests {
     fn text_mentions_rule_file_and_counts() {
         let text = sample().to_text();
         assert!(text.contains("wall-clock: crates/x/src/lib.rs:3:"));
+        assert!(text.contains("in x::tick"));
         assert!(text.contains("1 finding(s), 1 suppressed by 1 allow(s)"));
         assert!(text.contains("allow(panic-hygiene) x1"));
     }
@@ -164,6 +218,24 @@ mod tests {
         assert!(a.contains(r#""rule": "wall-clock""#));
         assert!(a.contains(r#"\"quote\""#));
         assert!(a.contains(r#""suppressed": 1"#));
+        assert!(a.contains(r#""fingerprint": "00ff00ff00ff00ff""#));
+        assert!(a.contains(r#""scope_end": 15"#));
+    }
+
+    #[test]
+    fn stale_allows_make_the_report_dirty() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.stale_allows.push(Allow {
+            rule: "wall-clock".into(),
+            file: "crates/x/src/lib.rs".into(),
+            line: 1,
+            reason: "obsolete".into(),
+            scope_end: 7,
+        });
+        assert!(!r.is_clean());
+        assert!(r.to_text().contains("stale-allow:"));
+        assert!(r.to_json().contains("\"stale_allows\": ["));
     }
 
     #[test]

@@ -30,19 +30,29 @@
 //!   move behind a [`FaultPlan`] or carry an explicit allow naming the
 //!   paper section they reproduce.
 //!
+//! Four *flow* families run on the workspace symbol graph instead of single
+//! lines — **determinism-taint**, **rng-stream-discipline**,
+//! **float-total-order** and **hot-path-allocation**; see [`crate::taint`]
+//! for their semantics.
+//!
 //! A finding can be suppressed with a comment:
 //!
 //! ```text
 //! // audit:allow(rule-name): why this occurrence is sound
 //! ```
 //!
-//! which covers the same line and the next [`ALLOW_WINDOW`] lines. Every
-//! allow is counted and carried in the report so suppressions stay visible.
+//! An allow binds to the next *item* the parser recovers (only blank lines,
+//! comments and attributes may separate them) and covers that whole item;
+//! in non-item contexts — inside a function body, in a manifest — it falls
+//! back to covering the same line and the next [`ALLOW_WINDOW`] lines.
+//! Every allow is counted and carried in the report so suppressions stay
+//! visible, and an allow that suppresses nothing is reported as *stale*.
 
 use crate::scan::{contains_token, scan_rust, ScannedLine};
 use crate::toml::{TomlDoc, TomlValue};
 
-/// How many lines below an `audit:allow` comment it still applies to.
+/// How many lines below an `audit:allow` comment it still applies to when
+/// it does not bind to a parsed item.
 pub const ALLOW_WINDOW: usize = 6;
 
 /// The rule families the auditor enforces.
@@ -55,6 +65,10 @@ pub enum Rule {
     PanicHygiene,
     InstantUsage,
     FailureProbability,
+    DeterminismTaint,
+    RngStreamDiscipline,
+    FloatTotalOrder,
+    HotPathAllocation,
 }
 
 impl Rule {
@@ -68,11 +82,15 @@ impl Rule {
             Rule::PanicHygiene => "panic-hygiene",
             Rule::InstantUsage => "instant-usage",
             Rule::FailureProbability => "failure-probability",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::RngStreamDiscipline => "rng-stream-discipline",
+            Rule::FloatTotalOrder => "float-total-order",
+            Rule::HotPathAllocation => "hot-path-allocation",
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::RegistryDeps,
             Rule::WallClock,
@@ -81,6 +99,10 @@ impl Rule {
             Rule::PanicHygiene,
             Rule::InstantUsage,
             Rule::FailureProbability,
+            Rule::DeterminismTaint,
+            Rule::RngStreamDiscipline,
+            Rule::FloatTotalOrder,
+            Rule::HotPathAllocation,
         ]
     }
 }
@@ -95,15 +117,59 @@ pub struct Finding {
     pub line: usize,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Symbol path of the enclosing function (`crate::mod::Type::fn`),
+    /// empty when the finding is not inside a recovered symbol.
+    pub symbol: String,
+    /// Extra context: the taint call chain, duplicate-salt info, ….
+    pub detail: String,
+    /// Stable fingerprint — `fnv1a64(rule, symbol-or-file, normalized
+    /// snippet)` — for diffing reports across runs. Filled by the driver.
+    pub fingerprint: String,
 }
 
-/// One `audit:allow` suppression that was honoured.
+impl Finding {
+    /// A bare lexical finding; flow context and fingerprint come later.
+    pub fn new(rule: Rule, file: &str, line: usize, snippet: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            snippet,
+            symbol: String::new(),
+            detail: String::new(),
+            fingerprint: String::new(),
+        }
+    }
+}
+
+/// The stable fingerprint of a finding: rule + symbol path (or file when no
+/// symbol encloses it) + whitespace-normalized snippet, FNV-1a 64 in hex.
+/// Line numbers are deliberately excluded so unrelated edits above a
+/// violation do not change its identity.
+pub fn fingerprint(rule: Rule, symbol: &str, file: &str, snippet: &str) -> String {
+    let anchor = if symbol.is_empty() { file } else { symbol };
+    let normalized = snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [rule.name(), "\u{0}", anchor, "\u{0}", &normalized] {
+        for b in part.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// One `audit:allow` suppression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
     pub rule: String,
     pub file: String,
     pub line: usize,
     pub reason: String,
+    /// Last line (inclusive) the allow covers. Initialised to the
+    /// [`ALLOW_WINDOW`] fallback by [`parse_allows`]; the driver widens it
+    /// to the end of the item the allow binds to.
+    pub scope_end: usize,
 }
 
 /// Extracts `audit:allow(rule): reason` records from scanned comment text.
@@ -130,18 +196,19 @@ pub fn parse_allows(file: &str, lines: &[ScannedLine]) -> Vec<Allow> {
             file: file.to_string(),
             line: idx + 1,
             reason,
+            scope_end: idx + 1 + ALLOW_WINDOW,
         });
     }
     out
 }
 
-/// `true` when `finding` falls in some allow's window.
+/// `true` when `finding` falls in some allow's scope.
 pub fn is_suppressed(finding: &Finding, allows: &[Allow]) -> bool {
     allows.iter().any(|a| {
         a.rule == finding.rule.name()
             && a.file == finding.file
             && finding.line >= a.line
-            && finding.line <= a.line + ALLOW_WINDOW
+            && finding.line <= a.scope_end
     })
 }
 
@@ -216,14 +283,7 @@ pub fn audit_rust_source(path: &str, source: &str) -> (Vec<Finding>, Vec<Allow>)
     };
 
     for (idx, l) in lines.iter().enumerate() {
-        let mut push = |rule: Rule| {
-            findings.push(Finding {
-                rule,
-                file: path.to_string(),
-                line: idx + 1,
-                snippet: snippet(idx),
-            })
-        };
+        let mut push = |rule: Rule| findings.push(Finding::new(rule, path, idx + 1, snippet(idx)));
         if !scope.clock_shim {
             for pat in WALL_CLOCK_TOKENS {
                 if contains_token(&l.code, pat) {
@@ -312,15 +372,15 @@ pub fn audit_manifest(path: &str, source: &str) -> Vec<Finding> {
                 (attr == "workspace" && entry.value == TomlValue::Bool(true)) || attr == "path"
             });
             if !dotted_ok && !is_hermetic_dep(&entry.value) {
-                findings.push(Finding {
-                    rule: Rule::RegistryDeps,
-                    file: path.to_string(),
-                    line: entry.line,
-                    snippet: originals
+                findings.push(Finding::new(
+                    Rule::RegistryDeps,
+                    path,
+                    entry.line,
+                    originals
                         .get(entry.line.saturating_sub(1))
                         .map(|s| s.trim().to_string())
                         .unwrap_or_default(),
-                });
+                ));
             }
         }
     }

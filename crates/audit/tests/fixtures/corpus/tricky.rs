@@ -1,0 +1,47 @@
+/* A block comment /* with a nested block comment */ still a comment:
+SystemTime::now() and thread_rng() are prose here, not code. */
+
+use std::fmt::Write as W;
+use crate::deep::{alpha, beta as b, *};
+
+pub fn fences() -> &'static str {
+    r##"a raw fence: "# not the end, "quote" neither;
+still inside across lines, hiding HashMap and x.unwrap()"##
+}
+
+pub fn lifetimes<'a>(x: &'a str) -> char {
+    let c: char = 'a';
+    let _q = '\'';
+    let _ = x.len();
+    c
+}
+
+macro_rules! looks_like_items {
+    () => {
+        fn phantom_fn() {}
+        impl Phantom {}
+    };
+}
+
+pub struct Holder<'h> {
+    pub name: &'h str,
+}
+
+impl<'h> Holder<'h> {
+    pub fn label(&self) -> &str {
+        self.name
+    }
+}
+
+// audit:allow(panic-hygiene): the unwrap sits below a string spanning lines
+pub fn spans_allow_window() -> u32 {
+    let _poem = "line one
+line two .unwrap() inside a string is prose
+line three";
+    Some(7).unwrap()
+}
+
+pub mod deep {
+    pub fn alpha() {}
+    pub fn beta() {}
+}

@@ -10,7 +10,7 @@
 //! Knobs: `SEBS_BENCH_REPS` (timed repetitions per kernel, default 11) and
 //! `SEBS_BENCH_WARMUP` (warm-up repetitions, default 2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use sebs_sim::rng::Rng;
@@ -126,7 +126,7 @@ fn run() {
 
     println!("== webapps ==");
     let template = Template::compile(PAGE_TEMPLATE).expect("built-in template");
-    let mut ctx = HashMap::new();
+    let mut ctx = BTreeMap::new();
     ctx.insert("username".to_string(), Value::Str("bench".into()));
     ctx.insert("cur_time".to_string(), Value::Str("now".into()));
     ctx.insert("show_numbers".to_string(), Value::Bool(true));

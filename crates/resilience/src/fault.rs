@@ -550,7 +550,6 @@ mod tests {
         let baseline = {
             let mut s = FaultyStore::new(&mut store, &mut clean);
             s.put(&mut rng, "b", "k", Bytes::from(vec![0u8; 1 << 20]))
-                // audit:allow(panic-hygiene): test body
                 .unwrap()
         };
         let mut slow = injector(FaultPlan {
@@ -563,7 +562,6 @@ mod tests {
         let inflated = {
             let mut s = FaultyStore::new(&mut store2, &mut slow);
             s.put(&mut rng2, "b", "k", Bytes::from(vec![0u8; 1 << 20]))
-                // audit:allow(panic-hygiene): test body
                 .unwrap()
         };
         assert_eq!(inflated, baseline.mul_f64(3.0));
@@ -589,7 +587,6 @@ mod tests {
         let plan = FaultPlan::parse(
             "crash=0.05, storage=0.02, stall=2.5, corrupt=0.01, outage=10..20@1.0, storm=5..15@0.8",
         )
-        // audit:allow(panic-hygiene): test body
         .unwrap();
         assert_eq!(plan.sandbox_crash_rate, 0.05);
         assert_eq!(plan.storage_error_rate, 0.02);
@@ -601,7 +598,6 @@ mod tests {
         assert_eq!(plan.storms.len(), 1);
         assert_eq!(plan.storms[0].spurious_cold, 0.8);
         assert!(plan.has_storage_faults());
-        // audit:allow(panic-hygiene): test body
         assert!(FaultPlan::parse("").unwrap().is_empty());
     }
 

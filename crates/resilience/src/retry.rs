@@ -478,7 +478,6 @@ mod tests {
         let p = RetryPolicy::parse(
             "attempts=3, base=50, cap=800, jitter=0.5, budget=100, deadline=10000, hedge=0.95, breaker=5@30000",
         )
-        // audit:allow(panic-hygiene): test body
         .unwrap();
         assert_eq!(p.max_attempts, 3);
         assert_eq!(p.base_backoff, SimDuration::from_millis(50));
@@ -494,7 +493,6 @@ mod tests {
                 cooldown: SimDuration::from_secs(30),
             })
         );
-        // audit:allow(panic-hygiene): test body
         assert!(RetryPolicy::parse("").unwrap().is_none());
     }
 

@@ -129,6 +129,12 @@ pub struct Engine<W> {
     dispatch_hook: Option<DispatchHook>,
     // (interval, next boundary, hook) of the periodic sampler, if any.
     sample: Option<(SimDuration, SimTime, SampleHook<W>)>,
+    // Reusable buffers for the dispatch loop's per-event `Ctx`. Taken with
+    // `mem::take` before each event body runs and restored (drained, with
+    // capacity intact) afterwards, so steady-state dispatch allocates
+    // nothing no matter how many events fire.
+    scratch_pending: Vec<(SimTime, EventFn<W>)>,
+    scratch_assigned: Vec<EventId>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -167,6 +173,8 @@ impl<W> Engine<W> {
             processed: 0,
             dispatch_hook: None,
             sample: None,
+            scratch_pending: Vec::new(),
+            scratch_assigned: Vec::new(),
         }
     }
 
@@ -353,17 +361,21 @@ impl<W> Engine<W> {
             let mut ctx = Ctx {
                 now: self.now,
                 rng: &self.rng,
-                pending: Vec::new(),
-                assigned: Vec::new(),
+                pending: std::mem::take(&mut self.scratch_pending),
+                assigned: std::mem::take(&mut self.scratch_assigned),
                 next_id: &mut self.next_id,
             };
             f(&mut self.world, &mut ctx);
             let Ctx {
-                pending, assigned, ..
+                mut pending,
+                mut assigned,
+                ..
             } = ctx;
-            for ((at, f), id) in pending.into_iter().zip(assigned) {
+            for ((at, f), id) in pending.drain(..).zip(assigned.drain(..)) {
                 self.push(at, id, f);
             }
+            self.scratch_pending = pending;
+            self.scratch_assigned = assigned;
             self.processed += 1;
         }
         if deadline != SimTime::MAX && deadline > self.now {

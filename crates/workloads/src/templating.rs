@@ -7,7 +7,7 @@
 //! website backend" with low CPU and memory demand (Table 4: ≈7M
 //! instructions, ≈1.2 ms warm).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use sebs_sim::bytes::Bytes;
@@ -101,7 +101,7 @@ enum Node {
 /// use sebs_workloads::templating::{Template, Value};
 ///
 /// let t = Template::compile("<ul>{% for n in nums %}<li>{{ n }}</li>{% endfor %}</ul>")?;
-/// let mut ctx = std::collections::HashMap::new();
+/// let mut ctx = std::collections::BTreeMap::new();
 /// ctx.insert("nums".to_string(),
 ///            Value::List(vec![Value::Num(1.0), Value::Num(2.0)]));
 /// let (html, _work) = t.render(&ctx)?;
@@ -136,7 +136,7 @@ impl Template {
     ///
     /// Returns a [`TemplateError`] when the context is missing variables or
     /// has mismatched types.
-    pub fn render(&self, ctx: &HashMap<String, Value>) -> Result<(String, u64), TemplateError> {
+    pub fn render(&self, ctx: &BTreeMap<String, Value>) -> Result<(String, u64), TemplateError> {
         let mut out = String::new();
         let mut work = 0u64;
         render_nodes(&self.nodes, ctx, &mut out, &mut work)?;
@@ -248,7 +248,7 @@ fn parse_nodes(
 
 fn render_nodes(
     nodes: &[Node],
-    ctx: &HashMap<String, Value>,
+    ctx: &BTreeMap<String, Value>,
     out: &mut String,
     work: &mut u64,
 ) -> Result<(), TemplateError> {
@@ -385,7 +385,7 @@ impl Workload for DynamicHtml {
         ctx.work(20 * size as u64); // RNG + list building
         ctx.alloc((size * 24) as u64);
 
-        let mut tctx = HashMap::new();
+        let mut tctx = BTreeMap::new();
         tctx.insert("username".into(), Value::Str(username.to_string()));
         tctx.insert("cur_time".into(), Value::Str("2021-01-01 00:00:00".into()));
         tctx.insert("show_numbers".into(), Value::Bool(true));
@@ -423,7 +423,7 @@ mod tests {
     #[test]
     fn variable_substitution() {
         let t = Template::compile("Hello {{ name }}!").unwrap();
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert("name".into(), Value::Str("world".into()));
         let (s, w) = t.render(&c).unwrap();
         assert_eq!(s, "Hello world!");
@@ -434,7 +434,7 @@ mod tests {
     fn loops_and_conditionals() {
         let t = Template::compile("{% if on %}{% for x in xs %}[{{ x }}]{% endfor %}{% endif %}")
             .unwrap();
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert("on".into(), Value::Bool(true));
         c.insert(
             "xs".into(),
@@ -451,7 +451,7 @@ mod tests {
             "{% for x in xs %}{% for y in ys %}{{ x }}{{ y }};{% endfor %}{% endfor %}",
         )
         .unwrap();
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert(
             "xs".into(),
             Value::List(vec![Value::Str("a".into()), Value::Str("b".into())]),
@@ -475,15 +475,15 @@ mod tests {
         ));
         let t = Template::compile("{{ missing }}").unwrap();
         assert!(matches!(
-            t.render(&HashMap::new()),
+            t.render(&BTreeMap::new()),
             Err(TemplateError::UnknownVariable(_))
         ));
         let t = Template::compile("{% for x in notlist %}{% endfor %}").unwrap();
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert("notlist".into(), Value::Bool(true));
         assert!(matches!(t.render(&c), Err(TemplateError::NotIterable(_))));
         let t = Template::compile("{% if x %}{% endif %}").unwrap();
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert("x".into(), Value::Num(1.0));
         assert!(matches!(t.render(&c), Err(TemplateError::NotBoolean(_))));
     }
@@ -491,14 +491,14 @@ mod tests {
     #[test]
     fn unclosed_var_tag_is_literal_text() {
         let t = Template::compile("oops {{ name").unwrap();
-        let (s, _) = t.render(&HashMap::new()).unwrap();
+        let (s, _) = t.render(&BTreeMap::new()).unwrap();
         assert_eq!(s, "oops {{ name");
     }
 
     #[test]
     fn unknown_block_is_literal() {
         let t = Template::compile("{% frobnicate now %}").unwrap();
-        let (s, _) = t.render(&HashMap::new()).unwrap();
+        let (s, _) = t.render(&BTreeMap::new()).unwrap();
         assert!(s.contains("frobnicate"));
     }
 

@@ -17,6 +17,13 @@ fn workspace_has_zero_audit_findings() {
         "hermeticity/determinism audit found violations:\n{}",
         report.to_text()
     );
+    // `is_clean` already covers stale allows, but name them explicitly so a
+    // dead suppression fails with a pointed message rather than a generic one.
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale audit:allow comments (each suppresses nothing — delete it):\n{}",
+        report.to_text()
+    );
     // The walker really visited the tree (a wrong root would vacuously pass).
     assert!(
         report.files_scanned > 100,
