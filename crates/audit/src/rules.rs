@@ -240,6 +240,7 @@ impl FileScope {
                 "core",
                 "telemetry",
                 "resilience",
+                "workload-gen",
             ]
             .iter()
             .any(|c| in_crate_src && path.split('/').nth(1) == Some(*c)),

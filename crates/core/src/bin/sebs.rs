@@ -14,8 +14,9 @@
 use std::process::ExitCode;
 
 use sebs::experiments::{
-    run_availability, run_eviction_model, run_invocation_overhead, run_local_characterization,
-    run_perf_cost_grid, EvictionExperimentConfig, LabeledPolicy,
+    run_availability, run_eviction_model, run_fleet, run_invocation_overhead,
+    run_local_characterization, run_perf_cost_grid, EvictionExperimentConfig, FleetConfig,
+    LabeledPolicy,
 };
 use sebs::runner::available_jobs;
 use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
         "invoke" => cmd_invoke(&opts),
         "experiment" => cmd_experiment(&opts),
         "availability" => cmd_availability(&opts),
+        "fleet" => cmd_fleet(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -77,6 +79,18 @@ USAGE:
                                                default 0,0.05,0.25)
                 [--faults SPEC] [--retry SPEC] [--jobs N] [--seed N]
                 [--csv FILE] [--json FILE] [--trace FILE] [--metrics FILE]
+    sebs fleet  [--provider P] [--functions N] [--invocations N]
+                [--horizon-secs S] [--zipf EXP] [--cells N]
+                [--import FILE]               (replay an external trace CSV —
+                                               `function,offset_ms[,duration_ms
+                                               [,memory_mb]]`; missing file
+                                               falls back to the synthetic
+                                               Azure-2019-shaped fleet)
+                [--metrics-interval-secs S]   (gauge sampling cadence;
+                                               default 60 at fleet scale)
+                [--jobs N] [--seed N] [--csv FILE] [--json FILE]
+                [--trace FILE] [--trace-format F] [--metrics FILE]
+                [--metrics-format F]
 
     invoke also accepts deterministic chaos knobs:
                 [--faults SPEC]               (seeded fault plan, e.g.
@@ -137,6 +151,13 @@ struct Options {
     faults: FaultPlan,
     retry: RetryPolicy,
     fault_rates: Vec<f64>,
+    functions: usize,
+    invocations: u64,
+    horizon_secs: u64,
+    zipf: f64,
+    cells: usize,
+    import: Option<String>,
+    metrics_interval_secs: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +197,13 @@ impl Options {
             faults: FaultPlan::empty(),
             retry: RetryPolicy::none(),
             fault_rates: vec![0.0, 0.05, 0.25],
+            functions: 1000,
+            invocations: 100_000,
+            horizon_secs: 7200,
+            zipf: 1.1,
+            cells: 16,
+            import: None,
+            metrics_interval_secs: 60,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -275,6 +303,45 @@ impl Options {
                     if let Some(bad) = o.fault_rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
                         return Err(format!("bad --fault-rates: {bad} outside [0, 1]"));
                     }
+                }
+                "--functions" => {
+                    o.functions = value("--functions")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --functions: {e}"))?
+                        .max(1)
+                }
+                "--invocations" => {
+                    o.invocations = value("--invocations")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --invocations: {e}"))?
+                        .max(1)
+                }
+                "--horizon-secs" => {
+                    o.horizon_secs = value("--horizon-secs")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --horizon-secs: {e}"))?
+                        .max(1)
+                }
+                "--zipf" => {
+                    o.zipf = value("--zipf")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --zipf: {e}"))?;
+                    if !o.zipf.is_finite() || o.zipf < 0.0 {
+                        return Err(format!("bad --zipf: {} must be finite and >= 0", o.zipf));
+                    }
+                }
+                "--cells" => {
+                    o.cells = value("--cells")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --cells: {e}"))?
+                        .max(1)
+                }
+                "--import" => o.import = Some(value("--import")?),
+                "--metrics-interval-secs" => {
+                    o.metrics_interval_secs = value("--metrics-interval-secs")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --metrics-interval-secs: {e}"))?
+                        .max(1)
                 }
                 "--metrics" => o.metrics = Some(value("--metrics")?),
                 "--metrics-format" => {
@@ -616,6 +683,98 @@ fn cmd_availability(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the trace-driven fleet replay and prints a per-cell breakdown
+/// plus a fleet summary. The whole replay — stdout, CSV/JSON exports,
+/// traces and metrics — is byte-identical for every `--jobs` value.
+fn cmd_fleet(o: &Options) -> Result<(), String> {
+    let config = SuiteConfig::default()
+        .with_seed(o.seed)
+        .with_jobs(o.jobs)
+        .with_trace(o.trace.is_some())
+        .with_metrics(o.metrics.is_some())
+        .with_metrics_interval(SimDuration::from_secs(o.metrics_interval_secs));
+    let mut fleet = FleetConfig {
+        provider: o.provider,
+        functions: o.functions,
+        target_invocations: o.invocations,
+        horizon: SimDuration::from_secs(o.horizon_secs),
+        zipf_exponent: o.zipf,
+        cells: o.cells,
+    };
+    let imported = match &o.import {
+        Some(path) => sebs_workload_gen::import_csv(std::path::Path::new(path), None)
+            .map_err(|e| e.to_string())?,
+        None => None,
+    };
+    let model = match imported {
+        Some(m) => {
+            // An imported trace brings its own fleet size and horizon.
+            fleet.functions = m.functions.len();
+            fleet.horizon = m.horizon;
+            println!(
+                "imported {} function(s) over {} from {}",
+                m.functions.len(),
+                m.horizon,
+                o.import.as_deref().unwrap_or_default()
+            );
+            m
+        }
+        None => {
+            if let Some(path) = &o.import {
+                println!("trace {path} not found; using the synthetic Azure-2019-shaped fleet");
+            }
+            fleet.synthetic_model(o.seed)
+        }
+    };
+    let result = run_fleet(&config, &fleet, &model);
+    for s in &result.series {
+        let occ = if s.warm_pool_samples.is_empty() {
+            0.0
+        } else {
+            s.warm_pool_samples.iter().sum::<u64>() as f64 / s.warm_pool_samples.len() as f64
+        };
+        println!(
+            "cell {:>3}: {:>5} fn {:>8} inv {:>7} cold {:>4} failed  warm-pool {:>8.1}  ${:.6}",
+            s.index, s.functions, s.invocations, s.cold_starts, s.failures, occ, s.cost_usd,
+        );
+    }
+    println!(
+        "fleet: {} functions, {} invocations over {} on {}",
+        fleet.functions,
+        result.invocations(),
+        fleet.horizon,
+        o.provider,
+    );
+    println!(
+        "cold-start rate {:.3}% | failure rate {:.3}% | mean warm pool {:.1} | \
+         p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms | total ${:.6}",
+        result.cold_start_rate() * 100.0,
+        result.failure_rate() * 100.0,
+        result.mean_warm_pool(),
+        result.latency_percentile_ms(50.0),
+        result.latency_percentile_ms(95.0),
+        result.latency_percentile_ms(99.0),
+        result.total_cost_usd(),
+    );
+    let store = result.to_store();
+    if let Some(path) = &o.csv {
+        std::fs::write(path, sebs_metrics::csv::to_csv(store.rows()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} rows to {path}", store.len());
+    }
+    if let Some(path) = &o.json {
+        std::fs::write(path, store.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} rows to {path}", store.len());
+    }
+    if let Some(path) = &o.trace {
+        write_trace(path, o.trace_format, &result.traces)?;
+    }
+    if let Some(path) = &o.metrics {
+        write_metrics(path, o.metrics_format, &result.metrics)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -792,6 +951,47 @@ mod tests {
             .unwrap_err()
             .contains("outside [0, 1]"));
         assert!(parse(&["--faults"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn fleet_flags_parse_with_defaults_and_overrides() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.functions, 1000);
+        assert_eq!(o.invocations, 100_000);
+        assert_eq!(o.horizon_secs, 7200);
+        assert_eq!(o.zipf, 1.1);
+        assert_eq!(o.cells, 16);
+        assert!(o.import.is_none());
+        assert_eq!(o.metrics_interval_secs, 60);
+        let o = parse(&[
+            "--functions",
+            "250",
+            "--invocations",
+            "5000",
+            "--horizon-secs",
+            "600",
+            "--zipf",
+            "0.9",
+            "--cells",
+            "4",
+            "--import",
+            "trace.csv",
+            "--metrics-interval-secs",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(o.functions, 250);
+        assert_eq!(o.invocations, 5000);
+        assert_eq!(o.horizon_secs, 600);
+        assert_eq!(o.zipf, 0.9);
+        assert_eq!(o.cells, 4);
+        assert_eq!(o.import.as_deref(), Some("trace.csv"));
+        assert_eq!(o.metrics_interval_secs, 10);
+        assert_eq!(parse(&["--cells", "0"]).unwrap().cells, 1, "clamped up");
+        assert!(parse(&["--zipf", "-1"]).unwrap_err().contains("--zipf"));
+        assert!(parse(&["--functions", "many"])
+            .unwrap_err()
+            .contains("--functions"));
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! | [`faas_vs_iaas`] | Table 5 — FaaS vs EC2 t2.micro |
 //! | [`break_even`] | Table 6 — FaaS/IaaS break-even request rates |
 //! | [`availability`] | §6.2 Q3 extended — goodput/cost under injected faults |
+//! | [`fleet`] | beyond the paper — trace-driven fleet replay (Azure 2019 shape) |
 
 pub mod availability;
 pub mod break_even;
 pub mod cold_start;
 pub mod eviction;
 pub mod faas_vs_iaas;
+pub mod fleet;
 pub mod invocation_overhead;
 pub mod local;
 pub mod perf_cost;
@@ -25,6 +27,7 @@ pub use break_even::{run_break_even, BreakEvenRow};
 pub use cold_start::{run_cold_start, run_cold_start_with, ColdStartResult};
 pub use eviction::{run_eviction_model, EvictionExperimentConfig, EvictionModelResult};
 pub use faas_vs_iaas::{run_faas_vs_iaas, FaasVsIaasRow};
+pub use fleet::{run_fleet, FleetCellSeries, FleetConfig, FleetResult};
 pub use invocation_overhead::{
     run_invocation_overhead, run_invocation_overhead_all, InvocationOverheadResult,
 };

@@ -58,8 +58,17 @@ impl Histogram {
     }
 
     /// The `p`-th percentile (0–100) by the nearest-rank method over finite
-    /// samples; `NaN` when empty.
+    /// samples. Pinned edge behavior: `percentile(0.0)` is the smallest
+    /// finite sample and `percentile(100.0)` the largest; out-of-range `p`
+    /// clamps to `[0, 100]`; a single sample answers every `p`. Returns
+    /// `NaN` when the histogram is empty, when every sample is NaN, or
+    /// when `p` itself is NaN.
     pub fn percentile(&self, p: f64) -> f64 {
+        if p.is_nan() {
+            // Pre-fix `(NaN).ceil() as usize` collapsed to rank 0 and
+            // silently answered the minimum sample.
+            return f64::NAN;
+        }
         let mut sorted: Vec<f64> = self
             .values
             .iter()
@@ -150,6 +159,32 @@ mod tests {
         assert_eq!(a.mean(), 2.5);
         assert_eq!(a.p99(), 4.0);
         assert_eq!(a.p95(), 4.0);
+    }
+
+    #[test]
+    fn percentile_edges_are_pinned() {
+        let h = Histogram::from_values(&[30.0, 10.0, 20.0]);
+        assert_eq!(h.percentile(0.0), 10.0, "p0 is the minimum");
+        assert_eq!(h.percentile(100.0), 30.0, "p100 is the maximum");
+        assert_eq!(h.percentile(-5.0), 10.0, "negative p clamps to 0");
+        assert_eq!(h.percentile(250.0), 30.0, "overlarge p clamps to 100");
+    }
+
+    #[test]
+    fn all_nan_input_behaves_like_empty() {
+        let h = Histogram::from_values(&[f64::NAN, f64::NAN]);
+        assert_eq!(h.len(), 2, "NaNs count as samples");
+        for p in [0.0, 50.0, 100.0] {
+            assert!(h.percentile(p).is_nan(), "p{p} must be NaN");
+        }
+    }
+
+    #[test]
+    fn nan_percentile_argument_returns_nan() {
+        // Regression: a NaN `p` used to collapse to rank 0 and silently
+        // return the minimum sample instead of propagating the NaN.
+        let h = Histogram::from_values(&[1.0, 2.0, 3.0]);
+        assert!(h.percentile(f64::NAN).is_nan());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use invocation::{
 };
 pub use monitoring::{MonitoredInvocation, MonitoringApi};
 pub use platform::FaasPlatform;
-pub use pool::ContainerPool;
+pub use pool::{ContainerPool, PoolObservation};
 pub use provider::{ProviderKind, ProviderProfile};
 pub use trigger::{TriggerKind, TriggerModel};
 pub use vm::VirtualMachine;

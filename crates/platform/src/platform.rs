@@ -18,7 +18,7 @@ use crate::function::{FunctionConfig, FunctionId};
 use crate::invocation::{
     AttemptChain, FunctionErrorKind, InvocationOutcome, InvocationRecord, StartKind,
 };
-use crate::pool::ContainerPool;
+use crate::pool::{ContainerPool, PoolObservation};
 use crate::provider::ProviderProfile;
 use crate::trigger::TriggerKind;
 
@@ -537,6 +537,24 @@ impl FaasPlatform {
             Some(pool) => pool.warm_count(now, &mut self.rng_pool),
             None => 0,
         }
+    }
+
+    /// Read-only snapshot of a function's container pool at the current
+    /// time: warm/idle/active counts with evictions applied virtually.
+    /// Unlike [`FaasPlatform::warm_containers`] this draws no RNG and
+    /// mutates nothing, so fleet experiments can sample occupancy
+    /// without perturbing the eviction schedule.
+    pub fn observe_pool(&self, id: FunctionId) -> PoolObservation {
+        let key = &self.functions[id.0 as usize].pool_key;
+        match self.pools.get(key) {
+            Some(pool) => pool.observe(self.now),
+            None => PoolObservation::default(),
+        }
+    }
+
+    /// Number of deployed functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
     }
 
     /// Invokes a function once (a burst of one).
@@ -1532,6 +1550,36 @@ mod tests {
         assert_eq!(p.warm_containers(fid), 0);
         let r = p.invoke(fid, &wl, &payload);
         assert_eq!(r.start, StartKind::Cold);
+    }
+
+    #[test]
+    fn observe_pool_is_read_only_and_counts_deployments() {
+        let mut p = aws();
+        let (fid, wl, payload) = deploy_html(&mut p, 256);
+        assert_eq!(p.function_count(), 1);
+        assert_eq!(p.observe_pool(fid), PoolObservation::default());
+        let records = p.invoke_burst(fid, &wl, &vec![payload.clone(); 4]);
+        assert_eq!(records.len(), 4);
+        p.advance(SimDuration::from_secs(1));
+        let obs = p.observe_pool(fid);
+        assert_eq!(obs.warm, 4);
+        // Observation never draws RNG or advances evictions: a platform
+        // that samples occupancy many times stays bit-identical to one
+        // that never looks.
+        let run = |probes: usize| {
+            let mut p = aws();
+            let (fid, wl, payload) = deploy_html(&mut p, 256);
+            for _ in 0..probes {
+                let _ = p.observe_pool(fid);
+            }
+            let r = p.invoke(fid, &wl, &payload);
+            for _ in 0..probes {
+                let _ = p.observe_pool(fid);
+            }
+            p.advance(SimDuration::from_secs(500));
+            (r, p.observe_pool(fid).warm, p.warm_containers(fid))
+        };
+        assert_eq!(run(0), run(64));
     }
 
     #[test]

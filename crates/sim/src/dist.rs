@@ -105,7 +105,14 @@ impl Dist {
             }
             Dist::Empirical { values } => {
                 assert!(!values.is_empty(), "empirical distribution has no values");
-                values[(unit_f64(rng) * values.len() as f64) as usize % values.len()]
+                // One integer draw per sample, mapped onto the index range
+                // with a widening multiply. The former float scaling
+                // `(unit_f64 * len) as usize % len` rounded draws near the
+                // top of the unit interval up to `len`, and the modulo
+                // wrapped them back onto `values[0]`, biasing the first
+                // element.
+                let idx = ((rng.next_u64() as u128 * values.len() as u128) >> 64) as usize;
+                values[idx]
             }
         };
         v.max(0.0)
@@ -117,22 +124,38 @@ impl Dist {
         SimDuration::from_millis_f64(self.sample(rng))
     }
 
-    /// The distribution's mean, where it has a closed form. Used by tests
-    /// and by analytic capacity planning in the break-even experiment.
+    /// The distribution's mean **after** the `≥ 0` truncation that
+    /// [`Dist::sample`] applies at every nesting level. Used by tests and
+    /// by analytic capacity planning in the break-even experiment, so it
+    /// must track the sampler: a `Normal` uses the truncated-normal closed
+    /// form, a `Uniform`/`Constant`/`Empirical` with mass below zero folds
+    /// that mass onto zero, and `Mixture` composes the (already truncated)
+    /// component means. `Shifted` is exact for `base ≥ 0` (the common
+    /// latency-floor case); a negative base approximates the outer clamp
+    /// by flooring the composed mean at zero.
     pub fn mean(&self) -> f64 {
         match self {
-            Dist::Constant(v) => *v,
-            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
-            Dist::Exponential { mean } => *mean,
-            Dist::Normal { mean, .. } => *mean, // ignores the ≥0 truncation
+            Dist::Constant(v) => v.max(0.0),
+            Dist::Uniform { lo, hi } => {
+                if *hi <= 0.0 {
+                    0.0
+                } else if *lo < 0.0 {
+                    // E[max(U, 0)] = ∫₀^hi x / (hi − lo) dx.
+                    hi * hi / (2.0 * (hi - lo))
+                } else {
+                    (lo + hi) / 2.0
+                }
+            }
+            Dist::Exponential { mean } => mean.max(0.0),
+            Dist::Normal { mean, std_dev } => truncated_normal_mean(*mean, *std_dev),
             Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
-            Dist::Shifted { base, dist } => base + dist.mean(),
+            Dist::Shifted { base, dist } => (base + dist.mean()).max(0.0),
             Dist::Mixture { p, first, second } => p * first.mean() + (1.0 - p) * second.mean(),
             Dist::Empirical { values } => {
                 if values.is_empty() {
                     0.0
                 } else {
-                    values.iter().sum::<f64>() / values.len() as f64
+                    values.iter().map(|v| v.max(0.0)).sum::<f64>() / values.len() as f64
                 }
             }
         }
@@ -173,6 +196,31 @@ impl Dist {
             },
         }
     }
+}
+
+/// Mean of `max(X, 0)` for `X ~ N(mean, std_dev)`:
+/// `mean·Φ(mean/σ) + σ·φ(mean/σ)`.
+fn truncated_normal_mean(mean: f64, std_dev: f64) -> f64 {
+    if std_dev <= 0.0 {
+        return mean.max(0.0);
+    }
+    let z = mean / std_dev;
+    let pdf = (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    mean * normal_cdf(z) + std_dev * pdf
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error ≤ 1.5e-7 — far below sampling noise at any test size).
+fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x < 0.0 { -erf } else { erf };
+    0.5 * (1.0 + erf)
 }
 
 /// A standard normal variate via the Box–Muller transform.
@@ -276,6 +324,105 @@ mod tests {
             assert!(v == 1.0 || v == 2.0 || v == 3.0);
         }
         assert!((d.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_normal_mean_matches_samples() {
+        // Regression: mean() used to return the untruncated 1.0 while the
+        // clamped sampler averages ≈ 1.39 — analytic capacity planning
+        // diverged from sampled behavior.
+        let d = Dist::Normal {
+            mean: 1.0,
+            std_dev: 2.0,
+        };
+        let analytic = d.mean();
+        let sampled = sample_mean(&d, 200_000);
+        assert!(analytic > 1.0, "truncation shifts the mean up: {analytic}");
+        assert!(
+            (sampled - analytic).abs() < 0.02,
+            "sampled {sampled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn negative_support_means_are_truncation_aware() {
+        // Every constructor that can put mass below zero: the analytic
+        // mean must converge to the clamped sampler's average.
+        let cases = [
+            Dist::Constant(-3.0),
+            Dist::Uniform { lo: -2.0, hi: 2.0 },
+            Dist::Normal {
+                mean: -1.0,
+                std_dev: 1.5,
+            },
+            Dist::Mixture {
+                p: 0.5,
+                first: Box::new(Dist::Normal {
+                    mean: -5.0,
+                    std_dev: 2.0,
+                }),
+                second: Box::new(Dist::Constant(4.0)),
+            },
+            Dist::Shifted {
+                base: 0.5,
+                dist: Box::new(Dist::Normal {
+                    mean: -1.0,
+                    std_dev: 1.0,
+                }),
+            },
+            Dist::Empirical {
+                values: vec![-4.0, -1.0, 2.0, 5.0],
+            },
+        ];
+        for d in cases {
+            let analytic = d.mean();
+            let sampled = sample_mean(&d, 200_000);
+            assert!(analytic >= 0.0, "{d:?}: mean {analytic} below support");
+            assert!(
+                (sampled - analytic).abs() < 0.03,
+                "{d:?}: sampled {sampled} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// An `RngCore` that always returns the maximum draw — the top of the
+    /// unit interval after conversion.
+    struct MaxRng;
+    impl RngCore for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn empirical_top_of_range_hits_last_value_not_first() {
+        // Regression: the float scaling `(unit_f64 * 3) as usize % 3`
+        // rounded the top-of-range draw up to 3 and the modulo wrapped it
+        // onto values[0].
+        let d = Dist::Empirical {
+            values: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(d.sample(&mut MaxRng), 3.0);
+    }
+
+    #[test]
+    fn empirical_frequencies_balance() {
+        let d = Dist::Empirical {
+            values: (0..8).map(|i| i as f64).collect(),
+        };
+        let mut rng = SimRng::new(9).stream("empirical-balance");
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        let expected = (n / 8) as f64;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as f64 - expected).abs() < expected * 0.05,
+                "index {i} drawn {c} times, expected ≈ {expected}"
+            );
+        }
     }
 
     #[test]

@@ -686,6 +686,53 @@ mod tests {
     }
 
     #[test]
+    fn sample_due_exactly_at_deadline_fires_once() {
+        // Fleet replay advances platforms in run_until slices whose
+        // deadlines often land exactly on a sampling boundary; the boundary
+        // sample must fire in the slice that ends on it and never again
+        // when the next slice starts at the same instant.
+        let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 0);
+        e.set_sample_hook(SimDuration::from_secs(10), |w, at| {
+            w.push(at.as_secs_f64() as u64);
+        });
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.world(), &vec![10], "deadline boundary fires");
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.world(), &vec![10], "re-entering the instant is a no-op");
+        e.run_until(SimTime::from_secs(30));
+        assert_eq!(e.world(), &vec![10, 20, 30], "later boundaries resume");
+    }
+
+    #[test]
+    fn deadline_sample_fires_before_a_deadline_event() {
+        // Event and sampling boundary coincide with the run_until deadline
+        // itself: the sample still observes the world *before* the event.
+        let mut e: Engine<Vec<&'static str>> = Engine::new(Vec::new(), 0);
+        e.set_sample_hook(SimDuration::from_secs(10), |w, _| w.push("sample"));
+        e.schedule(SimDuration::from_secs(10), |w, _| w.push("event"));
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.world(), &vec!["sample", "event"]);
+        // And the boundary is consumed: no re-fire at the rest.
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.world(), &vec!["sample", "event"]);
+    }
+
+    #[test]
+    fn hook_installed_mid_run_anchors_at_install_time() {
+        let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 0);
+        e.schedule(SimDuration::from_secs(7), |_, _| {});
+        e.run_until(SimTime::from_secs(7));
+        // Install at t=7s (not a multiple of the interval): boundaries are
+        // 17, 27, … — anchored at the install instant, and no back-fill
+        // for the time before installation.
+        e.set_sample_hook(SimDuration::from_secs(10), |w, at| {
+            w.push(at.as_secs_f64() as u64);
+        });
+        e.run_until(SimTime::from_secs(30));
+        assert_eq!(e.world(), &vec![17, 27]);
+    }
+
+    #[test]
     fn zero_sample_interval_is_clamped_not_infinite() {
         let mut e: Engine<u64> = Engine::new(0, 0);
         e.set_sample_hook(SimDuration::ZERO, |w, _| *w += 1);

@@ -1,0 +1,218 @@
+//! The fleet trace model and its deterministic expansion.
+
+use crate::arrival::{ArrivalProcess, DiurnalProfile};
+use sebs_sim::{Dist, SimDuration, SimRng, SimTime};
+use sebs_workloads::Language;
+
+/// Static description of one function in the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionProfile {
+    /// Deployment name (unique within the fleet).
+    pub name: String,
+    /// Runtime language profile.
+    pub language: Language,
+    /// Configured memory in MB (must be valid for the target provider;
+    /// the synthetic generator sticks to sizes every provider accepts).
+    pub memory_mb: u32,
+    /// Function-body duration distribution in milliseconds at full CPU
+    /// share; the replay converts it into abstract work units for the
+    /// target provider/memory/language.
+    pub duration_ms: Dist,
+    /// Fraction of configured memory the body touches per invocation.
+    pub alloc_fraction: Dist,
+    /// Response body size in bytes (drives egress billing).
+    pub response_bytes: u64,
+}
+
+impl FunctionProfile {
+    /// A profile with the common defaults: Python, a modest working set,
+    /// a small response.
+    pub fn new(name: impl Into<String>, memory_mb: u32, duration_ms: Dist) -> FunctionProfile {
+        FunctionProfile {
+            name: name.into(),
+            language: Language::Python,
+            memory_mb,
+            duration_ms,
+            alloc_fraction: Dist::Uniform { lo: 0.1, hi: 0.4 },
+            response_bytes: 1024,
+        }
+    }
+}
+
+/// One fleet member: a profile plus its arrival behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFunction {
+    /// What the function is.
+    pub profile: FunctionProfile,
+    /// When it gets invoked.
+    pub arrivals: ArrivalProcess,
+    /// Optional daily rate modulation.
+    pub diurnal: Option<DiurnalProfile>,
+}
+
+/// A fleet of functions plus the trace horizon. Expanding the model with
+/// [`TraceModel::generate`] is deterministic in the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceModel {
+    /// The fleet, in stable index order (index = `Arrival::function`).
+    pub functions: Vec<FleetFunction>,
+    /// Length of the generated trace.
+    pub horizon: SimDuration,
+}
+
+/// One invocation request in the expanded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the request arrives (offset from trace start).
+    pub at: SimTime,
+    /// Index into [`TraceModel::functions`].
+    pub function: u32,
+}
+
+/// A fully expanded, time-ordered invocation trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    /// The horizon the trace was generated for.
+    pub horizon: SimDuration,
+    /// All arrivals, sorted by `(at, function)`.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl FleetTrace {
+    /// Total invocation count.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Per-function invocation counts (indexed like the model's fleet).
+    pub fn invocations_per_function(&self, functions: usize) -> Vec<u64> {
+        let mut counts = vec![0_u64; functions];
+        for a in &self.arrivals {
+            let idx = a.function as usize;
+            if idx < counts.len() {
+                counts[idx] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl TraceModel {
+    /// Expected total invocation count over the horizon (analytic, exact
+    /// for Poisson/Replay and for MMPP in the long-dwell limit).
+    pub fn expected_invocations(&self) -> f64 {
+        let h = self.horizon.as_secs_f64();
+        self.functions
+            .iter()
+            .map(|f| f.arrivals.mean_rate(self.horizon) * h)
+            .sum()
+    }
+
+    /// Expands the model into a concrete trace.
+    ///
+    /// Each function draws from its own `fleet-arrival` stream indexed
+    /// by fleet position, so schedules are independent of fleet size and
+    /// of each other; the merged trace is sorted by `(at, function)` and
+    /// is byte-identical for identical `(model, seed)`.
+    pub fn generate(&self, seed: u64) -> FleetTrace {
+        let root = SimRng::new(seed);
+        let mut arrivals = Vec::new();
+        for (i, f) in self.functions.iter().enumerate() {
+            let mut rng = root.stream_indexed("fleet-arrival", i as u64);
+            for at in f
+                .arrivals
+                .generate(f.diurnal.as_ref(), self.horizon, &mut rng)
+            {
+                arrivals.push(Arrival {
+                    at,
+                    function: i as u32,
+                });
+            }
+        }
+        arrivals.sort_by_key(|a| (a.at, a.function));
+        FleetTrace {
+            horizon: self.horizon,
+            arrivals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> TraceModel {
+        TraceModel {
+            functions: vec![
+                FleetFunction {
+                    profile: FunctionProfile::new("a", 256, Dist::Constant(100.0)),
+                    arrivals: ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+                    diurnal: None,
+                },
+                FleetFunction {
+                    profile: FunctionProfile::new("b", 128, Dist::Constant(50.0)),
+                    arrivals: ArrivalProcess::Mmpp {
+                        rate_low: 0.1,
+                        rate_high: 3.0,
+                        dwell_low_s: 200.0,
+                        dwell_high_s: 50.0,
+                    },
+                    diurnal: Some(DiurnalProfile::daily(0.3, 0.5)),
+                },
+            ],
+            horizon: SimDuration::from_secs(5_000),
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sorted() {
+        let m = tiny_model();
+        let a = m.generate(42);
+        let b = m.generate(42);
+        assert_eq!(a, b);
+        assert!(a
+            .arrivals
+            .windows(2)
+            .all(|w| (w[0].at, w[0].function) <= (w[1].at, w[1].function)));
+        let c = m.generate(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expected_count_tracks_generated_count() {
+        let m = tiny_model();
+        let t = m.generate(7);
+        let expected = m.expected_invocations();
+        let n = t.len() as f64;
+        assert!(
+            (n - expected).abs() < 0.1 * expected,
+            "generated {n}, expected ≈{expected}"
+        );
+        let per_fn = t.invocations_per_function(m.functions.len());
+        assert_eq!(per_fn.iter().sum::<u64>() as usize, t.len());
+    }
+
+    #[test]
+    fn adding_a_function_never_reschedules_existing_ones() {
+        let mut m = tiny_model();
+        let before = m.generate(11);
+        m.functions.push(FleetFunction {
+            profile: FunctionProfile::new("c", 512, Dist::Constant(10.0)),
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            diurnal: None,
+        });
+        let after = m.generate(11);
+        let old: Vec<Arrival> = after
+            .arrivals
+            .iter()
+            .copied()
+            .filter(|a| a.function < 2)
+            .collect();
+        assert_eq!(old, before.arrivals, "streams are per-function");
+    }
+}

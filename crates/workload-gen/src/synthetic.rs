@@ -1,0 +1,241 @@
+//! Seeded synthetic fleet generator shaped like the Azure Functions
+//! 2019 trace (Shahrad et al., "Serverless in the Wild", ATC '20).
+//!
+//! The published trace's defining features, encoded here as knobs:
+//!
+//! * **Popularity is extremely skewed** — a small head of functions
+//!   receives the overwhelming majority of invocations while the long
+//!   tail is invoked rarely. Modelled as Zipf weights over fleet rank.
+//! * **Durations are short and heavy-tailed** — roughly half of all
+//!   functions average under a second; the tail stretches to minutes.
+//!   Modelled as a per-function log-normal whose median is itself drawn
+//!   from a log-normal meta-distribution.
+//! * **Memory is small** — ~90 % of apps allocate well under half a GB.
+//!   Modelled as a weighted choice over provider-portable sizes.
+//! * **Arrivals are bursty and diurnal** — a sizable minority of
+//!   functions fire in on/off bursts (timers, queues), and fleet load
+//!   follows a daily cycle. Modelled as an MMPP fraction plus a
+//!   per-function random-phase diurnal profile.
+
+use crate::arrival::{ArrivalProcess, DiurnalProfile};
+use crate::model::{FleetFunction, FunctionProfile, TraceModel};
+use sebs_sim::rng::unit_f64;
+use sebs_sim::{Dist, SimDuration, SimRng, StreamRng};
+
+/// Normalized Zipf weights over `n` ranks with exponent `s`:
+/// `w_i ∝ (i+1)^-s`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
+    let sum: f64 = w.iter().sum();
+    if sum > 0.0 {
+        for v in &mut w {
+            *v /= sum;
+        }
+    }
+    w
+}
+
+/// Parameters for the synthetic fleet generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSpec {
+    /// Fleet size (number of functions).
+    pub functions: usize,
+    /// Expected total invocation count over the horizon.
+    pub target_invocations: u64,
+    /// Trace length.
+    pub horizon: SimDuration,
+    /// Zipf popularity exponent (higher = more skew).
+    pub zipf_exponent: f64,
+    /// Fraction of functions with bursty (MMPP) arrivals.
+    pub bursty_fraction: f64,
+    /// Burst-state rate as a multiple of the quiet-state rate.
+    pub burst_ratio: f64,
+    /// Diurnal modulation depth in `[0, 1)`; 0 disables it.
+    pub diurnal_amplitude: f64,
+    /// Diurnal cycle length.
+    pub diurnal_period: SimDuration,
+    /// Weighted memory sizes (MB, weight); sizes chosen to validate on
+    /// every provider profile (AWS step, GCP tiers, Azure dynamic cap).
+    pub memory_choices_mb: Vec<(u32, f64)>,
+    /// Log-space mean of the per-function median duration (ms).
+    pub duration_median_log_mean: f64,
+    /// Log-space spread of the per-function median duration.
+    pub duration_median_log_std: f64,
+    /// Within-function log-normal sigma (invocation-to-invocation).
+    pub duration_sigma: f64,
+}
+
+impl SyntheticSpec {
+    /// The Azure Functions 2019 shape for a fleet of `functions`
+    /// replaying `target_invocations` over `horizon`.
+    pub fn azure_2019(
+        functions: usize,
+        target_invocations: u64,
+        horizon: SimDuration,
+    ) -> SyntheticSpec {
+        SyntheticSpec {
+            functions,
+            target_invocations,
+            horizon,
+            zipf_exponent: 1.1,
+            bursty_fraction: 0.25,
+            burst_ratio: 8.0,
+            diurnal_amplitude: 0.4,
+            diurnal_period: SimDuration::from_secs(86_400),
+            memory_choices_mb: vec![(128, 0.45), (256, 0.30), (512, 0.17), (1024, 0.08)],
+            // exp(5.7) ≈ 300 ms median-of-medians; log-std 1.2 spreads
+            // per-function medians from tens of ms to tens of seconds.
+            duration_median_log_mean: 5.7,
+            duration_median_log_std: 1.2,
+            duration_sigma: 0.55,
+        }
+    }
+
+    /// Builds the fleet model. Per-function attributes draw from the
+    /// `fleet-attr` stream indexed by fleet rank, so the model for seed
+    /// `s` is unique and stable under fleet-size changes of the tail.
+    pub fn build_model(&self, seed: u64) -> TraceModel {
+        let root = SimRng::new(seed);
+        let weights = zipf_weights(self.functions, self.zipf_exponent);
+        let horizon_s = self.horizon.as_secs_f64().max(f64::MIN_POSITIVE);
+        let total_rate = self.target_invocations as f64 / horizon_s;
+        let mut functions = Vec::with_capacity(self.functions);
+        for (i, w) in weights.iter().enumerate() {
+            let mut attr = root.stream_indexed("fleet-attr", i as u64);
+            let rate = total_rate * w;
+            let memory_mb = pick_weighted(&self.memory_choices_mb, &mut attr);
+            let median_ms = Dist::LogNormal {
+                mu: self.duration_median_log_mean,
+                sigma: self.duration_median_log_std,
+            }
+            .sample(&mut attr)
+            .max(1.0);
+            let duration_ms = Dist::LogNormal {
+                mu: median_ms.ln(),
+                sigma: self.duration_sigma,
+            };
+            let bursty = unit_f64(&mut attr) < self.bursty_fraction;
+            let arrivals = if bursty {
+                // Quiet 90 % of the time, bursting at `burst_ratio`× the
+                // quiet rate; the quiet rate is solved so the long-run
+                // mean matches the Zipf-assigned rate.
+                let (dwell_low_s, dwell_high_s) = (1080.0, 120.0);
+                let f_high = dwell_high_s / (dwell_low_s + dwell_high_s);
+                let rate_low = rate / ((1.0 - f_high) + self.burst_ratio * f_high);
+                ArrivalProcess::Mmpp {
+                    rate_low,
+                    rate_high: self.burst_ratio * rate_low,
+                    dwell_low_s,
+                    dwell_high_s,
+                }
+            } else {
+                ArrivalProcess::Poisson { rate_per_sec: rate }
+            };
+            let diurnal = if self.diurnal_amplitude > 0.0 {
+                Some(DiurnalProfile {
+                    amplitude: self.diurnal_amplitude,
+                    period: self.diurnal_period,
+                    phase: 2.0 * std::f64::consts::PI * unit_f64(&mut attr),
+                })
+            } else {
+                None
+            };
+            functions.push(FleetFunction {
+                profile: FunctionProfile::new(format!("fn-{i:05}"), memory_mb, duration_ms),
+                arrivals,
+                diurnal,
+            });
+        }
+        TraceModel {
+            functions,
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// One weighted choice with a single unit draw.
+fn pick_weighted(choices: &[(u32, f64)], rng: &mut StreamRng) -> u32 {
+    let total: f64 = choices.iter().map(|(_, w)| w.max(0.0)).sum();
+    if !(total > 0.0) || choices.is_empty() {
+        return 256;
+    }
+    let mut u = unit_f64(rng) * total;
+    for (value, weight) in choices {
+        u -= weight.max(0.0);
+        if u < 0.0 {
+            return *value;
+        }
+    }
+    choices[choices.len() - 1].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_normalize_and_skew() {
+        let w = zipf_weights(1000, 1.1);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[1] && w[1] > w[10] && w[10] > w[999]);
+        // The head dominates: top 1 % of functions carry a large share.
+        let head: f64 = w[..10].iter().sum();
+        assert!(head > 0.3, "top-10 share {head}");
+    }
+
+    #[test]
+    fn model_matches_target_and_mixes_processes() {
+        let spec = SyntheticSpec::azure_2019(300, 50_000, SimDuration::from_secs(7200));
+        let m = spec.build_model(5);
+        assert_eq!(m.functions.len(), 300);
+        let expected = m.expected_invocations();
+        assert!(
+            (expected - 50_000.0).abs() < 0.02 * 50_000.0,
+            "analytic mean {expected} should match the target"
+        );
+        let bursty = m
+            .functions
+            .iter()
+            .filter(|f| matches!(f.arrivals, ArrivalProcess::Mmpp { .. }))
+            .count();
+        let frac = bursty as f64 / 300.0;
+        assert!((frac - 0.25).abs() < 0.1, "bursty fraction {frac}");
+        assert!(m.functions.iter().all(|f| f.diurnal.is_some()));
+        // Popularity skew survives expansion: the most popular function
+        // out-fires a deep-tail one by a wide margin.
+        let t = m.generate(5);
+        let counts = t.invocations_per_function(300);
+        assert!(
+            counts[0] > 20 * counts[299].max(1),
+            "head {} tail {}",
+            counts[0],
+            counts[299]
+        );
+    }
+
+    #[test]
+    fn memory_sizes_come_from_the_choice_set() {
+        let spec = SyntheticSpec::azure_2019(500, 1000, SimDuration::from_secs(3600));
+        let m = spec.build_model(9);
+        let allowed = [128, 256, 512, 1024];
+        assert!(m
+            .functions
+            .iter()
+            .all(|f| allowed.contains(&f.profile.memory_mb)));
+        // Small sizes dominate, as in the published distribution.
+        let small = m
+            .functions
+            .iter()
+            .filter(|f| f.profile.memory_mb <= 256)
+            .count();
+        assert!(small > 300, "small-memory count {small}/500");
+    }
+
+    #[test]
+    fn build_model_is_deterministic() {
+        let spec = SyntheticSpec::azure_2019(64, 1000, SimDuration::from_secs(600));
+        assert_eq!(spec.build_model(3), spec.build_model(3));
+        assert_ne!(spec.build_model(3), spec.build_model(4));
+    }
+}
