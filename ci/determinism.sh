@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Shared driver for the determinism CI matrix.
+#
+# Every scenario runs the same product binary at different worker counts
+# and must serialize byte-identical exports; this script is the single
+# place the scenario commands and the byte-diff live, so the grid, chaos
+# and fleet jobs cannot drift apart.
+#
+# Usage:
+#   ci/determinism.sh run <grid|chaos|fleet> <jobs>   # exports into out-<jobs>/
+#   ci/determinism.sh diff <jobs-a> <jobs-b>          # byte-compare the trees
+#
+# The binary is expected at target/release/sebs. `diff` compares every
+# file produced by `run`; stdout captures have output paths stripped
+# first, since the per-jobs directory name is the one intended difference.
+set -euo pipefail
+
+SEBS=${SEBS:-target/release/sebs}
+
+run_grid() {
+  local out=$1 jobs=$2
+  "$SEBS" experiment perf-cost graph-bfs thumbnailer \
+    --provider all --memory 128,512 --samples 10 \
+    --jobs "$jobs" --json "$out/results.json" --trace "$out/trace.json" \
+    --metrics "$out/metrics.prom" > "$out/stdout.txt"
+  "$SEBS" experiment perf-cost graph-bfs thumbnailer \
+    --provider all --memory 128,512 --samples 10 \
+    --jobs "$jobs" --trace "$out/breakdown.txt" --trace-format table \
+    --metrics "$out/metrics.csv" --metrics-format csv > /dev/null
+}
+
+run_chaos() {
+  local out=$1 jobs=$2
+  "$SEBS" availability dynamic-html \
+    --provider gcp --memory 256 --samples 25 \
+    --fault-rates 0,0.08,0.3 \
+    --faults "storage=0.03,stall=1.5,corrupt=0.01,outage=2..4@1.0,storm=6..9@0.9" \
+    --retry "attempts=4,base=50,cap=400,jitter=0.5,hedge=0.9,breaker=8@5000" \
+    --jobs "$jobs" --json "$out/avail.json" --csv "$out/avail.csv" \
+    --trace "$out/avail-trace.json" \
+    --metrics "$out/avail-metrics.prom" > "$out/stdout.txt"
+}
+
+run_fleet() {
+  local out=$1 jobs=$2
+  "$SEBS" fleet --provider aws \
+    --functions 300 --invocations 30000 --horizon-secs 3600 \
+    --metrics-interval-secs 300 --jobs "$jobs" \
+    --json "$out/fleet.json" --csv "$out/fleet.csv" \
+    --trace "$out/fleet-trace.json" \
+    --metrics "$out/fleet-metrics.prom" > "$out/stdout.txt"
+  "$SEBS" fleet --provider aws \
+    --functions 300 --invocations 30000 --horizon-secs 3600 \
+    --metrics-interval-secs 300 --jobs "$jobs" \
+    --trace "$out/fleet-breakdown.txt" --trace-format table \
+    --metrics "$out/fleet-metrics.csv" --metrics-format csv > /dev/null
+}
+
+cmd=${1:?usage: determinism.sh <run|diff> ...}
+case "$cmd" in
+  run)
+    scenario=${2:?scenario}; jobs=${3:?jobs}
+    out="out-$jobs"
+    mkdir -p "$out"
+    case "$scenario" in
+      grid)  run_grid  "$out" "$jobs" ;;
+      chaos) run_chaos "$out" "$jobs" ;;
+      fleet) run_fleet "$out" "$jobs" ;;
+      *) echo "unknown scenario: $scenario" >&2; exit 2 ;;
+    esac
+    ;;
+  diff)
+    a="out-${2:?jobs-a}"; b="out-${3:?jobs-b}"
+    status=0
+    for fa in "$a"/*; do
+      f=$(basename "$fa")
+      fb="$b/$f"
+      if [ ! -f "$fb" ]; then
+        echo "MISSING: $fb" >&2; status=1; continue
+      fi
+      if [ "$f" = "stdout.txt" ]; then
+        # The emitted file paths differ by design; nothing else may.
+        if ! cmp -s <(sed 's/out-[0-9]*\///' "$fa") <(sed 's/out-[0-9]*\///' "$fb"); then
+          echo "DIFFERS (beyond paths): $f" >&2; status=1
+        fi
+      elif ! cmp -s "$fa" "$fb"; then
+        echo "DIFFERS: $f" >&2; status=1
+      fi
+    done
+    if [ "$status" = 0 ]; then
+      echo "byte-identical: $a == $b ($(ls "$a" | wc -l) files)"
+    fi
+    exit "$status"
+    ;;
+  *)
+    echo "unknown command: $cmd" >&2; exit 2 ;;
+esac

@@ -1,0 +1,450 @@
+//! The bench-regression gate: compares fresh `BENCH_*.json` artifacts
+//! against the committed `BENCH_BASELINE.json` and fails on regressions.
+//!
+//! Each bench binary (run with `SEBS_BENCH_DIR` set) writes a
+//! `BENCH_<name>.json` artifact carrying `wall_time_secs` plus any
+//! self-reported throughput fields ending in `_per_sec`. This tool reads
+//! every artifact in a directory and judges each metric against the
+//! baseline with a relative tolerance (default 25%):
+//!
+//! * `wall_time_secs` regresses when `fresh > base × (1 + tol)` (lower is
+//!   better);
+//! * any `*_per_sec` field regresses when `fresh < base × (1 − tol)`
+//!   (higher is better).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check --dir bench-artifacts [--baseline BENCH_BASELINE.json]
+//!             [--tolerance 0.25] [--delta delta.md] [--write-baseline]
+//! ```
+//!
+//! `--write-baseline` refreshes the baseline file from the fresh artifacts
+//! instead of comparing (the documented one-command refresh). `--delta`
+//! writes the comparison as a markdown table for the CI artifact. The
+//! tolerance can also come from `SEBS_BENCH_TOLERANCE`. Exit status is
+//! non-zero iff at least one metric regressed; benches absent from the
+//! baseline are reported as new and do not fail the gate.
+
+use std::process::ExitCode;
+
+use sebs_metrics::Json;
+
+/// One bench's comparable metrics, in artifact order.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchMetrics {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// How one metric compares against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    Improved,
+    Regressed,
+    New,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::New => "new (no baseline)",
+        }
+    }
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone, PartialEq)]
+struct DeltaRow {
+    bench: String,
+    metric: String,
+    base: Option<f64>,
+    fresh: f64,
+    verdict: Verdict,
+}
+
+/// `true` for metrics where higher is better.
+fn higher_is_better(metric: &str) -> bool {
+    metric.ends_with("_per_sec")
+}
+
+/// `true` for fields that participate in the comparison at all (everything
+/// else in the artifact — samples, seed, jobs — is run metadata).
+fn comparable(metric: &str) -> bool {
+    metric == "wall_time_secs" || higher_is_better(metric)
+}
+
+/// Judges `fresh` against `base` under a relative `tol`.
+fn judge(metric: &str, base: f64, fresh: f64, tol: f64) -> Verdict {
+    if higher_is_better(metric) {
+        if fresh < base * (1.0 - tol) {
+            Verdict::Regressed
+        } else if fresh > base * (1.0 + tol) {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        }
+    } else if fresh > base * (1.0 + tol) {
+        Verdict::Regressed
+    } else if fresh < base * (1.0 - tol) {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+/// Extracts the comparable metrics of one parsed `BENCH_*.json` document.
+fn metrics_of(doc: &Json) -> Option<BenchMetrics> {
+    let name = doc.get("name")?.as_str()?.to_string();
+    let Json::Object(fields) = doc else {
+        return None;
+    };
+    let metrics = fields
+        .iter()
+        .filter(|(k, _)| comparable(k))
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+        .collect();
+    Some(BenchMetrics { name, metrics })
+}
+
+/// Compares fresh benches against the baseline, producing the delta table
+/// rows in a deterministic order (benches sorted by name, metrics in
+/// artifact order).
+fn compare(fresh: &[BenchMetrics], baseline: &Json, tol: f64) -> Vec<DeltaRow> {
+    let mut sorted: Vec<&BenchMetrics> = fresh.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut rows = Vec::new();
+    for bench in sorted {
+        let base_entry = baseline.get(&bench.name);
+        for (metric, value) in &bench.metrics {
+            let base = base_entry
+                .and_then(|e| e.get(metric))
+                .and_then(Json::as_f64);
+            let verdict = match base {
+                Some(b) => judge(metric, b, *value, tol),
+                None => Verdict::New,
+            };
+            rows.push(DeltaRow {
+                bench: bench.name.clone(),
+                metric: metric.clone(),
+                base,
+                fresh: *value,
+                verdict,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the delta rows as a markdown table.
+fn delta_table(rows: &[DeltaRow], tol: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Bench regression report (tolerance \u{00b1}{:.0}%)\n\n",
+        tol * 100.0
+    ));
+    out.push_str("| bench | metric | baseline | current | delta | status |\n");
+    out.push_str("|---|---|---:|---:|---:|---|\n");
+    for r in rows {
+        let (base, delta) = match r.base {
+            Some(b) => {
+                let pct = if b != 0.0 {
+                    format!("{:+.1}%", (r.fresh - b) / b * 100.0)
+                } else {
+                    "-".to_string()
+                };
+                (format!("{b:.4}"), pct)
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.4} | {} | {} |\n",
+            r.bench,
+            r.metric,
+            base,
+            r.fresh,
+            delta,
+            r.verdict.label()
+        ));
+    }
+    out
+}
+
+/// Serializes fresh benches as the baseline document (benches sorted by
+/// name so the committed file is diff-stable).
+fn baseline_json(fresh: &[BenchMetrics]) -> String {
+    let mut sorted: Vec<&BenchMetrics> = fresh.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let entries = sorted
+        .iter()
+        .map(|b| {
+            let fields = b
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect();
+            (b.name.clone(), Json::Object(fields))
+        })
+        .collect();
+    Json::Object(entries).to_string_pretty()
+}
+
+/// Reads every `BENCH_*.json` in `dir`, sorted by file name for
+/// deterministic output.
+fn read_artifacts(dir: &str) -> Result<Vec<BenchMetrics>, String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let text =
+            std::fs::read_to_string(&p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", p.display()))?;
+        match metrics_of(&doc) {
+            Some(m) => out.push(m),
+            None => return Err(format!("{} has no usable metrics", p.display())),
+        }
+    }
+    Ok(out)
+}
+
+struct Args {
+    dir: String,
+    baseline: String,
+    tolerance: f64,
+    delta: Option<String>,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: "bench-artifacts".to_string(),
+        baseline: "BENCH_BASELINE.json".to_string(),
+        tolerance: std::env::var("SEBS_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.25),
+        delta: None,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--dir" => args.dir = take("--dir")?,
+            "--baseline" => args.baseline = take("--baseline")?,
+            "--tolerance" => {
+                args.tolerance = take("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--delta" => args.delta = Some(take("--delta")?),
+            "--write-baseline" => args.write_baseline = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match read_artifacts(&args.dir) {
+        Ok(f) if !f.is_empty() => f,
+        Ok(_) => {
+            eprintln!("bench_check: no BENCH_*.json artifacts in {}", args.dir);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let body = baseline_json(&fresh);
+        if let Err(e) = std::fs::write(&args.baseline, body) {
+            eprintln!("bench_check: cannot write {}: {e}", args.baseline);
+            return ExitCode::from(2);
+        }
+        println!("wrote {} ({} benches)", args.baseline, fresh.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&args.baseline)
+        .map_err(|e| format!("cannot read {}: {e}", args.baseline))
+        .and_then(|t| Json::parse(&t).map_err(|e| format!("cannot parse {}: {e}", args.baseline)))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: {e} (run with --write-baseline to create it)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rows = compare(&fresh, &baseline, args.tolerance);
+    let table = delta_table(&rows, args.tolerance);
+    print!("{table}");
+    if let Some(path) = &args.delta {
+        if let Err(e) = std::fs::write(path, &table) {
+            eprintln!("bench_check: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let regressed: Vec<&DeltaRow> = rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Regressed)
+        .collect();
+    if regressed.is_empty() {
+        println!(
+            "\nbench_check: {} metrics within \u{00b1}{:.0}% of baseline",
+            rows.len(),
+            args.tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbench_check: {} regression(s) beyond \u{00b1}{:.0}%:",
+            regressed.len(),
+            args.tolerance * 100.0
+        );
+        for r in regressed {
+            eprintln!(
+                "  {} / {}: baseline {:.4} -> current {:.4}",
+                r.bench,
+                r.metric,
+                r.base.unwrap_or(f64::NAN),
+                r.fresh
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(name: &str, metrics: &[(&str, f64)]) -> BenchMetrics {
+        BenchMetrics {
+            name: name.to_string(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    fn baseline_of(fresh: &[BenchMetrics]) -> Json {
+        Json::parse(&baseline_json(fresh)).expect("baseline round-trips")
+    }
+
+    #[test]
+    fn wall_time_within_tolerance_passes() {
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
+        let rows = compare(&[bench("a", &[("wall_time_secs", 1.2)])], &base, 0.25);
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn injected_wall_time_slowdown_fails_the_gate() {
+        // The demonstration required by the issue: a 2x slowdown against
+        // the committed baseline must come back Regressed.
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
+        let rows = compare(&[bench("a", &[("wall_time_secs", 2.0)])], &base, 0.25);
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn throughput_drop_fails_and_gain_is_improvement() {
+        let base = baseline_of(&[bench("e", &[("events_per_sec", 1_000_000.0)])]);
+        let drop = compare(&[bench("e", &[("events_per_sec", 500_000.0)])], &base, 0.25);
+        assert_eq!(
+            drop[0].verdict,
+            Verdict::Regressed,
+            "slower throughput fails"
+        );
+        let gain = compare(
+            &[bench("e", &[("events_per_sec", 3_000_000.0)])],
+            &base,
+            0.25,
+        );
+        assert_eq!(gain[0].verdict, Verdict::Improved);
+        let ok = compare(&[bench("e", &[("events_per_sec", 900_000.0)])], &base, 0.25);
+        assert_eq!(ok[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn faster_wall_time_is_improvement_not_regression() {
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 2.0)])]);
+        let rows = compare(&[bench("a", &[("wall_time_secs", 1.0)])], &base, 0.25);
+        assert_eq!(rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn unknown_bench_is_new_not_failure() {
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
+        let rows = compare(&[bench("b", &[("wall_time_secs", 9.0)])], &base, 0.25);
+        assert_eq!(rows[0].verdict, Verdict::New);
+    }
+
+    #[test]
+    fn tolerance_is_configurable() {
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
+        let fresh = [bench("a", &[("wall_time_secs", 1.4)])];
+        assert_eq!(compare(&fresh, &base, 0.5)[0].verdict, Verdict::Ok);
+        assert_eq!(compare(&fresh, &base, 0.25)[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn only_comparable_fields_participate() {
+        let doc = Json::parse(
+            r#"{"name": "x", "wall_time_secs": 1.5, "samples": 10,
+                "seed": 2021, "jobs": 4, "events_per_sec": 100.0}"#,
+        )
+        .unwrap();
+        let m = metrics_of(&doc).unwrap();
+        let keys: Vec<&str> = m.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["wall_time_secs", "events_per_sec"]);
+    }
+
+    #[test]
+    fn baseline_serialization_is_sorted_and_round_trips() {
+        let fresh = vec![
+            bench("z_bench", &[("wall_time_secs", 2.0)]),
+            bench("a_bench", &[("wall_time_secs", 1.0), ("ops_per_sec", 50.0)]),
+        ];
+        let text = baseline_json(&fresh);
+        assert!(text.find("a_bench").unwrap() < text.find("z_bench").unwrap());
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("a_bench")
+                .and_then(|e| e.get("ops_per_sec"))
+                .and_then(Json::as_f64),
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn delta_table_lists_every_metric() {
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
+        let fresh = [bench("a", &[("wall_time_secs", 3.0)])];
+        let rows = compare(&fresh, &base, 0.25);
+        let table = delta_table(&rows, 0.25);
+        assert!(table.contains("| a | wall_time_secs | 1.0000 | 3.0000 | +200.0% | REGRESSED |"));
+    }
+}

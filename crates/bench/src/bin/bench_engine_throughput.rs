@@ -1,0 +1,235 @@
+//! Raw event throughput of `sebs_sim::Engine` on a calibrated event storm.
+//!
+//! Fleet-scale replay pushes 10⁷–10⁸ events through the engine per run, so
+//! events/sec is the product's speed limit. This bench drives the engine
+//! through the four load shapes the simulator actually produces and reports
+//! events/sec for each, plus a weighted overall rate that lands in the
+//! `BENCH_bench_engine_throughput.json` artifact for the bench-regression
+//! gate:
+//!
+//! * `short_delay` — self-rescheduling chains with sub-millisecond to
+//!   ~100 ms delays over a large pending set (timer-wheel sweet spot);
+//! * `mixed_delay` — 10% of reschedules jump seconds-to-minutes ahead, so
+//!   events promote through coarse wheel levels and the overflow heap;
+//! * `same_instant` — zero-delay fan-out chains exercising the FIFO
+//!   tiebreak path;
+//! * `cancel_churn` — every work event arms a far-future timeout that is
+//!   cancelled immediately, the scheduler-timeout pattern;
+//! * `hooks_on` — the short-delay storm with dispatch + sample hooks
+//!   installed, the tracing/telemetry configuration.
+//!
+//! Knobs: `SEBS_BENCH_EVENTS` (events per scenario, default 2,000,000),
+//! `SEBS_BENCH_CHAINS` (concurrent pending chains, default 32,768),
+//! `SEBS_BENCH_REPS` (default 3) — the per-scenario rate is the median rep.
+
+use sebs_sim::engine::{Ctx, Engine};
+use sebs_sim::SimDuration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Per-chain state shared by every storm: a budget of events left to fire
+/// and a cursor into the deterministic delay table.
+struct Storm {
+    remaining: u64,
+    cursor: usize,
+    delays: Vec<SimDuration>,
+    fired: u64,
+}
+
+impl Storm {
+    fn new(budget: u64, delays: Vec<SimDuration>) -> Storm {
+        Storm {
+            remaining: budget,
+            cursor: 0,
+            delays,
+            fired: 0,
+        }
+    }
+
+    fn next_delay(&mut self) -> SimDuration {
+        let d = self.delays[self.cursor];
+        self.cursor = (self.cursor + 1) % self.delays.len();
+        d
+    }
+}
+
+/// One self-sustaining chain step: fire, account, reschedule while budget
+/// remains. Budget is global across chains so the storm winds down evenly.
+fn step(w: &mut Storm, ctx: &mut Ctx<Storm>) {
+    w.fired += 1;
+    if w.remaining == 0 {
+        return;
+    }
+    w.remaining -= 1;
+    let d = w.next_delay();
+    ctx.schedule(d, step);
+}
+
+/// Seeds `chains` concurrent chains and runs the storm to completion,
+/// returning events fired.
+fn run_storm(events: u64, chains: usize, delays: Vec<SimDuration>) -> (Engine<Storm>, u64) {
+    let seeds = (chains as u64).min(events);
+    let mut e: Engine<Storm> = Engine::new(Storm::new(events - seeds, delays), 7);
+    for i in 0..seeds {
+        // Spread the seed events so the pending set is not one instant.
+        e.schedule(SimDuration::from_micros(i * 37 % 50_000), step);
+    }
+    let n = e.run();
+    (e, n)
+}
+
+/// Sub-millisecond to ~100 ms delays: the dominant event shape.
+fn short_delays() -> Vec<SimDuration> {
+    vec![
+        SimDuration::from_micros(90),
+        SimDuration::from_micros(340),
+        SimDuration::from_micros(770),
+        SimDuration::from_millis(1),
+        SimDuration::from_micros(2_300),
+        SimDuration::from_millis(6),
+        SimDuration::from_millis(17),
+        SimDuration::from_millis(44),
+        SimDuration::from_millis(98),
+    ]
+}
+
+/// Short delays with a long tail: every tenth reschedule jumps far ahead,
+/// forcing promotion through coarse wheel levels / the overflow path.
+fn mixed_delays() -> Vec<SimDuration> {
+    let mut d = short_delays();
+    d.push(SimDuration::from_secs(2));
+    d.insert(4, SimDuration::from_secs(45));
+    d.push(SimDuration::from_secs(380));
+    d
+}
+
+fn scenario_short(events: u64, chains: usize) -> u64 {
+    run_storm(events, chains, short_delays()).1
+}
+
+fn scenario_mixed(events: u64, chains: usize) -> u64 {
+    run_storm(events, chains, mixed_delays()).1
+}
+
+fn scenario_same_instant(events: u64, chains: usize) -> u64 {
+    // Chains alternate a zero-delay burst (FIFO tiebreak path) with a short
+    // hop so the clock still advances.
+    let mut delays = vec![SimDuration::ZERO; 7];
+    delays.push(SimDuration::from_micros(150));
+    run_storm(events, chains, delays).1
+}
+
+fn scenario_cancel_churn(events: u64, chains: usize) -> u64 {
+    // Each work event arms a far-future timeout which the driver cancels
+    // before it can fire — the retry/keep-alive scheduler pattern. Each
+    // iteration counts one fired event plus one schedule+cancel pair.
+    let seeds = (chains as u64).min(events / 2);
+    let budget = events / 2 - seeds;
+    let mut e: Engine<Storm> = Engine::new(Storm::new(budget, short_delays()), 11);
+    for i in 0..seeds {
+        e.schedule(SimDuration::from_micros(i * 37 % 50_000), step);
+    }
+    let mut fired = 0u64;
+    let mut cancelled = 0u64;
+    loop {
+        let timeout = e.schedule(SimDuration::from_secs(900), |_, _| {});
+        let n = e.advance(SimDuration::from_millis(5));
+        assert!(e.cancel(timeout), "timeout is still pending");
+        cancelled += 1;
+        fired += n;
+        if n == 0 && e.pending() == 0 {
+            break;
+        }
+    }
+    fired + cancelled
+}
+
+fn scenario_hooks_on(events: u64, chains: usize) -> u64 {
+    let seeds = (chains as u64).min(events);
+    let mut e: Engine<Storm> = Engine::new(Storm::new(events - seeds, short_delays()), 7);
+    e.set_dispatch_hook(|d| {
+        std::hint::black_box(d.processed);
+    });
+    e.set_sample_hook(SimDuration::from_millis(10), |w, _| {
+        std::hint::black_box(w.fired);
+    });
+    for i in 0..seeds {
+        e.schedule(SimDuration::from_micros(i * 37 % 50_000), step);
+    }
+    e.run()
+}
+
+/// Times one scenario over `reps` repetitions, returns (median events/sec,
+/// events per rep).
+// audit:allow(wall-clock): benchmark binary measures host time
+// audit:allow(instant-usage): benchmark binary measures host time
+fn bench(name: &str, reps: usize, f: impl Fn() -> u64) -> (f64, u64) {
+    let mut rates: Vec<f64> = Vec::new();
+    let mut fired = 0u64;
+    std::hint::black_box(f()); // warmup
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        fired = std::hint::black_box(f());
+        let secs = start.elapsed().as_secs_f64();
+        rates.push(fired as f64 / secs.max(1e-9));
+    }
+    rates.sort_by(f64::total_cmp);
+    let median = rates[rates.len() / 2];
+    println!("{name:<16} {fired:>10} events   {:>12.0} events/s", median);
+    (median, fired)
+}
+
+fn main() {
+    sebs_bench::timed_with("bench_engine_throughput", || {
+        let events = env_usize("SEBS_BENCH_EVENTS", 2_000_000) as u64;
+        let chains = env_usize("SEBS_BENCH_CHAINS", 32_768);
+        let reps = env_usize("SEBS_BENCH_REPS", 3);
+        println!("== engine event storm (events={events}, chains={chains}, reps={reps}) ==");
+
+        let scenarios: Vec<(&str, Box<dyn Fn() -> u64>)> = vec![
+            (
+                "short_delay",
+                Box::new(move || scenario_short(events, chains)),
+            ),
+            (
+                "mixed_delay",
+                Box::new(move || scenario_mixed(events, chains)),
+            ),
+            (
+                "same_instant",
+                Box::new(move || scenario_same_instant(events, chains)),
+            ),
+            (
+                "cancel_churn",
+                Box::new(move || scenario_cancel_churn(events, chains)),
+            ),
+            (
+                "hooks_on",
+                Box::new(move || scenario_hooks_on(events, chains)),
+            ),
+        ];
+
+        let mut extra = Vec::new();
+        let mut total_rate = 0.0;
+        let mut total_events = 0u64;
+        for (name, f) in &scenarios {
+            let (rate, fired) = bench(name, reps, f);
+            extra.push((format!("{name}_events_per_sec"), rate));
+            // Weight the overall rate by events so heavy scenarios dominate.
+            total_rate += rate * fired as f64;
+            total_events += fired;
+        }
+        let overall = total_rate / (total_events as f64).max(1.0);
+        println!(
+            "{:<16} {:>10}          {overall:>12.0} events/s",
+            "overall", ""
+        );
+        extra.push(("events_per_sec".to_string(), overall));
+        extra
+    });
+}

@@ -94,17 +94,31 @@ impl Default for BenchEnv {
 /// writes a machine-readable `BENCH_<name>.json` there (wall time plus the
 /// [`BenchEnv`] run parameters) so CI can collect timing artifacts without
 /// scraping stdout.
+pub fn timed(name: &str, f: impl FnOnce()) {
+    timed_with(name, || {
+        f();
+        Vec::new()
+    });
+}
+
+/// Like [`timed`], for bodies that also report their own metrics.
+///
+/// The body returns extra `(field, value)` pairs — throughput rates,
+/// counts — that are appended to the `BENCH_<name>.json` artifact next to
+/// `wall_time_secs`. The bench-regression gate treats any field ending in
+/// `_per_sec` as a throughput (higher is better) and everything else as
+/// informational.
 // audit:allow(wall-clock): the bench harness times real host work
 // audit:allow(instant-usage): the bench harness times real host work
-pub fn timed(name: &str, f: impl FnOnce()) {
+pub fn timed_with(name: &str, f: impl FnOnce() -> Vec<(String, f64)>) {
     let env = BenchEnv::from_env();
     let start = std::time::Instant::now();
-    f();
+    let extra = f();
     let wall = start.elapsed().as_secs_f64();
     println!("[bench] {name}: {wall:.3} s");
     if let Ok(dir) = std::env::var("SEBS_BENCH_DIR") {
         let path = format!("{dir}/BENCH_{name}.json");
-        match std::fs::write(&path, bench_json(name, wall, &env)) {
+        match std::fs::write(&path, bench_json(name, wall, &env, &extra)) {
             Ok(()) => println!("[bench] wrote {path}"),
             Err(e) => eprintln!("[bench] cannot write {path}: {e}"),
         }
@@ -112,9 +126,9 @@ pub fn timed(name: &str, f: impl FnOnce()) {
 }
 
 /// The `BENCH_<name>.json` document body.
-fn bench_json(name: &str, wall_time_secs: f64, env: &BenchEnv) -> String {
+fn bench_json(name: &str, wall_time_secs: f64, env: &BenchEnv, extra: &[(String, f64)]) -> String {
     use sebs_metrics::Json;
-    let obj = Json::Object(vec![
+    let mut fields = vec![
         ("name".into(), Json::Str(name.into())),
         ("wall_time_secs".into(), Json::Num(wall_time_secs)),
         ("samples".into(), Json::Num(env.samples as f64)),
@@ -124,7 +138,11 @@ fn bench_json(name: &str, wall_time_secs: f64, env: &BenchEnv) -> String {
         ),
         ("seed".into(), Json::Num(env.seed as f64)),
         ("jobs".into(), Json::Num(env.jobs as f64)),
-    ]);
+    ];
+    for (k, v) in extra {
+        fields.push((k.clone(), Json::Num(*v)));
+    }
+    let obj = Json::Object(fields);
     obj.to_string_pretty()
 }
 
@@ -162,7 +180,7 @@ mod tests {
 
     #[test]
     fn bench_json_is_parseable_and_complete() {
-        let body = bench_json("table2_providers", 1.25, &BenchEnv::default());
+        let body = bench_json("table2_providers", 1.25, &BenchEnv::default(), &[]);
         let doc = sebs_metrics::Json::parse(&body).expect("bench JSON parses");
         assert_eq!(
             doc.get("name").and_then(|v| v.as_str()),
@@ -175,5 +193,16 @@ mod tests {
         assert_eq!(doc.get("samples").and_then(|v| v.as_f64()), Some(50.0));
         assert_eq!(doc.get("scale").and_then(|v| v.as_str()), Some("test"));
         assert_eq!(doc.get("seed").and_then(|v| v.as_f64()), Some(2021.0));
+    }
+
+    #[test]
+    fn bench_json_carries_extra_metric_fields() {
+        let extra = vec![("events_per_sec".to_string(), 1.5e7)];
+        let body = bench_json("bench_engine_throughput", 2.0, &BenchEnv::default(), &extra);
+        let doc = sebs_metrics::Json::parse(&body).expect("bench JSON parses");
+        assert_eq!(
+            doc.get("events_per_sec").and_then(|v| v.as_f64()),
+            Some(1.5e7)
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! The simulated FaaS platform: deployment, triggers, scheduling,
 //! execution, failures and billing in one place.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use sebs_cloud::DriftingClock;
 use sebs_resilience::{CircuitBreaker, FaultInjector, FaultPlan, FaultyStore, HedgeTracker};
@@ -60,6 +62,53 @@ struct Deployed {
     pool_key: String,
 }
 
+/// The `PlatformLimits` scalars `invoke_one` reads, copied up front so the
+/// hot path holds no borrow of `self.profile` while mutating RNG streams —
+/// and never clones the full limits struct per invocation.
+#[derive(Clone, Copy)]
+struct LimitScalars {
+    timeout: SimDuration,
+    concurrency: u32,
+    payload_bytes: u64,
+}
+
+impl LimitScalars {
+    fn of(l: &crate::provider::PlatformLimits) -> LimitScalars {
+        LimitScalars {
+            timeout: l.timeout,
+            concurrency: l.concurrency,
+            payload_bytes: l.payload_bytes,
+        }
+    }
+}
+
+/// Same idea for `Quirks`: the per-invocation checks read only scalars, so
+/// copying them avoids cloning the embedded penalty distribution.
+#[derive(Clone, Copy)]
+struct QuirkScalars {
+    spurious_cold_start: f64,
+    deterministic_warm_reuse: bool,
+    availability_error_rate: f64,
+    availability_threshold: u32,
+    unavailable_penalty: SimDuration,
+    strict_oom: bool,
+    oom_slack_factor: f64,
+}
+
+impl QuirkScalars {
+    fn of(q: &crate::provider::Quirks) -> QuirkScalars {
+        QuirkScalars {
+            spurious_cold_start: q.spurious_cold_start,
+            deterministic_warm_reuse: q.deterministic_warm_reuse,
+            availability_error_rate: q.availability_error_rate,
+            availability_threshold: q.availability_threshold,
+            unavailable_penalty: q.unavailable_penalty,
+            strict_oom: q.strict_oom,
+            oom_slack_factor: q.oom_slack_factor,
+        }
+    }
+}
+
 /// A deterministic simulation of one provider's FaaS offering.
 ///
 /// # Example
@@ -81,7 +130,10 @@ struct Deployed {
 /// ```
 pub struct FaasPlatform {
     profile: ProviderProfile,
-    functions: Vec<Deployed>,
+    // Deployments are shared, not cloned, per invocation: `invoke_one`
+    // holds an `Rc` while it mutates pools and RNG streams, so the hot
+    // path never copies a `FunctionConfig` or pool-key string.
+    functions: Vec<Rc<Deployed>>,
     pools: BTreeMap<String, ContainerPool>,
     storage: SimObjectStore,
     now: SimTime,
@@ -501,11 +553,11 @@ impl FaasPlatform {
         self.pools
             .entry(pool_key.clone())
             .or_insert_with(|| ContainerPool::new(self.profile.eviction.clone()));
-        self.functions.push(Deployed {
+        self.functions.push(Rc::new(Deployed {
             config,
             effective_memory_mb: effective,
             pool_key,
-        });
+        }));
         Ok(id)
     }
 
@@ -778,15 +830,15 @@ impl FaasPlatform {
         let trigger = self.profile.trigger.resolve(trigger);
         let n = payloads.len() as u32;
         let mut records = Vec::with_capacity(payloads.len());
-        let mut releases: Vec<(String, crate::container::ContainerId, SimTime)> = Vec::new();
+        let mut releases: Vec<(Rc<Deployed>, crate::container::ContainerId, SimTime)> = Vec::new();
         for (i, payload) in payloads.iter().enumerate() {
             let record =
                 self.invoke_one(id, workload, payload, i as u32, n, trigger, &mut releases);
             records.push(record);
         }
-        for (key, cid, at) in releases {
+        for (deployed, cid, at) in releases {
             self.pools
-                .get_mut(&key)
+                .get_mut(&deployed.pool_key)
                 // audit:allow(panic-hygiene): deploy() inserts the pool before any invocation can reference it
                 .expect("pool exists for deployed function")
                 .release(cid, at);
@@ -803,13 +855,16 @@ impl FaasPlatform {
         index: u32,
         concurrency: u32,
         trigger: TriggerKind,
-        releases: &mut Vec<(String, crate::container::ContainerId, SimTime)>,
+        releases: &mut Vec<(Rc<Deployed>, crate::container::ContainerId, SimTime)>,
     ) -> InvocationRecord {
-        let deployed = self.functions[id.0 as usize].clone();
+        // Share the deployment record and copy the scalar limits/quirks the
+        // hot path reads, instead of deep-cloning config strings and
+        // distribution tables on every invocation.
+        let deployed = Rc::clone(&self.functions[id.0 as usize]);
         let memory = deployed.effective_memory_mb;
         let language = deployed.config.language;
-        let limits = self.profile.limits.clone();
-        let quirks = self.profile.quirks.clone();
+        let limits = LimitScalars::of(&self.profile.limits);
+        let quirks = QuirkScalars::of(&self.profile.quirks);
 
         let rtt = if trigger.crosses_wan() {
             self.profile.client_rtt_ms.sample_millis(&mut self.rng_net)
@@ -1109,11 +1164,7 @@ impl FaasPlatform {
 
         self.record_invocation_metrics(&deployed.config.name, &record, spurious);
 
-        releases.push((
-            deployed.pool_key.clone(),
-            acquired.id(),
-            self.now + record.provider_time,
-        ));
+        releases.push((deployed, acquired.id(), self.now + record.provider_time));
         record
     }
 
@@ -1373,15 +1424,19 @@ fn zero_bill() -> InvocationBill {
 
 /// Overrides the `model-cached` parameter so warm containers keep loaded
 /// artifacts (the paper's image-recognition keeps the model in the language
-/// worker between invocations).
-// audit:allow(hot-path-allocation): the payload rewrite already clones; runs once per model-caching invocation
-fn with_cache_param(payload: &Payload, warm: bool) -> Payload {
+/// worker between invocations). Payloads without the parameter — the vast
+/// majority — are borrowed as-is, so the rewrite costs nothing.
+// audit:allow(hot-path-allocation): clones only model-caching payloads, which carry the parameter
+fn with_cache_param(payload: &Payload, warm: bool) -> Cow<'_, Payload> {
+    if !payload.params.iter().any(|(k, _)| k == "model-cached") {
+        return Cow::Borrowed(payload);
+    }
     let mut p = payload.clone();
     let value = if warm { "true" } else { "false" };
     if let Some(slot) = p.params.iter_mut().find(|(k, _)| k == "model-cached") {
         slot.1 = value.to_string();
     }
-    p
+    Cow::Owned(p)
 }
 
 #[cfg(test)]

@@ -7,6 +7,14 @@
 //! events. Two events scheduled for the same instant fire in scheduling
 //! order (a strict FIFO tiebreak), which keeps runs deterministic.
 //!
+//! Internally the engine pairs a hierarchical timer wheel
+//! ([`crate::wheel`]) with a generational slab ([`crate::slab`]): schedule,
+//! fire and cancel are all O(1) for the short-delay events that dominate
+//! simulation load, and a reused storage slot can never be confused with
+//! the event that previously occupied it. Ordering is decided by
+//! `(instant, schedule sequence)` alone — storage indices never leak into
+//! event order.
+//!
 //! # Example
 //!
 //! ```
@@ -24,15 +32,31 @@
 //! assert_eq!(*engine.world(), 3);
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-
 use crate::rng::SimRng;
+use crate::slab::{EventSlab, SlabKey};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{TimerWheel, WheelEntry};
 
 /// Identifier of a scheduled event; usable with [`Engine::cancel`].
+///
+/// Packs the event's slab slot and generation; the pair is unique over the
+/// engine's lifetime, so an id can never alias a later event that reuses
+/// the same storage slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn from_key(key: SlabKey) -> EventId {
+        EventId((key.gen as u64) << 32 | key.slot as u64)
+    }
+
+    fn key(self) -> SlabKey {
+        SlabKey {
+            slot: self.0 as u32,
+            gen: (self.0 >> 32) as u32,
+        }
+    }
+}
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
 
@@ -62,13 +86,16 @@ type SampleHook<W> = Box<dyn FnMut(&mut W, SimTime)>;
 /// Scheduling context handed to each event handler.
 ///
 /// Splitting the context from the world lets handlers mutate the world while
-/// scheduling follow-up events without aliasing the engine itself.
+/// scheduling follow-up events without aliasing the engine itself. Handlers
+/// insert directly into the engine's slab and wheel — there is no deferred
+/// buffer to drain, so scheduling from inside an event costs the same as
+/// scheduling from outside.
 pub struct Ctx<'a, W> {
     now: SimTime,
     rng: &'a SimRng,
-    pending: Vec<(SimTime, EventFn<W>)>,
-    assigned: Vec<EventId>,
-    next_id: &'a mut u64,
+    slab: &'a mut EventSlab<EventFn<W>>,
+    wheel: &'a mut TimerWheel,
+    seq: &'a mut u64,
 }
 
 impl<'a, W> Ctx<'a, W> {
@@ -98,11 +125,11 @@ impl<'a, W> Ctx<'a, W> {
         F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
     {
         let at = at.max(self.now);
-        let id = EventId(*self.next_id);
-        *self.next_id += 1;
-        self.pending.push((at, Box::new(f)));
-        self.assigned.push(id);
-        id
+        let key = self.slab.insert(Box::new(f));
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.wheel.insert(WheelEntry { at, seq, key });
+        EventId::from_key(key)
     }
 }
 
@@ -110,46 +137,26 @@ impl<'a, W> Ctx<'a, W> {
 pub struct Engine<W> {
     world: W,
     now: SimTime,
-    queue: BinaryHeap<Reverse<OrderKey>>,
-    // Events are stored out-of-line so the heap's ordering never has to
-    // inspect (unorderable) closures. Slots of fired or cancelled events
-    // go onto the free list and are reused, so the slot table stays
-    // bounded by the peak number of *concurrently pending* events even
-    // across campaigns that process millions of events.
-    slots: Vec<Option<EventFn<W>>>,
-    free: Vec<usize>,
-    // Scheduled-but-not-yet-fired (and not cancelled) events, by id. An
-    // id absent from this map has fired, been cancelled, or never existed
-    // — which is exactly the distinction `cancel` must report.
-    live: BTreeMap<EventId, usize>,
+    // Event bodies live out-of-line in a generational slab so ordering
+    // never has to inspect (unorderable) closures, and a fired or
+    // cancelled event's slot recycles in O(1) with a bumped generation —
+    // a stale wheel entry or EventId simply misses. The wheel orders
+    // entries by (at, seq) only.
+    slab: EventSlab<EventFn<W>>,
+    wheel: TimerWheel,
     seq: u64,
-    next_id: u64,
     rng: SimRng,
     processed: u64,
     dispatch_hook: Option<DispatchHook>,
     // (interval, next boundary, hook) of the periodic sampler, if any.
     sample: Option<(SimDuration, SimTime, SampleHook<W>)>,
-    // Reusable buffers for the dispatch loop's per-event `Ctx`. Taken with
-    // `mem::take` before each event body runs and restored (drained, with
-    // capacity intact) afterwards, so steady-state dispatch allocates
-    // nothing no matter how many events fire.
-    scratch_pending: Vec<(SimTime, EventFn<W>)>,
-    scratch_assigned: Vec<EventId>,
-}
-
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct OrderKey {
-    at: SimTime,
-    seq: u64,
-    slot: usize,
-    id: EventId,
 }
 
 impl<W: std::fmt::Debug> std::fmt::Debug for Engine<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.slab.live())
             .field("processed", &self.processed)
             .field("world", &self.world)
             .finish()
@@ -163,18 +170,13 @@ impl<W> Engine<W> {
         Engine {
             world,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: BTreeMap::new(),
+            slab: EventSlab::new(),
+            wheel: TimerWheel::new(),
             seq: 0,
-            next_id: 0,
             rng: SimRng::new(seed),
             processed: 0,
             dispatch_hook: None,
             sample: None,
-            scratch_pending: Vec::new(),
-            scratch_assigned: Vec::new(),
         }
     }
 
@@ -260,7 +262,7 @@ impl<W> Engine<W> {
 
     /// Number of events currently scheduled and not yet fired or cancelled.
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.slab.live()
     }
 
     /// Schedules `f` to run `delay` from the current time.
@@ -277,43 +279,21 @@ impl<W> Engine<W> {
         F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
     {
         let at = at.max(self.now);
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.push(at, id, Box::new(f));
-        id
-    }
-
-    fn push(&mut self, at: SimTime, id: EventId, f: EventFn<W>) {
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s] = Some(f);
-                s
-            }
-            None => {
-                self.slots.push(Some(f));
-                self.slots.len() - 1
-            }
-        };
-        self.live.insert(id, slot);
+        let key = self.slab.insert(Box::new(f));
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(OrderKey { at, seq, slot, id }));
+        self.wheel.insert(WheelEntry { at, seq, key });
+        EventId::from_key(key)
     }
 
     /// Cancels a previously scheduled event. Returns `true` only when the
     /// event was still pending; cancelling an event that already fired, was
     /// already cancelled, or never existed returns `false`. The event's
-    /// slot is recycled immediately, so schedule/cancel churn does not grow
-    /// the engine's memory (the stale heap entry is skipped when popped).
+    /// slot is recycled immediately (with a bumped generation), so
+    /// schedule/cancel churn does not grow the engine's memory — the stale
+    /// wheel entry misses the slab when popped.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        match self.live.remove(&id) {
-            Some(slot) => {
-                self.slots[slot] = None;
-                self.free.push(slot);
-                true
-            }
-            None => false,
-        }
+        self.slab.consume(id.key()).is_some()
     }
 
     /// Runs until the queue is empty; returns the number of events executed.
@@ -327,55 +307,37 @@ impl<W> Engine<W> {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.processed;
         loop {
-            match self.queue.peek() {
-                Some(Reverse(key)) if key.at <= deadline => {}
+            match self.wheel.peek_at() {
+                Some(at) if at <= deadline => {}
                 _ => break,
             }
-            let Some(Reverse(key)) = self.queue.pop() else {
+            let Some(entry) = self.wheel.pop() else {
                 break;
             };
-            // A cancelled event's slot was recycled when it was cancelled
-            // (and may already hold an unrelated live event), so the live
-            // map — not the slot table — decides whether this key fires.
-            let Some(slot) = self.live.remove(&key.id) else {
+            // A cancelled event bumped its slot's generation, so the stale
+            // wheel entry misses here and is skipped.
+            let Some(f) = self.slab.consume(entry.key) else {
                 continue;
             };
-            debug_assert_eq!(slot, key.slot, "live slot mapping is stable");
-            let f = self.slots[slot].take();
-            self.free.push(slot);
-            debug_assert!(f.is_some(), "event body consumed twice");
-            let Some(f) = f else {
-                continue;
-            };
-            debug_assert!(key.at >= self.now, "event queue went backwards");
-            self.pump_samples(key.at);
-            self.now = key.at;
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.pump_samples(entry.at);
+            self.now = entry.at;
             if let Some(hook) = self.dispatch_hook.as_mut() {
                 hook(&EventDispatch {
-                    at: key.at,
-                    id: key.id,
-                    pending: self.live.len(),
+                    at: entry.at,
+                    id: EventId::from_key(entry.key),
+                    pending: self.slab.live(),
                     processed: self.processed,
                 });
             }
             let mut ctx = Ctx {
                 now: self.now,
                 rng: &self.rng,
-                pending: std::mem::take(&mut self.scratch_pending),
-                assigned: std::mem::take(&mut self.scratch_assigned),
-                next_id: &mut self.next_id,
+                slab: &mut self.slab,
+                wheel: &mut self.wheel,
+                seq: &mut self.seq,
             };
             f(&mut self.world, &mut ctx);
-            let Ctx {
-                mut pending,
-                mut assigned,
-                ..
-            } = ctx;
-            for ((at, f), id) in pending.drain(..).zip(assigned.drain(..)) {
-                self.push(at, id, f);
-            }
-            self.scratch_pending = pending;
-            self.scratch_assigned = assigned;
             self.processed += 1;
         }
         if deadline != SimTime::MAX && deadline > self.now {
@@ -464,7 +426,10 @@ mod tests {
         let keep = e.schedule(SimDuration::from_secs(1), |w, _| *w += 10);
         assert!(e.cancel(id));
         assert!(!e.cancel(id), "double-cancel reports false");
-        assert!(!e.cancel(EventId(999)), "unknown id reports false");
+        assert!(
+            !e.cancel(EventId(999 | 7 << 32)),
+            "unknown id reports false"
+        );
         e.run();
         assert_eq!(*e.world(), 10);
         let _ = keep;
@@ -484,10 +449,24 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_misses_even_when_slot_is_reoccupied() {
+        // The fired event's slot is reused by a new pending event before
+        // the stale id is cancelled: the stale id must miss (generation
+        // mismatch) and must NOT cancel the slot's new tenant.
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new(), 0);
+        let old = e.schedule(SimDuration::from_secs(1), |w, _| w.push(1));
+        e.run();
+        let _new = e.schedule(SimDuration::from_secs(1), |w, _| w.push(2));
+        assert!(!e.cancel(old), "stale id misses the recycled slot");
+        e.run();
+        assert_eq!(e.world(), &[1, 2], "the new tenant still fired");
+    }
+
+    #[test]
     fn slot_reuse_does_not_resurrect_cancelled_events() {
         let mut e: Engine<Vec<u32>> = Engine::new(Vec::new(), 0);
         // `a` is cancelled, freeing its slot; `b` reuses that slot. The
-        // stale heap entry for `a` pops at t=10 — before `b` fires at
+        // stale wheel entry for `a` pops at t=10 — before `b` fires at
         // t=20 — and must neither run nor consume `b`'s closure.
         let a = e.schedule(SimDuration::from_secs(10), |w, _| w.push(1));
         assert!(e.cancel(a));
@@ -506,10 +485,52 @@ mod tests {
     }
 
     #[test]
+    fn slot_reuse_never_influences_dispatch_order() {
+        // Regression for the OrderKey simplification: ordering is
+        // (at, seq) only. Interleave cancel/reschedule so that a *later*
+        // scheduled event reuses a *lower* slot index than earlier
+        // same-instant events — if slot leaked into the order, the reused
+        // low slot would jump the queue.
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new(), 0);
+        let a = e.schedule(SimDuration::from_secs(5), |w, _| w.push(0)); // slot 0
+        e.schedule(SimDuration::from_secs(5), |w, _| w.push(1)); // slot 1
+        e.schedule(SimDuration::from_secs(5), |w, _| w.push(2)); // slot 2
+        assert!(e.cancel(a)); // frees slot 0
+                              // Reuses slot 0 with a later seq; same instant as 1 and 2.
+        e.schedule(SimDuration::from_secs(5), |w, _| w.push(3));
+        // And one more round of churn at the same instant.
+        let b = e.schedule(SimDuration::from_secs(5), |w, _| w.push(99));
+        assert!(e.cancel(b));
+        e.schedule(SimDuration::from_secs(5), |w, _| w.push(4));
+        e.run();
+        assert_eq!(
+            e.world(),
+            &[1, 2, 3, 4],
+            "dispatch follows scheduling order, not slot order"
+        );
+    }
+
+    #[test]
+    fn same_instant_fifo_across_overflow_promotion() {
+        // An event scheduled days ahead sits in the overflow heap; by the
+        // time the clock gets close it has been promoted into the wheel.
+        // A second event scheduled for the *same instant* (with a later
+        // seq) must fire after it — FIFO survives promotion.
+        let t = SimTime::from_secs(6 * 3600); // beyond the wheel horizon
+        let mut e: Engine<Vec<u32>> = Engine::new(Vec::new(), 0);
+        e.schedule_at(t, |w, _| w.push(0)); // seq 0, overflow
+        e.run_until(t - SimDuration::from_secs(1)); // promotes it inward
+        e.schedule_at(t, |w, _| w.push(1)); // seq 1, lands in the wheel
+        e.schedule_at(t, |w, _| w.push(2)); // seq 2
+        e.run();
+        assert_eq!(e.world(), &[0, 1, 2], "seq order survives promotion");
+    }
+
+    #[test]
     fn slots_stay_bounded_over_a_million_event_campaign() {
         // Regression: fired events used to leave `None` slots behind
         // forever, growing memory linearly with events processed. With the
-        // free list the slot table is bounded by peak concurrency.
+        // generational slab the slot table is bounded by peak concurrency.
         let mut e: Engine<u64> = Engine::new(0, 0);
         const BATCH: usize = 100;
         const BATCHES: usize = 10_000;
@@ -522,25 +543,32 @@ mod tests {
         assert_eq!(*e.world(), (BATCH * BATCHES) as u64);
         assert_eq!(e.processed(), (BATCH * BATCHES) as u64);
         assert!(
-            e.slots.len() <= BATCH,
+            e.slab.capacity() <= BATCH,
             "slot table grew to {} for {} concurrent events",
-            e.slots.len(),
+            e.slab.capacity(),
             BATCH
         );
-        assert_eq!(e.free.len(), e.slots.len(), "every slot is reusable");
-        assert!(e.live.is_empty());
+        assert_eq!(
+            e.slab.free_len(),
+            e.slab.capacity(),
+            "every slot is reusable"
+        );
+        assert_eq!(e.slab.live(), 0);
     }
 
     #[test]
     fn cancel_churn_stays_bounded_too() {
-        // A scheduler that arms and disarms timeouts must not leak: the
-        // cancelled set no longer exists and slots recycle on cancel.
+        // A scheduler that arms and disarms timeouts must not leak: slots
+        // recycle on cancel with a bumped generation.
         let mut e: Engine<u32> = Engine::new(0, 0);
         for _ in 0..100_000 {
             let id = e.schedule(SimDuration::from_secs(1), |w, _| *w += 1);
             assert!(e.cancel(id));
         }
-        assert!(e.slots.len() <= 1, "cancel recycles the slot immediately");
+        assert!(
+            e.slab.capacity() <= 1,
+            "cancel recycles the slot immediately"
+        );
         e.run();
         assert_eq!(*e.world(), 0, "no cancelled event ever fires");
     }
@@ -571,6 +599,20 @@ mod tests {
         });
         e.run();
         assert_eq!(e.world(), &[5000]);
+    }
+
+    #[test]
+    fn engine_schedule_at_clamps_to_now_too() {
+        // The clamp exists on the engine-level entry point as well: after
+        // the clock has advanced, an absolute instant in the past fires at
+        // the current instant, in scheduling order with other now-events.
+        let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 0);
+        e.advance(SimDuration::from_secs(9));
+        e.schedule_at(SimTime::from_secs(2), |w, ctx| {
+            w.push(ctx.now().as_secs_f64() as u64);
+        });
+        e.run();
+        assert_eq!(e.world(), &[9], "past instant clamps to the clock");
     }
 
     #[test]
@@ -664,6 +706,42 @@ mod tests {
         e.schedule(SimDuration::from_secs(1), |w, _| w.push("event"));
         e.run();
         assert_eq!(e.into_world(), vec!["sample", "event"]);
+    }
+
+    #[test]
+    fn sample_boundary_exactly_at_bucket_rollover_fires_before_the_event() {
+        // The timer wheel's level-0 buckets are 2²⁰ ns wide. Place events
+        // and sampling boundaries exactly on bucket-edge instants so the
+        // boundary coincides with a wheel rollover: the sample must still
+        // fire before the same-instant event, and exactly once per
+        // boundary.
+        const BUCKET: u64 = 1 << 20; // level-0 bucket width in nanos
+        let mut e: Engine<Vec<(u64, &'static str)>> = Engine::new(Vec::new(), 0);
+        e.set_sample_hook(SimDuration::from_nanos(BUCKET), |w, at| {
+            w.push((at.as_nanos() / BUCKET, "sample"));
+        });
+        for k in 1..=3u64 {
+            e.schedule_at(SimTime::from_nanos(k * BUCKET), move |w, _| {
+                w.push((k, "event"));
+            });
+        }
+        // One off-edge event between boundaries.
+        e.schedule_at(SimTime::from_nanos(BUCKET + BUCKET / 2), |w, _| {
+            w.push((1, "mid"));
+        });
+        e.run();
+        assert_eq!(
+            e.into_world(),
+            vec![
+                (1, "sample"),
+                (1, "event"),
+                (1, "mid"),
+                (2, "sample"),
+                (2, "event"),
+                (3, "sample"),
+                (3, "event"),
+            ]
+        );
     }
 
     #[test]
@@ -852,6 +930,36 @@ mod tests {
                 }
                 e.run();
                 assert_eq!(e.into_world(), expected, "failing case seed {case}");
+            }
+        }
+
+        /// Delays spanning every wheel level (and the overflow heap) mixed
+        /// with cancellations and mid-run scheduling still fire in exact
+        /// (time, seq) order.
+        #[test]
+        fn wheel_spanning_delays_fire_in_schedule_order() {
+            for case in 0..CASES {
+                let mut rng = SimRng::new(0x57EE1).child(case).stream("inputs");
+                let n = rng.gen_range(1..60usize);
+                // Log-uniform delays: nanoseconds to days.
+                let delays: Vec<u64> = (0..n)
+                    .map(|_| {
+                        let mag = rng.gen_range(0..47u32);
+                        rng.gen_range(0..2u64.pow(mag).max(2))
+                    })
+                    .collect();
+                let mut e: Engine<Vec<(u64, usize)>> = Engine::new(Vec::new(), 0);
+                for (i, &d) in delays.iter().enumerate() {
+                    e.schedule(SimDuration::from_nanos(d), move |w, ctx| {
+                        w.push((ctx.now().as_nanos(), i));
+                    });
+                }
+                e.run();
+                let fired = e.into_world();
+                let mut want: Vec<(u64, usize)> =
+                    delays.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+                want.sort();
+                assert_eq!(fired, want, "failing case seed {case}");
             }
         }
     }

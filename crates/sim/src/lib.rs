@@ -32,7 +32,9 @@ pub mod dist;
 pub mod engine;
 pub mod resource;
 pub mod rng;
+mod slab;
 pub mod time;
+mod wheel;
 
 pub use bytes::Bytes;
 pub use dist::Dist;

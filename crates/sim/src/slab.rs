@@ -1,0 +1,157 @@
+//! Generational slab storage for scheduled event bodies.
+//!
+//! Event closures are stored out-of-line from the timer wheel so ordering
+//! never has to inspect (unorderable) boxed closures. Each slot carries a
+//! generation counter that bumps every time the slot's body is consumed
+//! (fired *or* cancelled), so a recycled slot can never be confused with
+//! the event that previously lived there: a stale timer-wheel entry holds
+//! the old generation and misses. This makes cancel and fire O(1) — no
+//! tombstone scans, no ordered index — while the slot table stays bounded
+//! by the peak number of *concurrently pending* events.
+
+/// Index + generation of a slab entry. Packed into the public `EventId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlabKey {
+    /// Slot index into the table.
+    pub slot: u32,
+    /// Generation the slot had when the entry was inserted.
+    pub gen: u32,
+}
+
+struct Slot<T> {
+    gen: u32,
+    body: Option<T>,
+}
+
+/// A generational slab over values of type `T` (event closures).
+pub(crate) struct EventSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> EventSlab<T> {
+    pub fn new() -> EventSlab<T> {
+        EventSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (pending, not yet fired or cancelled) entries.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (peak-concurrency bound; test hook).
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently on the free list (test hook).
+    #[cfg(test)]
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Stores `body`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, body: T) -> SlabKey {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.body.is_none(), "free slot holds a body");
+                s.body = Some(body);
+                SlabKey { slot, gen: s.gen }
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    body: Some(body),
+                });
+                SlabKey { slot, gen: 0 }
+            }
+        }
+    }
+
+    /// Consumes the entry at `key` — fire and cancel are the same motion.
+    ///
+    /// Returns `None` when the generation does not match (the entry
+    /// already fired, was cancelled, or never existed), which is exactly
+    /// the distinction `Engine::cancel` must report. On success the slot's
+    /// generation bumps and the slot returns to the free list; a slot
+    /// whose generation would wrap is retired instead (never reused), so
+    /// an arbitrarily old stale key can never alias a fresh entry.
+    pub fn consume(&mut self, key: SlabKey) -> Option<T> {
+        let s = self.slots.get_mut(key.slot as usize)?;
+        if s.gen != key.gen {
+            return None;
+        }
+        let body = s.body.take()?;
+        s.gen = s.gen.wrapping_add(1);
+        self.live -= 1;
+        if s.gen != u32::MAX {
+            self.free.push(key.slot);
+        }
+        Some(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_consume_roundtrip() {
+        let mut s: EventSlab<u32> = EventSlab::new();
+        let k = s.insert(7);
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.consume(k), Some(7));
+        assert_eq!(s.live(), 0);
+        assert_eq!(s.consume(k), None, "double consume misses");
+    }
+
+    #[test]
+    fn recycled_slot_gets_new_generation() {
+        let mut s: EventSlab<u32> = EventSlab::new();
+        let a = s.insert(1);
+        assert_eq!(s.consume(a), Some(1));
+        let b = s.insert(2);
+        assert_eq!(b.slot, a.slot, "slot is recycled");
+        assert_ne!(b.gen, a.gen, "generation differs");
+        assert_eq!(s.consume(a), None, "stale key misses the new tenant");
+        assert_eq!(s.consume(b), Some(2));
+    }
+
+    #[test]
+    fn table_stays_bounded_by_peak_concurrency() {
+        let mut s: EventSlab<u64> = EventSlab::new();
+        for round in 0..1_000u64 {
+            let keys: Vec<SlabKey> = (0..8).map(|i| s.insert(round * 8 + i)).collect();
+            for k in keys {
+                assert!(s.consume(k).is_some());
+            }
+        }
+        assert!(s.capacity() <= 8, "table grew to {}", s.capacity());
+        assert_eq!(s.free_len(), s.capacity());
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn unknown_keys_miss() {
+        let mut s: EventSlab<u32> = EventSlab::new();
+        assert_eq!(s.consume(SlabKey { slot: 999, gen: 0 }), None);
+        let k = s.insert(1);
+        assert_eq!(
+            s.consume(SlabKey {
+                slot: k.slot,
+                gen: k.gen + 1
+            }),
+            None
+        );
+        assert_eq!(s.consume(k), Some(1));
+    }
+}

@@ -1,0 +1,442 @@
+//! A hierarchical timer wheel with an overflow heap.
+//!
+//! The engine's priority queue, specialised for the load a discrete-event
+//! simulation actually produces: the overwhelming majority of events are
+//! scheduled a sub-second delay ahead of the clock, with a thin tail of
+//! keep-alive timers and trace arrivals minutes out. A binary heap prices
+//! every one of them at O(log n); the wheel prices the dominant short
+//! delays at O(1):
+//!
+//! * three wheel **levels** of 256 buckets each, with level-0 buckets
+//!   spanning 2²⁰ ns ≈ 1.05 ms — level 0 covers ~268 ms ahead of the
+//!   cursor, level 1 ~69 s, level 2 ~4.9 h;
+//! * an **overflow heap** for everything beyond the coarsest level;
+//! * a small **current heap** holding the bucket being drained (plus any
+//!   same-instant events scheduled while draining), which is where total
+//!   `(at, seq)` order is restored.
+//!
+//! Entries are ordered by `(at, seq)` **only** — `seq` is a unique,
+//! monotone schedule counter, so it is the sole same-instant tiebreak and
+//! a reused slab slot index can never influence event order. Coarse
+//! buckets cascade into finer ones as the cursor reaches them; each entry
+//! is touched at most once per level, so scheduling plus dispatch is
+//! amortised O(1) for in-window events and O(log n) only for the far tail.
+//!
+//! Determinism: the pop order is a pure function of the inserted
+//! `(at, seq)` pairs. Cursor position, bucket residues and promotion
+//! instants are all derived from event timestamps, never from host state.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::slab::SlabKey;
+use crate::time::SimTime;
+
+/// Buckets per wheel level (2⁸).
+const LEVEL_BITS: u32 = 8;
+const BUCKETS: usize = 1 << LEVEL_BITS;
+/// Level-0 bucket width: 2²⁰ ns ≈ 1.05 ms of sim time.
+const BASE_SHIFT: u32 = 20;
+/// Wheel levels; beyond level 2 (~4.9 h ahead) events go to the overflow
+/// heap.
+const LEVELS: usize = 3;
+/// `u64` words in a level's occupancy bitmap.
+const WORDS: usize = BUCKETS / 64;
+
+/// One scheduled event: its instant, the unique schedule sequence number
+/// and the slab key of its body.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WheelEntry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub key: SlabKey,
+}
+
+// Ordering is by `(at, seq)` alone: `seq` is unique, so this is a total
+// order, and the slab key (a recycled slot index) never influences it.
+impl PartialEq for WheelEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for WheelEntry {}
+impl PartialOrd for WheelEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WheelEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One wheel level: 256 unsorted buckets plus an occupancy bitmap for
+/// O(1) next-occupied-bucket scans.
+struct Level {
+    buckets: Vec<Vec<WheelEntry>>,
+    occupied: [u64; WORDS],
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+        }
+    }
+
+    fn set(&mut self, bucket: usize) {
+        self.occupied[bucket / 64] |= 1u64 << (bucket % 64);
+    }
+
+    fn clear(&mut self, bucket: usize) {
+        self.occupied[bucket / 64] &= !(1u64 << (bucket % 64));
+    }
+
+    /// The next occupied physical bucket strictly after `from`, searching
+    /// cyclically for one full revolution. Because every resident entry
+    /// lies in the half-open window `(cursor, cursor + BUCKETS)` of
+    /// absolute bucket indices, the first set bit found is the next
+    /// absolute bucket; the returned value is the cyclic distance from
+    /// `from` (1..=BUCKETS-1), or `None` when the level is empty.
+    fn next_occupied_after(&self, from: usize) -> Option<usize> {
+        // First word: bits strictly above `from`'s position.
+        let (w0, b0) = (from / 64, from % 64);
+        let mut word = self.occupied[w0] & !((1u64 << b0) | ((1u64 << b0) - 1));
+        if word != 0 {
+            let q = w0 * 64 + word.trailing_zeros() as usize;
+            return Some(q - from);
+        }
+        for step in 1..=WORDS {
+            let w = (w0 + step) % WORDS;
+            word = if w == w0 {
+                // Wrapped all the way: bits at or below `from`.
+                self.occupied[w] & ((1u64 << b0) - 1 | (1u64 << b0))
+            } else {
+                self.occupied[w]
+            };
+            if word != 0 {
+                let q = w * 64 + word.trailing_zeros() as usize;
+                let dist = (q + BUCKETS - from) % BUCKETS;
+                if dist == 0 {
+                    // `from` itself is never a candidate.
+                    continue;
+                }
+                return Some(dist);
+            }
+        }
+        None
+    }
+}
+
+/// The engine's timer queue: wheel levels, overflow heap and current heap.
+pub(crate) struct TimerWheel {
+    /// Absolute level-0 bucket index of the drain position. Invariant:
+    /// every entry in `levels`/`overflow` has `b0(at) > cursor`; every
+    /// entry in `current` has `b0(at) <= cursor`.
+    cursor: u64,
+    levels: Vec<Level>,
+    current: BinaryHeap<Reverse<WheelEntry>>,
+    overflow: BinaryHeap<Reverse<WheelEntry>>,
+    /// Reused buffer for cascading a coarse bucket into finer levels.
+    cascade: Vec<WheelEntry>,
+}
+
+impl TimerWheel {
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            cursor: 0,
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            current: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            cascade: Vec::new(),
+        }
+    }
+
+    /// Inserts an entry. O(1) for anything within the wheel horizon,
+    /// O(log n) for the overflow tail.
+    pub fn insert(&mut self, e: WheelEntry) {
+        let b0 = e.at.as_nanos() >> BASE_SHIFT;
+        if b0 <= self.cursor {
+            // At or behind the drain position (same-instant follow-ups,
+            // or the cursor ran ahead during a deadline probe).
+            self.current.push(Reverse(e));
+            return;
+        }
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            let shift = l as u32 * LEVEL_BITS;
+            let b = b0 >> shift;
+            let c = self.cursor >> shift;
+            if b - c < BUCKETS as u64 {
+                let bucket = (b % BUCKETS as u64) as usize;
+                level.buckets[bucket].push(e);
+                level.set(bucket);
+                return;
+            }
+        }
+        self.overflow.push(Reverse(e));
+    }
+
+    /// The instant of the next entry, advancing internal cursors as
+    /// needed. `None` when the wheel is empty.
+    pub fn peek_at(&mut self) -> Option<SimTime> {
+        self.refill();
+        self.current.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the next entry in `(at, seq)` order.
+    pub fn pop(&mut self) -> Option<WheelEntry> {
+        self.refill();
+        self.current.pop().map(|Reverse(e)| e)
+    }
+
+    /// Ensures `current` holds the globally minimal entries by advancing
+    /// the cursor to — and cascading, in coarsest-first order — whichever
+    /// structure starts earliest. Each entry moves to a strictly finer
+    /// structure per cascade, so every entry is touched at most
+    /// `LEVELS + 1` times over its lifetime.
+    fn refill(&mut self) {
+        while self.current.is_empty() {
+            // Earliest possible absolute level-0 bucket per structure.
+            let starts: Vec<Option<u64>> = (0..LEVELS)
+                .map(|l| {
+                    let shift = l as u32 * LEVEL_BITS;
+                    let c = self.cursor >> shift;
+                    self.levels[l]
+                        .next_occupied_after((c % BUCKETS as u64) as usize)
+                        .map(|dist| (c + dist as u64) << shift)
+                })
+                .collect();
+            let over = self
+                .overflow
+                .peek()
+                .map(|Reverse(e)| e.at.as_nanos() >> BASE_SHIFT);
+            let best = [starts[0], starts[1], starts[2], over]
+                .iter()
+                .flatten()
+                .min()
+                .copied();
+            let Some(best) = best else {
+                return; // empty
+            };
+            // Coarsest-first on ties: a coarse bucket sharing its start
+            // with a finer one may hold entries for the same instants and
+            // must merge down before the finer bucket drains.
+            if over == Some(best) {
+                self.promote_overflow(best);
+            } else if starts[2] == Some(best) {
+                self.cascade_level(2, best);
+            } else if starts[1] == Some(best) {
+                self.cascade_level(1, best);
+            } else {
+                // Level 0: drain the bucket straight into `current`.
+                self.cursor = best;
+                let bucket = (best % BUCKETS as u64) as usize;
+                self.levels[0].clear(bucket);
+                let level = &mut self.levels[0];
+                for e in level.buckets[bucket].drain(..) {
+                    self.current.push(Reverse(e));
+                }
+            }
+        }
+    }
+
+    /// Moves the cursor to `start` (the absolute level-0 index of a coarse
+    /// bucket's first slot) and re-inserts that bucket's entries, which
+    /// now land in finer levels or `current`.
+    fn cascade_level(&mut self, l: usize, start: u64) {
+        debug_assert!(start >= self.cursor, "cursor only advances");
+        self.cursor = start;
+        let shift = l as u32 * LEVEL_BITS;
+        let bucket = ((start >> shift) % BUCKETS as u64) as usize;
+        self.levels[l].clear(bucket);
+        let mut scratch = std::mem::take(&mut self.cascade);
+        std::mem::swap(&mut scratch, &mut self.levels[l].buckets[bucket]);
+        for e in scratch.drain(..) {
+            self.insert(e);
+        }
+        self.cascade = scratch;
+    }
+
+    /// Rebase onto the overflow heap: jump the cursor to its earliest
+    /// entry and promote everything that now fits a wheel level. The heap
+    /// is `(at, seq)`-ordered, so promotion stops at the first miss.
+    fn promote_overflow(&mut self, start: u64) {
+        debug_assert!(start >= self.cursor, "cursor only advances");
+        self.cursor = start;
+        let top_shift = (LEVELS as u32 - 1) * LEVEL_BITS;
+        let c_top = self.cursor >> top_shift;
+        while let Some(Reverse(e)) = self.overflow.peek().copied() {
+            let b_top = (e.at.as_nanos() >> BASE_SHIFT) >> top_shift;
+            if b_top - c_top >= BUCKETS as u64 {
+                break;
+            }
+            self.overflow.pop();
+            self.insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(at_nanos: u64, seq: u64) -> WheelEntry {
+        WheelEntry {
+            at: SimTime::from_nanos(at_nanos),
+            seq,
+            key: SlabKey {
+                // Deliberately adversarial: slot index inversely related
+                // to seq, to catch any ordering leak through the key.
+                slot: (u32::MAX as u64 - seq) as u32,
+                gen: 0,
+            },
+        }
+    }
+
+    fn drain(w: &mut TimerWheel) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(x) = w.pop() {
+            out.push((x.at.as_nanos(), x.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn orders_by_time_then_seq_never_slot() {
+        let mut w = TimerWheel::new();
+        w.insert(e(5_000_000, 2));
+        w.insert(e(1_000_000, 1));
+        w.insert(e(1_000_000, 0));
+        w.insert(e(5_000_000, 3));
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (1_000_000, 0),
+                (1_000_000, 1),
+                (5_000_000, 2),
+                (5_000_000, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_all_levels_and_overflow() {
+        // One event per magnitude: level 0 (µs–ms), level 1 (seconds),
+        // level 2 (minutes–hours), overflow (days).
+        let mut w = TimerWheel::new();
+        let times = [
+            1_000u64,               // 1 µs
+            200_000_000,            // 200 ms (level 0/1 boundary area)
+            30_000_000_000,         // 30 s (level 1)
+            3_600_000_000_000,      // 1 h (level 2)
+            86_400_000_000_000,     // 1 day (overflow)
+            2 * 86_400_000_000_000, // 2 days (overflow)
+        ];
+        for (i, &t) in times.iter().enumerate().rev() {
+            w.insert(e(t, i as u64));
+        }
+        let got = drain(&mut w);
+        let want: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn coarse_bucket_sharing_start_with_fine_merges_first() {
+        // Craft a level-1 bucket whose start coincides with an occupied
+        // level-0 bucket, with the coarse entry earlier in (at, seq).
+        let g = 1u64 << BASE_SHIFT; // level-0 bucket width
+        let mut w = TimerWheel::new();
+        // Inserted while cursor = 0: lands level 1 (b0 = 300 > 255).
+        w.insert(e(300 * g, 0));
+        w.insert(e(300 * g + 5, 1));
+        // Advance cursor into the wheel by draining a near event.
+        w.insert(e(10 * g, 2));
+        assert_eq!(w.pop().map(|x| x.seq), Some(2));
+        // Now inserted relative to cursor=10: b0=300 is within level 0.
+        w.insert(e(300 * g + 2, 3));
+        assert_eq!(
+            drain(&mut w),
+            vec![(300 * g, 0), (300 * g + 2, 3), (300 * g + 5, 1)]
+        );
+    }
+
+    #[test]
+    fn interleaved_inserts_during_drain_stay_ordered() {
+        let mut w = TimerWheel::new();
+        for i in 0..100u64 {
+            w.insert(e(i * 123_456, i));
+        }
+        let mut seq = 100u64;
+        let mut out = Vec::new();
+        while let Some(x) = w.pop() {
+            out.push((x.at.as_nanos(), x.seq));
+            if seq < 160 {
+                // Same-instant follow-up plus a short hop.
+                w.insert(e(x.at.as_nanos(), seq));
+                w.insert(e(x.at.as_nanos() + 777_777, seq + 1));
+                seq += 2;
+            }
+        }
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(out, sorted, "pop order is (at, seq) order");
+        assert_eq!(out.len(), 160);
+    }
+
+    #[test]
+    fn long_idle_gaps_rebase_without_scanning() {
+        let mut w = TimerWheel::new();
+        // Events separated by huge gaps: each pop must jump the cursor.
+        let times = [1u64, 1 << 30, 1 << 40, 1 << 50, 1 << 60];
+        for (i, &t) in times.iter().enumerate() {
+            w.insert(e(t, i as u64));
+        }
+        assert_eq!(
+            drain(&mut w),
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i as u64))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn randomised_agreement_with_reference_sort() {
+        use crate::rng::{Rng, SimRng};
+        for case in 0..64u64 {
+            let mut rng = SimRng::new(0x11EE1).child(case).stream("wheel");
+            let n = rng.gen_range(1..300usize);
+            let mut w = TimerWheel::new();
+            let mut want: Vec<(u64, u64)> = Vec::new();
+            for seq in 0..n as u64 {
+                // Log-uniform magnitudes: ns to hours.
+                let mag = rng.gen_range(0..42u32);
+                let t = rng.gen_range(0..2u64.pow(mag).max(2));
+                w.insert(e(t, seq));
+                want.push((t, seq));
+            }
+            want.sort();
+            assert_eq!(drain(&mut w), want, "failing case seed {case}");
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop_and_advances_nothing_visible() {
+        let mut w = TimerWheel::new();
+        w.insert(e(123, 0));
+        w.insert(e(456, 1));
+        assert_eq!(w.peek_at(), Some(SimTime::from_nanos(123)));
+        assert_eq!(w.pop().map(|x| x.seq), Some(0));
+        assert_eq!(w.peek_at(), Some(SimTime::from_nanos(456)));
+        assert_eq!(w.pop().map(|x| x.seq), Some(1));
+        assert_eq!(w.peek_at(), None);
+        assert_eq!(w.pop().map(|x| x.seq), None);
+    }
+}

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use crate::histogram::SimHistogram;
 
 /// A metric identity: name plus label pairs sorted by key.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SeriesKey {
     /// Metric name, e.g. `sebs_starts_total`.
     pub name: String,
@@ -43,11 +43,45 @@ impl SeriesKey {
 }
 
 /// The three metric families of one collection scope.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<SeriesKey, f64>,
     gauges: BTreeMap<SeriesKey, f64>,
     histograms: BTreeMap<SeriesKey, SimHistogram>,
+    // Reusable lookup key: record calls fill it in place (keeping every
+    // String's capacity) and only clone it when a series is first created,
+    // so steady-state recording against existing series allocates nothing.
+    scratch: SeriesKey,
+}
+
+// Equality compares recorded data only; the scratch key is an internal
+// buffer whose residual contents are irrelevant.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+            && self.gauges == other.gauges
+            && self.histograms == other.histograms
+    }
+}
+
+/// Rebuilds `scratch` as the canonical key for `(name, labels)` without
+/// allocating (beyond first-use growth of the retained buffers).
+fn fill_scratch(scratch: &mut SeriesKey, name: &str, labels: &[(&str, &str)]) {
+    scratch.name.clear();
+    scratch.name.push_str(name);
+    scratch.labels.truncate(labels.len());
+    while scratch.labels.len() < labels.len() {
+        scratch.labels.push((String::new(), String::new()));
+    }
+    for ((k, v), slot) in labels.iter().zip(scratch.labels.iter_mut()) {
+        slot.0.clear();
+        slot.0.push_str(k);
+        slot.1.clear();
+        slot.1.push_str(v);
+    }
+    // Unstable sort gives the same canonical order as `SeriesKey::new`:
+    // equal pairs are indistinguishable, so stability cannot matter.
+    scratch.labels.sort_unstable();
 }
 
 impl MetricsRegistry {
@@ -59,30 +93,50 @@ impl MetricsRegistry {
     /// Adds `v` (≥ 0) to a monotone counter, creating it at zero.
     pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
         debug_assert!(v >= 0.0, "counters only grow: {name} += {v}");
-        *self
-            .counters
-            .entry(SeriesKey::new(name, labels))
-            .or_insert(0.0) += v;
+        fill_scratch(&mut self.scratch, name, labels);
+        match self.counters.get_mut(&self.scratch) {
+            Some(slot) => *slot += v,
+            None => {
+                self.counters.insert(self.scratch.clone(), v);
+            }
+        }
     }
 
     /// Sets a counter to an absolute value — for sources that maintain
     /// their own monotone count (pool statistics, storage statistics).
     pub fn counter_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
-        self.counters.insert(SeriesKey::new(name, labels), v);
+        fill_scratch(&mut self.scratch, name, labels);
+        match self.counters.get_mut(&self.scratch) {
+            Some(slot) => *slot = v,
+            None => {
+                self.counters.insert(self.scratch.clone(), v);
+            }
+        }
     }
 
     /// Sets a gauge to its current value.
     pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
-        self.gauges.insert(SeriesKey::new(name, labels), v);
+        fill_scratch(&mut self.scratch, name, labels);
+        match self.gauges.get_mut(&self.scratch) {
+            Some(slot) => *slot = v,
+            None => {
+                self.gauges.insert(self.scratch.clone(), v);
+            }
+        }
     }
 
     /// Records one observation (in milliseconds of sim time) into a
     /// histogram with the default latency buckets.
     pub fn observe_ms(&mut self, name: &str, labels: &[(&str, &str)], ms: f64) {
-        self.histograms
-            .entry(SeriesKey::new(name, labels))
-            .or_insert_with(SimHistogram::latency_ms)
-            .observe(ms);
+        fill_scratch(&mut self.scratch, name, labels);
+        match self.histograms.get_mut(&self.scratch) {
+            Some(h) => h.observe(ms),
+            None => {
+                let mut h = SimHistogram::latency_ms();
+                h.observe(ms);
+                self.histograms.insert(self.scratch.clone(), h);
+            }
+        }
     }
 
     /// Counters in key order.
