@@ -7,7 +7,7 @@
 # and fleet jobs cannot drift apart.
 #
 # Usage:
-#   ci/determinism.sh run <grid|chaos|fleet> <jobs>   # exports into out-<jobs>/
+#   ci/determinism.sh run <grid|chaos|fleet|report> <jobs>   # exports into out-<jobs>/
 #   ci/determinism.sh diff <jobs-a> <jobs-b>          # byte-compare the trees
 #
 # The binary is expected at target/release/sebs. `diff` compares every
@@ -56,6 +56,21 @@ run_fleet() {
     --metrics "$out/fleet-metrics.csv" --metrics-format csv > /dev/null
 }
 
+run_report() {
+  local out=$1 jobs=$2
+  # Full observability stack on: sampled exemplar traces, quantile
+  # sketches and the phase profiler all feed the rendered report, which
+  # must still be byte-identical at any worker count.
+  "$SEBS" report --provider aws \
+    --functions 200 --invocations 20000 --horizon-secs 3600 \
+    --metrics-interval-secs 300 --jobs "$jobs" \
+    --out "$out/report.md" > "$out/stdout.txt"
+  "$SEBS" report --provider aws \
+    --functions 200 --invocations 20000 --horizon-secs 3600 \
+    --metrics-interval-secs 300 --jobs "$jobs" \
+    --format html --out "$out/report.html" > /dev/null
+}
+
 cmd=${1:?usage: determinism.sh <run|diff> ...}
 case "$cmd" in
   run)
@@ -63,9 +78,10 @@ case "$cmd" in
     out="out-$jobs"
     mkdir -p "$out"
     case "$scenario" in
-      grid)  run_grid  "$out" "$jobs" ;;
-      chaos) run_chaos "$out" "$jobs" ;;
-      fleet) run_fleet "$out" "$jobs" ;;
+      grid)   run_grid   "$out" "$jobs" ;;
+      chaos)  run_chaos  "$out" "$jobs" ;;
+      fleet)  run_fleet  "$out" "$jobs" ;;
+      report) run_report "$out" "$jobs" ;;
       *) echo "unknown scenario: $scenario" >&2; exit 2 ;;
     esac
     ;;

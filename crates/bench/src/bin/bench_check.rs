@@ -12,19 +12,28 @@
 //! * any `*_per_sec` field regresses when `fresh < base × (1 − tol)`
 //!   (higher is better).
 //!
+//! Microsecond-scale baselines are dominated by timer and scheduler noise
+//! — a 41 µs bench can easily "double" run to run — so `wall_time_secs`
+//! comparisons against a baseline below the **absolute floor** (default
+//! 50 ms) are skipped: such a metric only regresses if the fresh time
+//! itself blows past `floor × (1 + tol)`, i.e. it stopped being a micro
+//! bench altogether.
+//!
 //! Usage:
 //!
 //! ```text
 //! bench_check --dir bench-artifacts [--baseline BENCH_BASELINE.json]
-//!             [--tolerance 0.25] [--delta delta.md] [--write-baseline]
+//!             [--tolerance 0.25] [--floor 0.05] [--delta delta.md]
+//!             [--write-baseline]
 //! ```
 //!
 //! `--write-baseline` refreshes the baseline file from the fresh artifacts
 //! instead of comparing (the documented one-command refresh). `--delta`
 //! writes the comparison as a markdown table for the CI artifact. The
-//! tolerance can also come from `SEBS_BENCH_TOLERANCE`. Exit status is
-//! non-zero iff at least one metric regressed; benches absent from the
-//! baseline are reported as new and do not fail the gate.
+//! tolerance can also come from `SEBS_BENCH_TOLERANCE`, and the floor
+//! from `SEBS_BENCH_FLOOR_SECS`. Exit status is non-zero iff at least one
+//! metric regressed; benches absent from the baseline are reported as new
+//! and do not fail the gate.
 
 use std::process::ExitCode;
 
@@ -78,17 +87,31 @@ fn comparable(metric: &str) -> bool {
     metric == "wall_time_secs" || higher_is_better(metric)
 }
 
-/// Judges `fresh` against `base` under a relative `tol`.
-fn judge(metric: &str, base: f64, fresh: f64, tol: f64) -> Verdict {
+/// Wall-time baselines below this many seconds are too noisy for a
+/// relative comparison (a 41 µs bench flaps on timer jitter alone).
+const DEFAULT_FLOOR_SECS: f64 = 0.05;
+
+/// Judges `fresh` against `base` under a relative `tol`. Wall-time
+/// baselines below `floor` skip the relative comparison entirely: they
+/// only regress if the fresh time itself exceeds `floor × (1 + tol)`.
+fn judge(metric: &str, base: f64, fresh: f64, tol: f64, floor: f64) -> Verdict {
     if higher_is_better(metric) {
-        if fresh < base * (1.0 - tol) {
+        return if fresh < base * (1.0 - tol) {
             Verdict::Regressed
         } else if fresh > base * (1.0 + tol) {
             Verdict::Improved
         } else {
             Verdict::Ok
-        }
-    } else if fresh > base * (1.0 + tol) {
+        };
+    }
+    if base < floor {
+        return if fresh > floor * (1.0 + tol) {
+            Verdict::Regressed
+        } else {
+            Verdict::Ok
+        };
+    }
+    if fresh > base * (1.0 + tol) {
         Verdict::Regressed
     } else if fresh < base * (1.0 - tol) {
         Verdict::Improved
@@ -114,7 +137,7 @@ fn metrics_of(doc: &Json) -> Option<BenchMetrics> {
 /// Compares fresh benches against the baseline, producing the delta table
 /// rows in a deterministic order (benches sorted by name, metrics in
 /// artifact order).
-fn compare(fresh: &[BenchMetrics], baseline: &Json, tol: f64) -> Vec<DeltaRow> {
+fn compare(fresh: &[BenchMetrics], baseline: &Json, tol: f64, floor: f64) -> Vec<DeltaRow> {
     let mut sorted: Vec<&BenchMetrics> = fresh.iter().collect();
     sorted.sort_by(|a, b| a.name.cmp(&b.name));
     let mut rows = Vec::new();
@@ -125,7 +148,7 @@ fn compare(fresh: &[BenchMetrics], baseline: &Json, tol: f64) -> Vec<DeltaRow> {
                 .and_then(|e| e.get(metric))
                 .and_then(Json::as_f64);
             let verdict = match base {
-                Some(b) => judge(metric, b, *value, tol),
+                Some(b) => judge(metric, b, *value, tol, floor),
                 None => Verdict::New,
             };
             rows.push(DeltaRow {
@@ -224,6 +247,7 @@ struct Args {
     dir: String,
     baseline: String,
     tolerance: f64,
+    floor: f64,
     delta: Option<String>,
     write_baseline: bool,
 }
@@ -236,6 +260,10 @@ fn parse_args() -> Result<Args, String> {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.25),
+        floor: std::env::var("SEBS_BENCH_FLOOR_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_FLOOR_SECS),
         delta: None,
         write_baseline: false,
     };
@@ -249,6 +277,11 @@ fn parse_args() -> Result<Args, String> {
                 args.tolerance = take("--tolerance")?
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--floor" => {
+                args.floor = take("--floor")?
+                    .parse()
+                    .map_err(|e| format!("bad --floor: {e}"))?;
             }
             "--delta" => args.delta = Some(take("--delta")?),
             "--write-baseline" => args.write_baseline = true,
@@ -299,7 +332,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let rows = compare(&fresh, &baseline, args.tolerance);
+    let rows = compare(&fresh, &baseline, args.tolerance, args.floor);
     let table = delta_table(&rows, args.tolerance);
     print!("{table}");
     if let Some(path) = &args.delta {
@@ -356,7 +389,12 @@ mod tests {
     #[test]
     fn wall_time_within_tolerance_passes() {
         let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
-        let rows = compare(&[bench("a", &[("wall_time_secs", 1.2)])], &base, 0.25);
+        let rows = compare(
+            &[bench("a", &[("wall_time_secs", 1.2)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
         assert_eq!(rows[0].verdict, Verdict::Ok);
     }
 
@@ -365,14 +403,24 @@ mod tests {
         // The demonstration required by the issue: a 2x slowdown against
         // the committed baseline must come back Regressed.
         let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
-        let rows = compare(&[bench("a", &[("wall_time_secs", 2.0)])], &base, 0.25);
+        let rows = compare(
+            &[bench("a", &[("wall_time_secs", 2.0)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
         assert_eq!(rows[0].verdict, Verdict::Regressed);
     }
 
     #[test]
     fn throughput_drop_fails_and_gain_is_improvement() {
         let base = baseline_of(&[bench("e", &[("events_per_sec", 1_000_000.0)])]);
-        let drop = compare(&[bench("e", &[("events_per_sec", 500_000.0)])], &base, 0.25);
+        let drop = compare(
+            &[bench("e", &[("events_per_sec", 500_000.0)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
         assert_eq!(
             drop[0].verdict,
             Verdict::Regressed,
@@ -382,23 +430,39 @@ mod tests {
             &[bench("e", &[("events_per_sec", 3_000_000.0)])],
             &base,
             0.25,
+            DEFAULT_FLOOR_SECS,
         );
         assert_eq!(gain[0].verdict, Verdict::Improved);
-        let ok = compare(&[bench("e", &[("events_per_sec", 900_000.0)])], &base, 0.25);
+        let ok = compare(
+            &[bench("e", &[("events_per_sec", 900_000.0)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
         assert_eq!(ok[0].verdict, Verdict::Ok);
     }
 
     #[test]
     fn faster_wall_time_is_improvement_not_regression() {
         let base = baseline_of(&[bench("a", &[("wall_time_secs", 2.0)])]);
-        let rows = compare(&[bench("a", &[("wall_time_secs", 1.0)])], &base, 0.25);
+        let rows = compare(
+            &[bench("a", &[("wall_time_secs", 1.0)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
         assert_eq!(rows[0].verdict, Verdict::Improved);
     }
 
     #[test]
     fn unknown_bench_is_new_not_failure() {
         let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
-        let rows = compare(&[bench("b", &[("wall_time_secs", 9.0)])], &base, 0.25);
+        let rows = compare(
+            &[bench("b", &[("wall_time_secs", 9.0)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
         assert_eq!(rows[0].verdict, Verdict::New);
     }
 
@@ -406,8 +470,77 @@ mod tests {
     fn tolerance_is_configurable() {
         let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
         let fresh = [bench("a", &[("wall_time_secs", 1.4)])];
-        assert_eq!(compare(&fresh, &base, 0.5)[0].verdict, Verdict::Ok);
-        assert_eq!(compare(&fresh, &base, 0.25)[0].verdict, Verdict::Regressed);
+        assert_eq!(
+            compare(&fresh, &base, 0.5, DEFAULT_FLOOR_SECS)[0].verdict,
+            Verdict::Ok
+        );
+        assert_eq!(
+            compare(&fresh, &base, 0.25, DEFAULT_FLOOR_SECS)[0].verdict,
+            Verdict::Regressed
+        );
+    }
+
+    #[test]
+    fn sub_floor_baseline_flap_is_ok() {
+        // A 41 us baseline doubling (or even 10x-ing) is timer noise, not a
+        // regression: as long as the fresh time stays under the floor the
+        // relative comparison is skipped entirely.
+        let base = baseline_of(&[bench("table2", &[("wall_time_secs", 0.000041)])]);
+        let doubled = compare(
+            &[bench("table2", &[("wall_time_secs", 0.000082)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
+        assert_eq!(doubled[0].verdict, Verdict::Ok);
+        let tenfold = compare(
+            &[bench("table2", &[("wall_time_secs", 0.00041)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
+        assert_eq!(tenfold[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn sub_floor_blowout_still_regresses() {
+        // The floor is not a free pass: a micro bench ballooning past the
+        // floor itself (floor * (1 + tol)) is a real regression.
+        let base = baseline_of(&[bench("table2", &[("wall_time_secs", 0.000041)])]);
+        let rows = compare(
+            &[bench("table2", &[("wall_time_secs", 0.2)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn floor_does_not_apply_to_throughput_metrics() {
+        // events_per_sec values are often tiny in unit terms but are
+        // higher-is-better; the wall-time floor must not mask a real drop.
+        let base = baseline_of(&[bench("e", &[("events_per_sec", 0.01)])]);
+        let rows = compare(
+            &[bench("e", &[("events_per_sec", 0.004)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn floor_boundary_uses_relative_comparison_above_it() {
+        // At or above the floor the ordinary +-tol gate applies unchanged.
+        let base = baseline_of(&[bench("a", &[("wall_time_secs", 0.06)])]);
+        let rows = compare(
+            &[bench("a", &[("wall_time_secs", 0.09)])],
+            &base,
+            0.25,
+            DEFAULT_FLOOR_SECS,
+        );
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
     }
 
     #[test]
@@ -443,7 +576,7 @@ mod tests {
     fn delta_table_lists_every_metric() {
         let base = baseline_of(&[bench("a", &[("wall_time_secs", 1.0)])]);
         let fresh = [bench("a", &[("wall_time_secs", 3.0)])];
-        let rows = compare(&fresh, &base, 0.25);
+        let rows = compare(&fresh, &base, 0.25, DEFAULT_FLOOR_SECS);
         let table = delta_table(&rows, 0.25);
         assert!(table.contains("| a | wall_time_secs | 1.0000 | 3.0000 | +200.0% | REGRESSED |"));
     }

@@ -17,10 +17,10 @@ use sebs_telemetry::prometheus_text;
 use sebs_workloads::Language;
 
 fn main() {
-    sebs_bench::timed("bench_metrics_overhead", run);
+    sebs_bench::timed_with("bench_metrics_overhead", run);
 }
 
-fn run() {
+fn run() -> Vec<(String, f64)> {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("metrics overhead"));
 
@@ -70,4 +70,11 @@ fn run() {
         identical,
         "enabling metrics must not change any measured result"
     );
+
+    // Throughput of the instrumented run: telemetry points collected per
+    // wall-clock second. Higher is better, so bench_check gates it without
+    // the wall-time floor.
+    let points_per_sec = n_on as f64 / t_on.as_secs_f64().max(1e-9);
+    println!("throughput       {points_per_sec:>12.0} points/sec");
+    vec![("points_per_sec".to_string(), points_per_sec)]
 }

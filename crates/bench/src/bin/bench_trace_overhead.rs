@@ -15,10 +15,10 @@ use sebs_platform::ProviderKind;
 use sebs_workloads::Language;
 
 fn main() {
-    sebs_bench::timed("bench_trace_overhead", run);
+    sebs_bench::timed_with("bench_trace_overhead", run);
 }
 
-fn run() {
+fn run() -> Vec<(String, f64)> {
     let env = BenchEnv::from_env();
     println!("{}", env.banner("trace overhead"));
 
@@ -59,4 +59,11 @@ fn run() {
         identical,
         "enabling tracing must not change any measured result"
     );
+
+    // Throughput of the instrumented run: spans collected per wall-clock
+    // second. Higher is better, so bench_check gates it without the
+    // wall-time floor.
+    let traces_per_sec = n_on as f64 / t_on.as_secs_f64().max(1e-9);
+    println!("throughput       {traces_per_sec:>12.0} traces/sec");
+    vec![("traces_per_sec".to_string(), traces_per_sec)]
 }

@@ -19,13 +19,14 @@ use sebs::experiments::{
     LabeledPolicy,
 };
 use sebs::runner::available_jobs;
-use sebs::{ExperimentGrid, ParallelRunner, Suite, SuiteConfig};
+use sebs::{fleet_report, ExperimentGrid, ParallelRunner, ReportFormat, Suite, SuiteConfig};
 use sebs_metrics::TextTable;
 use sebs_platform::{ProviderKind, StartKind, TriggerKind};
 use sebs_resilience::{FaultPlan, RetryPolicy};
 use sebs_sim::SimDuration;
 use sebs_telemetry::{csv_timeseries, prometheus_text, MetricsSink};
-use sebs_trace::{breakdown_table, chrome_trace_json, TraceSink};
+use sebs_trace::{breakdown_table, chrome_trace_json, SamplerSpec, TraceSink};
+use sebs_workload_gen::TraceModel;
 use sebs_workloads::{all_workloads, Language, Scale};
 
 fn main() -> ExitCode {
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         "experiment" => cmd_experiment(&opts),
         "availability" => cmd_availability(&opts),
         "fleet" => cmd_fleet(&opts),
+        "report" => cmd_report(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -91,6 +93,15 @@ USAGE:
                 [--jobs N] [--seed N] [--csv FILE] [--json FILE]
                 [--trace FILE] [--trace-format F] [--metrics FILE]
                 [--metrics-format F]
+    sebs report [fleet flags as above]
+                [--out FILE]                  (write the report; default:
+                                               stdout)
+                [--format md|html]            (markdown default; html is a
+                                               single self-contained page)
+                Runs the fleet replay with bounded observability always on
+                (sketch percentiles, sampled exemplar traces, phase
+                profile, metrics) and renders one report document.
+                Byte-identical for any --jobs.
 
     invoke also accepts deterministic chaos knobs:
                 [--faults SPEC]               (seeded fault plan, e.g.
@@ -158,6 +169,8 @@ struct Options {
     cells: usize,
     import: Option<String>,
     metrics_interval_secs: u64,
+    out: Option<String>,
+    report_format: ReportFormat,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +217,8 @@ impl Options {
             cells: 16,
             import: None,
             metrics_interval_secs: 60,
+            out: None,
+            report_format: ReportFormat::Markdown,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -337,6 +352,12 @@ impl Options {
                         .max(1)
                 }
                 "--import" => o.import = Some(value("--import")?),
+                "--out" => o.out = Some(value("--out")?),
+                "--format" => {
+                    let f = value("--format")?;
+                    o.report_format = ReportFormat::parse(&f)
+                        .ok_or_else(|| format!("unknown report format `{f}`"))?
+                }
                 "--metrics-interval-secs" => {
                     o.metrics_interval_secs = value("--metrics-interval-secs")?
                         .parse::<u64>()
@@ -686,13 +707,10 @@ fn cmd_availability(o: &Options) -> Result<(), String> {
 /// Runs the trace-driven fleet replay and prints a per-cell breakdown
 /// plus a fleet summary. The whole replay — stdout, CSV/JSON exports,
 /// traces and metrics — is byte-identical for every `--jobs` value.
-fn cmd_fleet(o: &Options) -> Result<(), String> {
-    let config = SuiteConfig::default()
-        .with_seed(o.seed)
-        .with_jobs(o.jobs)
-        .with_trace(o.trace.is_some())
-        .with_metrics(o.metrics.is_some())
-        .with_metrics_interval(SimDuration::from_secs(o.metrics_interval_secs));
+/// Builds the fleet knobs and trace model from the CLI flags, resolving
+/// `--import` (both `fleet` and `report` share this path). Progress notes
+/// go to stderr so stdout stays byte-stable for the determinism matrix.
+fn fleet_model(o: &Options) -> Result<(FleetConfig, TraceModel), String> {
     let mut fleet = FleetConfig {
         provider: o.provider,
         functions: o.functions,
@@ -711,7 +729,7 @@ fn cmd_fleet(o: &Options) -> Result<(), String> {
             // An imported trace brings its own fleet size and horizon.
             fleet.functions = m.functions.len();
             fleet.horizon = m.horizon;
-            println!(
+            eprintln!(
                 "imported {} function(s) over {} from {}",
                 m.functions.len(),
                 m.horizon,
@@ -721,11 +739,22 @@ fn cmd_fleet(o: &Options) -> Result<(), String> {
         }
         None => {
             if let Some(path) = &o.import {
-                println!("trace {path} not found; using the synthetic Azure-2019-shaped fleet");
+                eprintln!("trace {path} not found; using the synthetic Azure-2019-shaped fleet");
             }
             fleet.synthetic_model(o.seed)
         }
     };
+    Ok((fleet, model))
+}
+
+fn cmd_fleet(o: &Options) -> Result<(), String> {
+    let config = SuiteConfig::default()
+        .with_seed(o.seed)
+        .with_jobs(o.jobs)
+        .with_trace(o.trace.is_some())
+        .with_metrics(o.metrics.is_some())
+        .with_metrics_interval(SimDuration::from_secs(o.metrics_interval_secs));
+    let (fleet, model) = fleet_model(o)?;
     let result = run_fleet(&config, &fleet, &model);
     for s in &result.series {
         let occ = if s.warm_pool_samples.is_empty() {
@@ -771,6 +800,31 @@ fn cmd_fleet(o: &Options) -> Result<(), String> {
     }
     if let Some(path) = &o.metrics {
         write_metrics(path, o.metrics_format, &result.metrics)?;
+    }
+    Ok(())
+}
+
+/// Runs the fleet replay with bounded observability always on — metrics,
+/// sampled exemplar traces and the phase profiler — and renders one
+/// self-contained report document. The rendered bytes are identical for
+/// every `--jobs` value.
+fn cmd_report(o: &Options) -> Result<(), String> {
+    let config = SuiteConfig::default()
+        .with_seed(o.seed)
+        .with_jobs(o.jobs)
+        .with_metrics(true)
+        .with_metrics_interval(SimDuration::from_secs(o.metrics_interval_secs))
+        .with_trace_sampling(SamplerSpec::fleet_default())
+        .with_profile(true);
+    let (fleet, model) = fleet_model(o)?;
+    let result = run_fleet(&config, &fleet, &model);
+    let rendered = fleet_report(&config, &fleet, &result).render(o.report_format);
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} bytes to {path}", rendered.len());
+        }
+        None => print!("{rendered}"),
     }
     Ok(())
 }
@@ -992,6 +1046,22 @@ mod tests {
         assert!(parse(&["--functions", "many"])
             .unwrap_err()
             .contains("--functions"));
+    }
+
+    #[test]
+    fn report_flags_parse() {
+        let o = parse(&[]).unwrap();
+        assert!(o.out.is_none());
+        assert_eq!(o.report_format, ReportFormat::Markdown);
+        let o = parse(&["--out", "report.html", "--format", "html"]).unwrap();
+        assert_eq!(o.out.as_deref(), Some("report.html"));
+        assert_eq!(o.report_format, ReportFormat::Html);
+        assert_eq!(
+            parse(&["--format", "markdown"]).unwrap().report_format,
+            ReportFormat::Markdown
+        );
+        assert!(parse(&["--format", "pdf"]).unwrap_err().contains("pdf"));
+        assert!(parse(&["--out"]).unwrap_err().contains("needs a value"));
     }
 
     #[test]

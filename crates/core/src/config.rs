@@ -3,6 +3,7 @@
 use sebs_resilience::{FaultPlan, RetryPolicy};
 use sebs_sim::SimDuration;
 use sebs_stats::ConfidenceLevel;
+use sebs_trace::SamplerSpec;
 
 /// Configuration shared by all experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,17 @@ pub struct SuiteConfig {
     pub metrics: bool,
     /// Sim-time interval between gauge samples when `metrics` is on.
     pub metrics_interval: SimDuration,
+    /// Bounded trace sampling for fleet-scale runs: when set, platforms
+    /// collect a fixed-size sampled trace set (per-function reservoir,
+    /// slowest-K and error exemplars) instead of every invocation.
+    /// Implies `trace`. Like plain tracing, the sampler draws only from
+    /// its own dedicated RNG streams, so results never change and the
+    /// kept set is byte-identical for every `jobs` value.
+    pub trace_sampler: Option<SamplerSpec>,
+    /// Sim-time phase profiling (engine dispatch, pool acquire, storage
+    /// ops, billing, runner merges). Purely observational and
+    /// allocation-free: results never change with it on or off.
+    pub profile: bool,
     /// Fault plan installed on every platform (see `sebs-resilience`).
     /// The default empty plan is bit-identical to a suite built before
     /// fault injection existed.
@@ -62,6 +74,8 @@ impl Default for SuiteConfig {
             trace: false,
             metrics: false,
             metrics_interval: sebs_telemetry::DEFAULT_SAMPLE_INTERVAL,
+            trace_sampler: None,
+            profile: false,
             faults: FaultPlan::empty(),
             retry: RetryPolicy::none(),
         }
@@ -111,6 +125,20 @@ impl SuiteConfig {
     /// Sets the sim-time gauge-sampling interval (clamped to ≥ 1 ns).
     pub fn with_metrics_interval(mut self, interval: SimDuration) -> SuiteConfig {
         self.metrics_interval = interval.max(SimDuration::from_nanos(1));
+        self
+    }
+
+    /// Enables bounded trace sampling with the given spec (implies
+    /// `trace`).
+    pub fn with_trace_sampling(mut self, spec: SamplerSpec) -> SuiteConfig {
+        self.trace = true;
+        self.trace_sampler = Some(spec);
+        self
+    }
+
+    /// Enables or disables sim-time phase profiling.
+    pub fn with_profile(mut self, profile: bool) -> SuiteConfig {
+        self.profile = profile;
         self
     }
 
@@ -179,6 +207,19 @@ mod tests {
     fn tracing_defaults_off() {
         assert!(!SuiteConfig::default().trace);
         assert!(SuiteConfig::default().with_trace(true).trace);
+    }
+
+    #[test]
+    fn observability_knobs_default_off() {
+        let c = SuiteConfig::default();
+        assert!(c.trace_sampler.is_none());
+        assert!(!c.profile);
+        let on = c
+            .with_trace_sampling(SamplerSpec::fleet_default())
+            .with_profile(true);
+        assert!(on.trace, "sampling implies tracing");
+        assert_eq!(on.trace_sampler, Some(SamplerSpec::fleet_default()));
+        assert!(on.profile);
     }
 
     #[test]

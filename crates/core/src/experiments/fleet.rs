@@ -18,12 +18,12 @@
 
 use std::collections::BTreeMap;
 
-use sebs_metrics::{Histogram, Measurement, ResultStore};
+use sebs_metrics::{Measurement, QuantileSketch, ResultStore};
 use sebs_platform::{
     FaasPlatform, FunctionConfig, FunctionId, InvocationOutcome, ProviderKind, ProviderProfile,
     StartKind,
 };
-use sebs_sim::{SimDuration, SimRng, SimTime};
+use sebs_sim::{Phase, PhaseProfiler, SimDuration, SimRng, SimTime};
 use sebs_telemetry::MetricsSink;
 use sebs_trace::TraceSink;
 use sebs_workload_gen::{Arrival, SyntheticFunction, SyntheticSpec, TraceModel};
@@ -94,8 +94,10 @@ pub struct FleetCellSeries {
     pub warm_starts: usize,
     /// Invocations that did not end in success.
     pub failures: usize,
-    /// Client latency (ms) of every successful invocation.
-    pub client_ms: Vec<f64>,
+    /// Client latency (ms) of every successful invocation, folded into a
+    /// fixed-memory log-bucketed sketch (≤1% relative error on
+    /// percentiles) — the fleet path never keeps per-invocation samples.
+    pub client_latency: QuantileSketch,
     /// Total cost across all billed invocations (USD).
     pub cost_usd: f64,
     /// Warm containers alive in this cell at each occupancy sample.
@@ -115,6 +117,10 @@ pub struct FleetResult {
     /// Fleet-wide metrics chunks in canonical cell order — empty unless
     /// [`SuiteConfig::metrics`] was set.
     pub metrics: MetricsSink,
+    /// Merged sim-time phase profile across all cells — empty unless
+    /// [`SuiteConfig::profile`] was set. Identical for every merge order
+    /// and worker count.
+    pub profile: PhaseProfiler,
 }
 
 impl FleetResult {
@@ -163,16 +169,20 @@ impl FleetResult {
         total as f64 / samples as f64
     }
 
-    /// The `p`-th percentile of client latency (ms) over all successful
-    /// invocations.
-    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
-        let mut h = Histogram::new();
+    /// The merged client-latency sketch across all cells.
+    pub fn latency_sketch(&self) -> QuantileSketch {
+        let mut merged = QuantileSketch::new();
         for s in &self.series {
-            for v in &s.client_ms {
-                h.push(*v);
-            }
+            merged.merge(&s.client_latency);
         }
-        h.percentile(p)
+        merged
+    }
+
+    /// The `p`-th percentile of client latency (ms) over all successful
+    /// invocations, estimated from the merged sketch (≤1% relative
+    /// error; the min and max are exact).
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        self.latency_sketch().percentile(p)
     }
 
     /// Total cost of the replay (USD).
@@ -200,13 +210,9 @@ impl FleetResult {
             push("warm_starts", s.warm_starts as f64);
             push("failures", s.failures as f64);
             push("cost_usd", s.cost_usd);
-            let mut h = Histogram::new();
-            for v in &s.client_ms {
-                h.push(*v);
-            }
-            push("client_p50_ms", h.p50());
-            push("client_p95_ms", h.p95());
-            push("client_p99_ms", h.p99());
+            push("client_p50_ms", s.client_latency.p50());
+            push("client_p95_ms", s.client_latency.p95());
+            push("client_p99_ms", s.client_latency.p99());
             let occ = if s.warm_pool_samples.is_empty() {
                 0.0
             } else {
@@ -285,10 +291,17 @@ pub fn run_fleet(config: &SuiteConfig, fleet: &FleetConfig, model: &TraceModel) 
     let mut series = Vec::new();
     let mut traces = TraceSink::new();
     let mut metrics = MetricsSink::new();
-    for (cell_series, cell_traces, cell_metrics) in sampled.into_iter().flatten() {
+    let mut profile = PhaseProfiler::new();
+    for (cell_series, cell_traces, cell_metrics, cell_profile) in sampled.into_iter().flatten() {
         series.push(cell_series);
         traces.merge(cell_traces);
         metrics.merge(cell_metrics);
+        if let Some(p) = cell_profile {
+            profile.merge(&p);
+            // Merges run on the host outside sim time; only the count of
+            // cell results folded back is meaningful.
+            profile.record(Phase::RunnerMerge, SimDuration::ZERO);
+        }
     }
     traces.sort_canonical();
     metrics.sort_canonical();
@@ -297,6 +310,7 @@ pub fn run_fleet(config: &SuiteConfig, fleet: &FleetConfig, model: &TraceModel) 
         series,
         traces,
         metrics,
+        profile,
     }
 }
 
@@ -310,10 +324,21 @@ fn sample_cell(
     index: usize,
     fn_indices: &[usize],
     arrivals: &[Arrival],
-) -> Option<(FleetCellSeries, TraceSink, MetricsSink)> {
+) -> Option<(
+    FleetCellSeries,
+    TraceSink,
+    MetricsSink,
+    Option<PhaseProfiler>,
+)> {
     let seed = SimRng::new(config.seed).child(index as u64).seed();
     let mut platform = FaasPlatform::new(ProviderProfile::for_kind(fleet.provider), seed);
     platform.set_tracing(config.trace);
+    if let Some(spec) = config.trace_sampler {
+        platform.enable_trace_sampling(spec);
+    }
+    if config.profile {
+        platform.enable_profiling();
+    }
     if config.metrics {
         platform.enable_metrics(config.metrics_interval);
     }
@@ -340,7 +365,7 @@ fn sample_cell(
         cold_starts: 0,
         warm_starts: 0,
         failures: 0,
-        client_ms: Vec::new(),
+        client_latency: QuantileSketch::new(),
         cost_usd: 0.0,
         warm_pool_samples: Vec::new(),
     };
@@ -381,7 +406,9 @@ fn sample_cell(
             StartKind::Warm => series.warm_starts += 1,
         }
         if matches!(record.outcome, InvocationOutcome::Success) {
-            series.client_ms.push(record.client_time.as_millis_f64());
+            series
+                .client_latency
+                .push(record.client_time.as_millis_f64());
         } else {
             series.failures += 1;
         }
@@ -403,7 +430,8 @@ fn sample_cell(
         chunk.cell = Some(index as u64);
         metrics.push(chunk);
     }
-    Some((series, traces, metrics))
+    let profile = platform.take_profile();
+    Some((series, traces, metrics, profile))
 }
 
 #[cfg(test)]
@@ -467,6 +495,48 @@ mod tests {
                 "jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn observability_is_bit_invisible_and_bounded() {
+        use sebs_trace::SamplerSpec;
+        let fleet = small_fleet();
+        let base = SuiteConfig::fast().with_seed(31);
+        let model = fleet.synthetic_model(base.seed);
+        let plain = run_fleet(&base, &fleet, &model);
+        let observed = run_fleet(
+            &base
+                .clone()
+                .with_metrics(true)
+                .with_trace_sampling(SamplerSpec::fleet_default())
+                .with_profile(true),
+            &fleet,
+            &model,
+        );
+        assert_eq!(
+            observed.series, plain.series,
+            "sampling + profiling + metrics are bit-invisible to results"
+        );
+        assert!(plain.traces.is_empty() && plain.profile.is_empty());
+        assert!(!observed.traces.is_empty());
+        // Each cell owns a sampler, so the fleet-wide ceiling is the
+        // per-function reservoirs plus per-cell slowest/error exemplars.
+        let spec = SamplerSpec::fleet_default();
+        let bound =
+            spec.reservoir_per_fn * fleet.functions + fleet.cells * (spec.slowest_k + spec.error_k);
+        assert!(
+            observed.traces.len() <= bound,
+            "kept {} traces (bound {bound}) across {} invocations",
+            observed.traces.len(),
+            observed.invocations()
+        );
+        assert_eq!(
+            observed.profile.stat(Phase::RunnerMerge).events,
+            observed.series.len() as u64,
+            "one merge event per cell"
+        );
+        assert!(observed.profile.stat(Phase::PoolAcquire).events > 0);
+        assert!(observed.profile.stat(Phase::Billing).events > 0);
     }
 
     #[test]

@@ -36,9 +36,11 @@
 
 pub mod config;
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod suite;
 
 pub use config::SuiteConfig;
+pub use report::{fleet_report, Report, ReportFormat};
 pub use runner::{ExperimentGrid, GridCell, ParallelRunner};
 pub use suite::{DeployedBenchmark, Suite};

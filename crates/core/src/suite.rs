@@ -78,6 +78,12 @@ impl Suite {
                 config.seed ^ kind_salt(kind),
             );
             platform.set_tracing(config.trace);
+            if let Some(spec) = config.trace_sampler {
+                platform.enable_trace_sampling(spec);
+            }
+            if config.profile {
+                platform.enable_profiling();
+            }
             if config.metrics {
                 platform.enable_metrics(config.metrics_interval);
             }

@@ -1,4 +1,28 @@
 //! Percentile histograms for latency breakdowns.
+//!
+//! # Why three latency summaries coexist
+//!
+//! The workspace deliberately keeps three summary types instead of one:
+//!
+//! * [`Histogram`] (this module) stores **every sample** and answers
+//!   *exact* nearest-rank percentiles. Experiment-scale series (the
+//!   paper's tables and figures, thousands of samples) use it because
+//!   the reproduction is judged against exact published numbers and the
+//!   memory cost is trivial at that scale.
+//! * [`QuantileSketch`](crate::QuantileSketch) is the **fleet-scale**
+//!   replacement: fixed memory regardless of sample count, ≤1% relative
+//!   error, and an exactly order-independent merge — the properties a
+//!   10⁶-invocation fleet run and the `--jobs`-invariant `sebs report`
+//!   need, which a full-sample histogram cannot offer at that scale.
+//! * `sebs_telemetry::SimHistogram` is neither of these: it is the
+//!   fixed-bound **cumulative-bucket export shape** of Prometheus
+//!   (`_bucket`/`_sum`/`_count` series). Its buckets are chosen for
+//!   dashboard legibility, not error bounds, so it backs the metrics
+//!   export and nothing else.
+//!
+//! The cross-consistency contract between the three (sketch tracks the
+//! exact histogram within `RELATIVE_ERROR`; counts and mass agree) is
+//! pinned by the `sketch_consistency` integration test.
 
 /// A collection of f64 samples with deterministic percentile queries.
 ///

@@ -11,11 +11,13 @@ pub mod csv;
 pub mod histogram;
 pub mod json;
 pub mod measurement;
+pub mod sketch;
 pub mod store;
 pub mod table;
 
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use measurement::Measurement;
+pub use sketch::QuantileSketch;
 pub use store::ResultStore;
 pub use table::TextTable;

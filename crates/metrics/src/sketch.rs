@@ -1,0 +1,456 @@
+//! Bounded quantile sketches for fleet-scale latency accounting.
+//!
+//! A [`Histogram`](crate::Histogram) keeps every sample, which is exact
+//! but unbounded: a 10⁷-invocation fleet replay would hold 10⁷ `f64`s per
+//! percentile series. [`QuantileSketch`] is the fleet-scale alternative —
+//! an HDR/DDSketch-style log-bucketed summary with
+//!
+//! * **fixed memory**: a preallocated bucket table (`BUCKETS` counters)
+//!   whose size never depends on how many samples were recorded;
+//! * **bounded relative error**: any percentile estimate is within
+//!   [`QuantileSketch::RELATIVE_ERROR`] (1%) of the exact nearest-rank
+//!   answer over the same samples;
+//! * **exact, order-independent merge**: cell sketches merge by `u64`
+//!   bucket addition plus exact `min`/`max` folds, so *any* permutation
+//!   of merges yields a byte-identical sketch ([`QuantileSketch::encode`]
+//!   is the canonical byte form) — float sums, which are commutative but
+//!   not associative, are deliberately excluded from the state.
+//!
+//! Determinism contract: pushing a sample consumes no randomness and no
+//! wall time; queries are pure functions of the bucket table. The sketch
+//! therefore inherits the house guarantee that observability is
+//! bit-invisible to simulation results and byte-identical across
+//! `--jobs`.
+
+/// Relative accuracy target of the sketch (1%).
+const ALPHA: f64 = 0.01;
+
+/// Log-bucket growth factor: `γ = (1 + α) / (1 − α)`. A bucket `i`
+/// covers `(γ^(i−1), γ^i]`, so quoting the geometric midpoint of a
+/// bucket is never more than `α` away (relatively) from any value in it.
+const GAMMA: f64 = (1.0 + ALPHA) / (1.0 - ALPHA);
+
+/// Smallest positive value with its own bucket (1 ns expressed in ms).
+/// Anything in `(0, MIN_VALUE]` lands in the first bucket; zero and
+/// negative values land in the dedicated low bucket.
+const MIN_VALUE: f64 = 1e-6;
+
+/// Largest value with its own bucket (~11.6 simulated days in ms).
+/// Larger samples clamp into the top bucket (still counted, `max` stays
+/// exact).
+const MAX_VALUE: f64 = 1e9;
+
+/// A deterministic log-bucketed quantile sketch with fixed memory and
+/// ≤1% relative error.
+///
+/// # Example
+///
+/// ```
+/// use sebs_metrics::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new();
+/// for v in 1..=1000 {
+///     s.push(v as f64);
+/// }
+/// let p99 = s.percentile(99.0);
+/// assert!((p99 - 990.0).abs() / 990.0 <= QuantileSketch::RELATIVE_ERROR);
+/// assert_eq!(s.percentile(100.0), 1000.0, "edges are exact");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// `counts[i]` counts samples in `(γ^(i + MIN_INDEX - 1), γ^(i + MIN_INDEX)]`.
+    counts: Vec<u64>,
+    /// Samples `<= 0` (latencies are non-negative; zero is legal).
+    low: u64,
+    /// Total finite samples recorded (NaN pushes are ignored).
+    count: u64,
+    /// Exact smallest finite sample (`f64::INFINITY` when empty).
+    min: f64,
+    /// Exact largest finite sample (`f64::NEG_INFINITY` when empty).
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// The guaranteed relative-error bound of every percentile estimate.
+    pub const RELATIVE_ERROR: f64 = ALPHA;
+
+    /// Number of log buckets — fixed at construction, independent of the
+    /// sample count.
+    pub const BUCKETS: usize = (MAX_INDEX - MIN_INDEX + 1) as usize;
+
+    /// An empty sketch. Allocates the full bucket table up front so the
+    /// memory footprint is constant from the first push to the last.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            counts: vec![0; Self::BUCKETS],
+            low: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. NaN samples are ignored (they carry no
+    /// latency); zero and negative samples count in a dedicated low
+    /// bucket; values beyond the bucket range clamp into the edge
+    /// buckets while `min`/`max` stay exact.
+    pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        if value <= 0.0 {
+            self.low += 1;
+            return;
+        }
+        let idx = bucket_index(value);
+        self.counts[idx] += 1;
+    }
+
+    /// Total samples recorded (NaN pushes excluded).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample; NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.is_empty() {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample; NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.is_empty() {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Absorbs another sketch. Bucket counts add in `u64` and the
+    /// `min`/`max` folds are exact, so merging is associative and
+    /// commutative — any merge order over any partition of the samples
+    /// produces the same bytes.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.low += other.low;
+        self.count += other.count;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// The `p`-th percentile (0–100) by the nearest-rank method, with the
+    /// same edge semantics as [`Histogram::percentile`](crate::Histogram):
+    /// `p = 0` answers the exact minimum, `p = 100` the exact maximum,
+    /// out-of-range `p` clamps, NaN `p` (or an empty sketch) answers NaN.
+    /// Interior percentiles quote the geometric midpoint of the ranked
+    /// bucket, which is within [`Self::RELATIVE_ERROR`] of the exact
+    /// ranked sample.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if p.is_nan() || self.is_empty() {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = self.low;
+        if rank <= seen {
+            // All ranked mass is non-positive; the exact minimum is the
+            // best bounded-error answer available.
+            return self.min;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if rank <= seen {
+                let estimate = bucket_value(i);
+                // The exact extrema bracket every sample, so clamping can
+                // only reduce the error.
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Approximate arithmetic mean from bucket midpoints — within the
+    /// relative-error bound of the exact mean when all samples are
+    /// positive. NaN when empty. (The exact sum is deliberately not
+    /// tracked: float addition is not associative, and the sketch
+    /// guarantees byte-identical merges under any order.)
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        let mut total = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                total += c as f64 * bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        // Non-positive samples contribute their best bounded estimate:
+        // the exact minimum (all of them are ≤ 0 ≤ every bucket value).
+        total += self.low as f64 * self.min.min(0.0);
+        total / self.count as f64
+    }
+
+    /// The canonical byte encoding: layout version, bucket geometry,
+    /// totals, exact extrema (IEEE bits) and the non-empty `(index,
+    /// count)` pairs in ascending index order. Two sketches over the same
+    /// multiset of samples encode identically regardless of push or merge
+    /// order.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(Self::BUCKETS as u32).to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.low.to_le_bytes());
+        out.extend_from_slice(&self.min.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max.to_bits().to_le_bytes());
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new()
+    }
+}
+
+/// Lowest log-bucket index: `ceil(log_γ(MIN_VALUE))` for `MIN_VALUE = 1e-6`.
+const MIN_INDEX: i64 = -690;
+/// Highest log-bucket index: `ceil(log_γ(MAX_VALUE))` for `MAX_VALUE = 1e9`.
+const MAX_INDEX: i64 = 1037;
+
+/// Maps a positive value to its bucket slot (clamped to the table).
+fn bucket_index(value: f64) -> usize {
+    let v = value.clamp(MIN_VALUE, MAX_VALUE);
+    let raw = (v.ln() / GAMMA.ln()).ceil() as i64;
+    let idx = raw.clamp(MIN_INDEX, MAX_INDEX) - MIN_INDEX;
+    idx as usize
+}
+
+/// The representative value of bucket slot `i`: the geometric midpoint
+/// `2 γ^k / (γ + 1)` of `(γ^(k−1), γ^k]`, whose relative distance to any
+/// value in the bucket is at most `(γ − 1) / (γ + 1) = α`.
+fn bucket_value(i: usize) -> f64 {
+    let k = i as i64 + MIN_INDEX;
+    let upper = GAMMA.powi(k as i32);
+    2.0 * upper / (GAMMA + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn bucket_table_covers_the_value_range() {
+        // The compile-time index bounds must actually bracket the value
+        // range under the runtime γ.
+        let lo = (MIN_VALUE.ln() / GAMMA.ln()).ceil() as i64;
+        let hi = (MAX_VALUE.ln() / GAMMA.ln()).ceil() as i64;
+        assert!(MIN_INDEX <= lo, "MIN_INDEX {MIN_INDEX} > {lo}");
+        assert!(MAX_INDEX >= hi, "MAX_INDEX {MAX_INDEX} < {hi}");
+        assert_eq!(
+            QuantileSketch::BUCKETS,
+            (MAX_INDEX - MIN_INDEX + 1) as usize
+        );
+    }
+
+    #[test]
+    fn memory_is_fixed_regardless_of_samples() {
+        let empty = QuantileSketch::new();
+        let mut s = QuantileSketch::new();
+        for i in 0..100_000 {
+            s.push((i % 977) as f64 + 0.5);
+        }
+        assert_eq!(s.counts.len(), empty.counts.len(), "no growth");
+        assert_eq!(s.counts.capacity(), empty.counts.capacity());
+    }
+
+    #[test]
+    fn percentiles_track_the_exact_histogram() {
+        let mut s = QuantileSketch::new();
+        let mut h = Histogram::new();
+        for i in 1..=10_000u32 {
+            let v = (i as f64).sqrt() * 3.7;
+            s.push(v);
+            h.push(v);
+        }
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+            let exact = h.percentile(p);
+            let est = s.percentile(p);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= QuantileSketch::RELATIVE_ERROR,
+                "p{p}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn edges_are_exact_and_match_histogram_semantics() {
+        let mut s = QuantileSketch::new();
+        for v in [3.25, 17.0, 0.4, 99.5] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.0), 0.4);
+        assert_eq!(s.percentile(100.0), 99.5);
+        assert_eq!(s.percentile(-10.0), 0.4, "clamps like Histogram");
+        assert_eq!(s.percentile(400.0), 99.5);
+        assert_eq!(s.min(), 0.4);
+        assert_eq!(s.max(), 99.5);
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert!(s.percentile(50.0).is_nan());
+        assert!(s.mean().is_nan());
+        assert!(s.min().is_nan() && s.max().is_nan());
+        let mut s = QuantileSketch::new();
+        s.push(f64::NAN);
+        assert!(s.is_empty(), "NaN samples are ignored entirely");
+        s.push(5.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.percentile(50.0), 5.0, "single sample is exact");
+        assert!(s.percentile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn zero_and_negative_samples_land_in_the_low_bucket() {
+        let mut s = QuantileSketch::new();
+        s.push(0.0);
+        s.push(-2.0);
+        s.push(10.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -2.0);
+        assert_eq!(s.percentile(0.0), -2.0);
+        // Rank 1 and 2 fall in the low bucket → exact minimum.
+        assert_eq!(s.percentile(40.0), -2.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn merge_is_order_independent_to_the_byte() {
+        let parts: Vec<QuantileSketch> = (0..5)
+            .map(|k| {
+                let mut s = QuantileSketch::new();
+                for i in 0..200 {
+                    s.push(((k * 977 + i * 31) % 5000) as f64 / 7.0 + 0.1);
+                }
+                s
+            })
+            .collect();
+        let merge_in = |order: &[usize]| {
+            let mut total = QuantileSketch::new();
+            for &i in order {
+                total.merge(&parts[i]);
+            }
+            total.encode()
+        };
+        let reference = merge_in(&[0, 1, 2, 3, 4]);
+        for order in [
+            [4, 3, 2, 1, 0],
+            [2, 0, 4, 1, 3],
+            [1, 4, 0, 3, 2],
+            [3, 1, 4, 2, 0],
+        ] {
+            assert_eq!(merge_in(&order), reference, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_pushing_everything_into_one() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for i in 0..1000 {
+            let v = (i as f64) * 0.37 + 1.0;
+            if i % 2 == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+            all.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.encode(), all.encode());
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn extreme_values_clamp_but_stay_counted() {
+        let mut s = QuantileSketch::new();
+        s.push(1e-9);
+        s.push(1e12);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), 1e-9, "min stays exact past the bucket range");
+        assert_eq!(s.max(), 1e12, "max stays exact past the bucket range");
+    }
+
+    #[test]
+    fn mean_tracks_the_exact_mean_for_positive_samples() {
+        let mut s = QuantileSketch::new();
+        let mut h = Histogram::new();
+        for i in 1..=5000u32 {
+            let v = 2.0 + (i % 313) as f64;
+            s.push(v);
+            h.push(v);
+        }
+        let rel = (s.mean() - h.mean()).abs() / h.mean();
+        assert!(rel <= QuantileSketch::RELATIVE_ERROR, "rel {rel}");
+    }
+}

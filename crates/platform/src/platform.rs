@@ -9,10 +9,10 @@ use sebs_cloud::DriftingClock;
 use sebs_resilience::{CircuitBreaker, FaultInjector, FaultPlan, FaultyStore, HedgeTracker};
 use sebs_resilience::{InjectionCounts, RetryPolicy};
 use sebs_sim::rng::{Rng, StreamRng};
-use sebs_sim::{SimDuration, SimRng, SimTime};
+use sebs_sim::{Phase, PhaseProfiler, SimDuration, SimRng, SimTime};
 use sebs_storage::{ObjectStorage, SimObjectStore, StorageOp};
 use sebs_telemetry::{MetricsChunk, MetricsHub, DEFAULT_SAMPLE_INTERVAL};
-use sebs_trace::{InvocationTrace, TraceSpan};
+use sebs_trace::{InvocationTrace, SamplerSpec, TraceSampler, TraceSpan};
 use sebs_workloads::{InvocationCtx, IoEvent, IoKind, Payload, Workload, WorkloadError};
 
 use crate::billing::InvocationBill;
@@ -153,6 +153,13 @@ pub struct FaasPlatform {
     tracing: bool,
     trace_seq: u64,
     traces: Vec<InvocationTrace>,
+    // Bounded trace sampling: when installed, collected traces flow into
+    // the sampler (own RNG streams, so results never change) instead of
+    // the unbounded `traces` vector.
+    sampler: Option<TraceSampler>,
+    // Sim-time phase profiling shares the tracing contract: preallocated,
+    // no RNG draw, no wall-clock read, zero cost when `None`.
+    profiler: Option<PhaseProfiler>,
     // Metrics collection shares the tracing contract: purely observational,
     // no RNG draw and no wall-clock read, so results never change with it.
     metrics: Option<MetricsHub>,
@@ -212,6 +219,8 @@ impl FaasPlatform {
             tracing: false,
             trace_seq: 0,
             traces: Vec::new(),
+            sampler: None,
+            profiler: None,
             metrics: None,
             seed,
             faults: None,
@@ -289,9 +298,48 @@ impl FaasPlatform {
         self.tracing
     }
 
-    /// Drains the traces collected so far, in invocation order.
+    /// Switches tracing on with a bounded [`TraceSampler`] instead of
+    /// full collection: memory stays fixed no matter how many invocations
+    /// run, and [`FaasPlatform::take_traces`] returns the sampled set.
+    /// The sampler draws only from dedicated `trace-reservoir` streams of
+    /// the platform seed, so — like plain tracing — enabling it cannot
+    /// change any simulation result.
+    pub fn enable_trace_sampling(&mut self, spec: SamplerSpec) {
+        self.tracing = true;
+        self.sampler = Some(TraceSampler::new(spec, self.seed));
+    }
+
+    /// Whether bounded trace sampling is active.
+    pub fn sampling_enabled(&self) -> bool {
+        self.sampler.is_some()
+    }
+
+    /// Drains the traces collected so far, in invocation order. With a
+    /// sampler installed, this is the bounded kept set (reservoir sample,
+    /// slowest exemplars, error exemplars), still in invocation order.
     pub fn take_traces(&mut self) -> Vec<InvocationTrace> {
-        std::mem::take(&mut self.traces)
+        match self.sampler.as_mut() {
+            Some(s) => s.drain(),
+            None => std::mem::take(&mut self.traces),
+        }
+    }
+
+    /// Switches on the sim-time phase profiler. Recording is
+    /// allocation-free and reads no wall clock, so — like tracing — it is
+    /// invisible to simulation results.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(PhaseProfiler::new());
+    }
+
+    /// The accumulated phase profile, if profiling is enabled.
+    pub fn phase_profile(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Takes the accumulated phase profile, leaving profiling enabled
+    /// with fresh counters.
+    pub fn take_profile(&mut self) -> Option<PhaseProfiler> {
+        self.profiler.as_mut().map(std::mem::take)
     }
 
     /// Enables fleet-wide metrics collection with gauge sampling every
@@ -800,7 +848,8 @@ impl FaasPlatform {
         if self.tracing && chain.attempts.len() > 1 {
             let root = build_chain_span(&chain, chain_start, hedge_offset);
             debug_assert_eq!(root.validate(), Ok(()), "chain span tree is well-formed");
-            self.push_trace(&name, memory, root);
+            let failed = !chain.outcome.is_success();
+            self.push_trace(&name, memory, root, failed);
         }
         chain
     }
@@ -987,6 +1036,9 @@ impl FaasPlatform {
         let cold_init = cold_breakdown
             .as_ref()
             .map_or(SimDuration::ZERO, |b| b.total());
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(Phase::PoolAcquire, cold_init);
+        }
 
         // 5. Execute the function body. Warm containers keep workload
         // caches (e.g. the loaded model) alive between invocations.
@@ -1028,6 +1080,9 @@ impl FaasPlatform {
         record.instructions = counters.instructions;
         record.io_time = io_time;
         record.benchmark_time = compute_time + io_time;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_events(Phase::StorageOp, counters.storage_requests, io_time);
+        }
 
         // 7. Memory accounting: runtime baseline + workload peak.
         let runtime_base_mb = match language {
@@ -1130,6 +1185,9 @@ impl FaasPlatform {
             response_bytes,
             trigger.uses_api_gateway(),
         );
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(Phase::Billing, record.bill.billed_duration);
+        }
 
         // 10. Timestamps for the clock-sync protocol.
         let start_delay =
@@ -1159,7 +1217,8 @@ impl FaasPlatform {
                 Ok(()),
                 "invocation span tree is well-formed"
             );
-            self.push_trace(&deployed.config.name, memory, root);
+            let failed = !record.outcome.is_success();
+            self.push_trace(&deployed.config.name, memory, root, failed);
         }
 
         self.record_invocation_metrics(&deployed.config.name, &record, spurious);
@@ -1309,21 +1368,25 @@ impl FaasPlatform {
             .with_arg("outcome", record.outcome.label())
             .with_arg("memory_mb", record.configured_memory_mb.to_string())
             .with_arg("concurrency", record.concurrency.to_string());
-        self.push_trace(benchmark, record.configured_memory_mb, root);
+        self.push_trace(benchmark, record.configured_memory_mb, root, true);
     }
 
     // audit:allow(hot-path-allocation): trace records are pushed only when tracing is enabled
-    fn push_trace(&mut self, benchmark: &str, memory_mb: u32, root: TraceSpan) {
+    fn push_trace(&mut self, benchmark: &str, memory_mb: u32, root: TraceSpan, failed: bool) {
         let seq = self.trace_seq;
         self.trace_seq += 1;
-        self.traces.push(InvocationTrace {
+        let trace = InvocationTrace {
             provider: self.profile.kind.to_string(),
             benchmark: benchmark.to_string(),
             memory_mb,
             cell: None,
             seq,
             root,
-        });
+        };
+        match self.sampler.as_mut() {
+            Some(s) => s.offer(trace, failed),
+            None => self.traces.push(trace),
+        }
     }
 }
 
@@ -1868,6 +1931,88 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sampling_and_profiling_never_change_results() {
+        let run = |observe: bool| {
+            let mut p = FaasPlatform::new(ProviderProfile::gcp(), 77);
+            if observe {
+                p.enable_trace_sampling(SamplerSpec::fleet_default());
+                p.enable_profiling();
+            }
+            let wl = Uploader::new(Language::Python);
+            let fid = p
+                .deploy(FunctionConfig::new("uploader", Language::Python, 512))
+                .unwrap();
+            let payload = p.prepare(&wl, Scale::Test);
+            let burst = p.invoke_burst(fid, &wl, &vec![payload.clone(); 4]);
+            p.advance(SimDuration::from_secs(2));
+            let warm = p.invoke(fid, &wl, &payload);
+            (
+                burst.iter().map(|r| r.client_time).collect::<Vec<_>>(),
+                warm.client_time,
+                warm.bill.total_usd(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_sampling_bounds_kept_traces() {
+        let spec = SamplerSpec {
+            reservoir_per_fn: 2,
+            slowest_k: 3,
+            error_k: 2,
+        };
+        let mut p = aws();
+        p.enable_trace_sampling(spec);
+        assert!(p.sampling_enabled());
+        assert!(p.tracing_enabled(), "sampling implies tracing");
+        let (fid, wl, payload) = deploy_html(&mut p, 512);
+        for _ in 0..40 {
+            p.invoke(fid, &wl, &payload);
+            p.advance(SimDuration::from_millis(200));
+        }
+        let traces = p.take_traces();
+        assert!(!traces.is_empty());
+        assert!(
+            traces.len() <= spec.max_kept(1),
+            "kept {} of 40 traces",
+            traces.len()
+        );
+        let seqs: Vec<u64> = traces.iter().map(|t| t.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "sampled traces come out in invocation order");
+    }
+
+    #[test]
+    fn phase_profile_accounts_cold_starts_storage_and_billing() {
+        let mut p = aws();
+        p.enable_profiling();
+        let wl = Uploader::new(Language::Python);
+        let fid = p
+            .deploy(FunctionConfig::new("uploader", Language::Python, 512))
+            .unwrap();
+        let payload = p.prepare(&wl, Scale::Test);
+        let cold = p.invoke(fid, &wl, &payload);
+        assert_eq!(cold.start, StartKind::Cold);
+        p.advance(SimDuration::from_secs(2));
+        p.invoke(fid, &wl, &payload);
+
+        let profile = p.take_profile().expect("profiling enabled");
+        let pool = profile.stat(Phase::PoolAcquire);
+        assert_eq!(pool.events, 2, "one acquire per invocation");
+        assert!(!pool.sim_time.is_zero(), "cold init time accounted");
+        let storage = profile.stat(Phase::StorageOp);
+        assert!(storage.events > 0, "uploader issues storage requests");
+        assert_eq!(profile.stat(Phase::Billing).events, 2);
+        assert!(!profile.stat(Phase::Billing).sim_time.is_zero());
+        assert!(
+            p.take_profile().expect("still enabled").is_empty(),
+            "take_profile resets the counters"
+        );
     }
 
     #[test]

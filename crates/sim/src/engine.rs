@@ -150,6 +150,10 @@ pub struct Engine<W> {
     dispatch_hook: Option<DispatchHook>,
     // (interval, next boundary, hook) of the periodic sampler, if any.
     sample: Option<(SimDuration, SimTime, SampleHook<W>)>,
+    // Optional dispatch-phase profiler: preallocated, recording is a
+    // single branch + array update, so the hot loop stays allocation-free
+    // and the disabled case costs one `Option` check per event.
+    profiler: Option<crate::profile::PhaseProfiler>,
 }
 
 impl<W: std::fmt::Debug> std::fmt::Debug for Engine<W> {
@@ -177,7 +181,26 @@ impl<W> Engine<W> {
             processed: 0,
             dispatch_hook: None,
             sample: None,
+            profiler: None,
         }
+    }
+
+    /// Switches on dispatch profiling: every fired event records one
+    /// `Phase::EngineDispatch` entry whose sim time is how far the clock
+    /// jumped to reach it. Purely observational — no RNG, no wall clock —
+    /// and allocation-free per event.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(crate::profile::PhaseProfiler::new());
+    }
+
+    /// The dispatch profile collected so far, if profiling is on.
+    pub fn profile(&self) -> Option<&crate::profile::PhaseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Takes the dispatch profile, switching profiling off.
+    pub fn take_profile(&mut self) -> Option<crate::profile::PhaseProfiler> {
+        self.profiler.take()
     }
 
     /// Installs an observer called once per dispatched event, just before
@@ -321,6 +344,12 @@ impl<W> Engine<W> {
             };
             debug_assert!(entry.at >= self.now, "event queue went backwards");
             self.pump_samples(entry.at);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(
+                    crate::profile::Phase::EngineDispatch,
+                    entry.at.saturating_duration_since(self.now),
+                );
+            }
             self.now = entry.at;
             if let Some(hook) = self.dispatch_hook.as_mut() {
                 hook(&EventDispatch {
@@ -358,6 +387,41 @@ impl<W> Engine<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dispatch_profiling_counts_events_and_time_jumps() {
+        use crate::profile::Phase;
+        let mut e: Engine<u32> = Engine::new(0, 7);
+        assert!(e.profile().is_none(), "profiling is off by default");
+        e.enable_profiling();
+        e.schedule(SimDuration::from_millis(10), |w, _| *w += 1);
+        e.schedule(SimDuration::from_millis(25), |w, _| *w += 1);
+        e.run();
+        let p = e.take_profile().expect("profiling was enabled");
+        let s = p.stat(Phase::EngineDispatch);
+        assert_eq!(s.events, 2);
+        assert_eq!(s.sim_time, SimDuration::from_millis(25), "jump total");
+        assert!(e.profile().is_none(), "take_profile switches it off");
+    }
+
+    #[test]
+    fn profiling_is_invisible_to_results() {
+        let run = |profiled: bool| {
+            let mut e: Engine<Vec<u64>> = Engine::new(Vec::new(), 11);
+            if profiled {
+                e.enable_profiling();
+            }
+            for i in 0..50u64 {
+                e.schedule(SimDuration::from_millis(i * 3 % 17), move |w, ctx| {
+                    use crate::rng::Rng;
+                    w.push(i ^ ctx.rng().stream("ev").gen::<u64>());
+                });
+            }
+            e.run();
+            e.into_world()
+        };
+        assert_eq!(run(false), run(true));
+    }
 
     #[test]
     fn events_run_in_time_order() {

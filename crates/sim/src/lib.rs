@@ -30,6 +30,7 @@
 pub mod bytes;
 pub mod dist;
 pub mod engine;
+pub mod profile;
 pub mod resource;
 pub mod rng;
 mod slab;
@@ -39,5 +40,6 @@ mod wheel;
 pub use bytes::Bytes;
 pub use dist::Dist;
 pub use engine::{Engine, EventDispatch, EventId};
+pub use profile::{Phase, PhaseProfiler, PhaseStat};
 pub use rng::{Rng, RngCore, SimRng, StreamRng};
 pub use time::{SimDuration, SimTime};

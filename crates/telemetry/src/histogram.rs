@@ -4,6 +4,11 @@
 //! milliseconds), bucketed against fixed upper bounds — the classic
 //! Prometheus cumulative-histogram shape, but fed exclusively from
 //! sim-time quantities so the aggregate is reproducible bit-for-bit.
+//!
+//! This type exists for the **export shape** only. For exact
+//! percentiles use `sebs_metrics::Histogram`; for bounded-memory
+//! fleet-scale percentiles use `sebs_metrics::QuantileSketch` (see the
+//! `sebs_metrics::histogram` module docs for the full comparison).
 
 use sebs_sim::SimDuration;
 

@@ -27,10 +27,12 @@
 
 pub mod breakdown;
 pub mod chrome;
+pub mod sampler;
 pub mod sink;
 pub mod span;
 
 pub use breakdown::breakdown_table;
 pub use chrome::chrome_trace_json;
+pub use sampler::{SamplerSpec, TraceSampler};
 pub use sink::{InvocationTrace, TraceSink};
 pub use span::TraceSpan;

@@ -1,0 +1,187 @@
+//! Cross-crate consistency of the three latency-summary types.
+//!
+//! The suite deliberately keeps three summaries (see the module docs of
+//! `sebs_metrics::histogram`):
+//!
+//! * [`sebs_metrics::Histogram`] — exact full-sample percentiles for
+//!   experiment-scale series (the paper tables);
+//! * [`sebs_metrics::QuantileSketch`] — bounded-memory log-bucketed
+//!   percentiles for fleet-scale series;
+//! * `sebs_telemetry::SimHistogram` — fixed-bound cumulative buckets in
+//!   the Prometheus export shape.
+//!
+//! These tests pin the contract that lets them coexist: over the same
+//! samples the sketch's percentiles track the exact histogram within
+//! `QuantileSketch::RELATIVE_ERROR`, the counts/sums agree across all
+//! three, and the sketch's canonical byte encoding is invariant under
+//! merge order (the property `sebs report` relies on for `--jobs`
+//! byte-identity).
+
+use sebs_metrics::{Histogram, QuantileSketch};
+use sebs_sim::{Dist, SimRng};
+use sebs_telemetry::SimHistogram;
+
+/// Draws `n` samples from `dist` on a deterministic stream.
+fn draws(dist: &Dist, n: usize, seed: u64) -> Vec<f64> {
+    let root = SimRng::new(seed);
+    let mut rng = root.stream("sketch-consistency");
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+/// The distributions the platform model actually uses for latency: a
+/// truncated normal, the heavy-tailed log-normal, and the bimodal
+/// mixture that models spurious cold starts.
+fn latency_shapes() -> Vec<(&'static str, Dist)> {
+    vec![
+        (
+            "normal",
+            Dist::Normal {
+                mean: 120.0,
+                std_dev: 35.0,
+            },
+        ),
+        (
+            "lognormal",
+            Dist::LogNormal {
+                mu: 3.2,
+                sigma: 0.8,
+            },
+        ),
+        (
+            "mixture",
+            Dist::Mixture {
+                p: 0.07,
+                first: Box::new(Dist::shifted_lognormal(900.0, 4.0, 0.5)),
+                second: Box::new(Dist::LogNormal {
+                    mu: 2.4,
+                    sigma: 0.4,
+                }),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn sketch_percentiles_track_exact_histogram_within_relative_error() {
+    for (name, dist) in latency_shapes() {
+        for seed in [7u64, 2021, 900_913] {
+            let samples = draws(&dist, 20_000, seed);
+            let mut sketch = QuantileSketch::new();
+            let mut exact = Histogram::new();
+            for &v in &samples {
+                sketch.push(v);
+                exact.push(v);
+            }
+            for p in [0.5, 1.0, 5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+                let e = exact.percentile(p);
+                let s = sketch.percentile(p);
+                // All latency draws are ≥ 0; guard the relative error
+                // against an exact value of zero (possible for the
+                // truncated normal's low tail).
+                let rel = (s - e).abs() / e.abs().max(1e-12);
+                assert!(
+                    rel <= QuantileSketch::RELATIVE_ERROR || (s - e).abs() <= 1e-9,
+                    "{name} seed {seed} p{p}: sketch {s} vs exact {e} (rel {rel})"
+                );
+            }
+            assert_eq!(
+                sketch.percentile(0.0),
+                exact.percentile(0.0),
+                "{name}: p0 exact"
+            );
+            assert_eq!(
+                sketch.percentile(100.0),
+                exact.percentile(100.0),
+                "{name}: p100 exact"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_three_summaries_agree_on_count_and_mass() {
+    for (name, dist) in latency_shapes() {
+        let samples = draws(&dist, 5_000, 42);
+        let mut sketch = QuantileSketch::new();
+        let mut exact = Histogram::new();
+        let mut sim = SimHistogram::latency_ms();
+        for &v in &samples {
+            sketch.push(v);
+            exact.push(v);
+            sim.observe(v);
+        }
+        assert_eq!(sketch.count(), samples.len() as u64, "{name}: sketch count");
+        assert_eq!(exact.len(), samples.len(), "{name}: histogram count");
+        assert_eq!(
+            sim.count(),
+            samples.len() as u64,
+            "{name}: sim-histogram count"
+        );
+        let rel_sum = (sim.sum() - exact.sum()).abs() / exact.sum().abs().max(1e-12);
+        assert!(rel_sum <= 1e-9, "{name}: sums agree (rel {rel_sum})");
+        let rel_mean = (sketch.mean() - exact.mean()).abs() / exact.mean().abs().max(1e-12);
+        assert!(
+            rel_mean <= QuantileSketch::RELATIVE_ERROR,
+            "{name}: sketch mean within bound (rel {rel_mean})"
+        );
+    }
+}
+
+#[test]
+fn sharded_merge_is_byte_identical_under_any_order() {
+    // Shard one sample stream across 8 "cells", merge the cell sketches
+    // in several different orders, and require byte-identical encodings
+    // — the exact property `sebs report` needs for jobs-invariance.
+    for (name, dist) in latency_shapes() {
+        let samples = draws(&dist, 16_000, 1337);
+        let mut shards = vec![QuantileSketch::new(); 8];
+        let mut whole = QuantileSketch::new();
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % 8].push(v);
+            whole.push(v);
+        }
+        let merge_in = |order: &[usize]| {
+            let mut total = QuantileSketch::new();
+            for &i in order {
+                total.merge(&shards[i]);
+            }
+            total.encode()
+        };
+        let reference = merge_in(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            reference,
+            whole.encode(),
+            "{name}: sharded merge equals the unsharded sketch"
+        );
+        for order in [
+            [7, 6, 5, 4, 3, 2, 1, 0],
+            [3, 1, 4, 7, 5, 2, 6, 0],
+            [2, 7, 0, 5, 1, 6, 3, 4],
+        ] {
+            assert_eq!(merge_in(&order), reference, "{name}: order {order:?}");
+        }
+    }
+}
+
+#[test]
+fn deterministic_draws_make_these_tests_reproducible() {
+    // The property tests above are only meaningful if the sample streams
+    // themselves are reproducible; pin that explicitly.
+    let a = draws(
+        &Dist::LogNormal {
+            mu: 3.0,
+            sigma: 1.0,
+        },
+        100,
+        7,
+    );
+    let b = draws(
+        &Dist::LogNormal {
+            mu: 3.0,
+            sigma: 1.0,
+        },
+        100,
+        7,
+    );
+    assert_eq!(a, b);
+}
