@@ -3,11 +3,11 @@
 #
 # Every scenario runs the same product binary at different worker counts
 # and must serialize byte-identical exports; this script is the single
-# place the scenario commands and the byte-diff live, so the grid, chaos
-# and fleet jobs cannot drift apart.
+# place the scenario commands and the byte-diff live, so the grid, chaos,
+# fleet, cluster and report jobs cannot drift apart.
 #
 # Usage:
-#   ci/determinism.sh run <grid|chaos|fleet|report> <jobs>   # exports into out-<jobs>/
+#   ci/determinism.sh run <grid|chaos|fleet|cluster|report> <jobs>   # exports into out-<jobs>/
 #   ci/determinism.sh diff <jobs-a> <jobs-b>          # byte-compare the trees
 #
 # The binary is expected at target/release/sebs. `diff` compares every
@@ -56,6 +56,21 @@ run_fleet() {
     --metrics "$out/fleet-metrics.csv" --metrics-format csv > /dev/null
 }
 
+run_cluster() {
+  local out=$1 jobs=$2
+  # Scheduler x keep-alive x host-fault sweep on a multi-host region:
+  # crash schedules, failover retries and shedding must all replay
+  # byte-identically at any worker count.
+  "$SEBS" cluster --provider aws \
+    --hosts 8 --cpus 4 --queue 8 \
+    --functions 12 --invocations 1200 --horizon-secs 900 \
+    --schedulers least-loaded,random-2,locality \
+    --keepalives provider,fixed-600,hybrid \
+    --host-fault-rates 0,0.15,0.4 \
+    --jobs "$jobs" --json "$out/cluster.json" --csv "$out/cluster.csv" \
+    --trace "$out/cluster-trace.json" > "$out/stdout.txt"
+}
+
 run_report() {
   local out=$1 jobs=$2
   # Full observability stack on: sampled exemplar traces, quantile
@@ -78,10 +93,11 @@ case "$cmd" in
     out="out-$jobs"
     mkdir -p "$out"
     case "$scenario" in
-      grid)   run_grid   "$out" "$jobs" ;;
-      chaos)  run_chaos  "$out" "$jobs" ;;
-      fleet)  run_fleet  "$out" "$jobs" ;;
-      report) run_report "$out" "$jobs" ;;
+      grid)    run_grid    "$out" "$jobs" ;;
+      chaos)   run_chaos   "$out" "$jobs" ;;
+      fleet)   run_fleet   "$out" "$jobs" ;;
+      cluster) run_cluster "$out" "$jobs" ;;
+      report)  run_report  "$out" "$jobs" ;;
       *) echo "unknown scenario: $scenario" >&2; exit 2 ;;
     esac
     ;;

@@ -241,6 +241,7 @@ impl FileScope {
                 "telemetry",
                 "resilience",
                 "workload-gen",
+                "cluster",
             ]
             .iter()
             .any(|c| in_crate_src && path.split('/').nth(1) == Some(*c)),

@@ -14,12 +14,13 @@
 use std::process::ExitCode;
 
 use sebs::experiments::{
-    run_availability, run_eviction_model, run_fleet, run_invocation_overhead,
-    run_local_characterization, run_perf_cost_grid, EvictionExperimentConfig, FleetConfig,
-    LabeledPolicy,
+    run_availability, run_cluster, run_eviction_model, run_fleet, run_invocation_overhead,
+    run_local_characterization, run_perf_cost_grid, ClusterSweepConfig, EvictionExperimentConfig,
+    FleetConfig, LabeledPolicy,
 };
 use sebs::runner::available_jobs;
 use sebs::{fleet_report, ExperimentGrid, ParallelRunner, ReportFormat, Suite, SuiteConfig};
+use sebs_cluster::{KeepAliveKind, SchedulerKind};
 use sebs_metrics::TextTable;
 use sebs_platform::{ProviderKind, StartKind, TriggerKind};
 use sebs_resilience::{FaultPlan, RetryPolicy};
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         "invoke" => cmd_invoke(&opts),
         "experiment" => cmd_experiment(&opts),
         "availability" => cmd_availability(&opts),
+        "cluster" => cmd_cluster(&opts),
         "fleet" => cmd_fleet(&opts),
         "report" => cmd_report(&opts),
         "help" | "--help" | "-h" => {
@@ -81,6 +83,22 @@ USAGE:
                                                default 0,0.05,0.25)
                 [--faults SPEC] [--retry SPEC] [--jobs N] [--seed N]
                 [--csv FILE] [--json FILE] [--trace FILE] [--metrics FILE]
+    sebs cluster [--provider P] [--hosts N] [--cpus N] [--queue N]
+                [--contention F]              (per-co-located-invocation I/O
+                                               inflation; 0 disables)
+                [--schedulers S1,S2,...]      (least-loaded, random-<k>,
+                                               locality; default all three)
+                [--keepalives K1,K2,...]      (provider, fixed-<secs>, hybrid;
+                                               default all three)
+                [--host-fault-rates R1,...]   (host-crash intensities;
+                                               default 0,0.15,0.4)
+                [--functions N] [--invocations N] [--horizon-secs S]
+                [--zipf EXP] [--retry SPEC] [--jobs N] [--seed N]
+                [--csv FILE] [--json FILE] [--trace FILE] [--trace-format F]
+                Sweeps scheduler x keep-alive x host-fault intensity on a
+                multi-host region: cold-start rate vs wasted warm GB-s
+                (the SitW Pareto frontier), availability, goodput and
+                cost per extra nine. Byte-identical for any --jobs.
     sebs fleet  [--provider P] [--functions N] [--invocations N]
                 [--horizon-secs S] [--zipf EXP] [--cells N]
                 [--import FILE]               (replay an external trace CSV —
@@ -171,6 +189,13 @@ struct Options {
     metrics_interval_secs: u64,
     out: Option<String>,
     report_format: ReportFormat,
+    hosts: u32,
+    host_cpus: u32,
+    queue_depth: u32,
+    contention: f64,
+    schedulers: Vec<SchedulerKind>,
+    keepalives: Vec<KeepAliveKind>,
+    host_fault_rates: Vec<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +244,21 @@ impl Options {
             metrics_interval_secs: 60,
             out: None,
             report_format: ReportFormat::Markdown,
+            hosts: 8,
+            host_cpus: 4,
+            queue_depth: 8,
+            contention: 0.03,
+            schedulers: vec![
+                SchedulerKind::LeastLoaded,
+                SchedulerKind::RandomK(2),
+                SchedulerKind::Locality,
+            ],
+            keepalives: vec![
+                KeepAliveKind::Provider,
+                KeepAliveKind::Fixed(600),
+                KeepAliveKind::Hybrid,
+            ],
+            host_fault_rates: vec![0.0, 0.15, 0.4],
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -350,6 +390,72 @@ impl Options {
                         .parse::<usize>()
                         .map_err(|e| format!("bad --cells: {e}"))?
                         .max(1)
+                }
+                "--hosts" => {
+                    o.hosts = value("--hosts")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad --hosts: {e}"))?
+                        .max(1)
+                }
+                "--cpus" => {
+                    o.host_cpus = value("--cpus")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad --cpus: {e}"))?
+                        .max(1)
+                }
+                "--queue" => {
+                    o.queue_depth = value("--queue")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad --queue: {e}"))?
+                }
+                "--contention" => {
+                    o.contention = value("--contention")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --contention: {e}"))?;
+                    if !o.contention.is_finite() || o.contention < 0.0 {
+                        return Err(format!(
+                            "bad --contention: {} must be finite and >= 0",
+                            o.contention
+                        ));
+                    }
+                }
+                "--schedulers" => {
+                    o.schedulers = value("--schedulers")?
+                        .split(',')
+                        .map(|s| SchedulerKind::parse(s.trim()))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| format!("bad --schedulers: {e}"))?;
+                    if o.schedulers.is_empty() {
+                        return Err("bad --schedulers: empty list".to_string());
+                    }
+                }
+                "--keepalives" => {
+                    o.keepalives = value("--keepalives")?
+                        .split(',')
+                        .map(|s| KeepAliveKind::parse(s.trim()))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| format!("bad --keepalives: {e}"))?;
+                    if o.keepalives.is_empty() {
+                        return Err("bad --keepalives: empty list".to_string());
+                    }
+                }
+                "--host-fault-rates" => {
+                    let list = value("--host-fault-rates")?;
+                    o.host_fault_rates = list
+                        .split(',')
+                        .map(|r| r.trim().parse())
+                        .collect::<Result<Vec<f64>, _>>()
+                        .map_err(|e| format!("bad --host-fault-rates: {e}"))?;
+                    if o.host_fault_rates.is_empty() {
+                        return Err("bad --host-fault-rates: empty list".to_string());
+                    }
+                    if let Some(bad) = o
+                        .host_fault_rates
+                        .iter()
+                        .find(|r| !(0.0..=1.0).contains(*r))
+                    {
+                        return Err(format!("bad --host-fault-rates: {bad} outside [0, 1]"));
+                    }
                 }
                 "--import" => o.import = Some(value("--import")?),
                 "--out" => o.out = Some(value("--out")?),
@@ -700,6 +806,93 @@ fn cmd_availability(o: &Options) -> Result<(), String> {
     }
     if let Some(path) = &o.metrics {
         write_metrics(path, o.metrics_format, &result.metrics)?;
+    }
+    Ok(())
+}
+
+/// Runs the scheduler × keep-alive × host-fault sweep on a multi-host
+/// region and prints one line per cell plus the Pareto breakdown.
+/// Stdout and every export are byte-identical for any `--jobs`.
+fn cmd_cluster(o: &Options) -> Result<(), String> {
+    let config = SuiteConfig::default()
+        .with_seed(o.seed)
+        .with_jobs(o.jobs)
+        .with_trace(o.trace.is_some());
+    let mut sweep = ClusterSweepConfig::new(o.provider);
+    sweep.hosts = o.hosts;
+    sweep.host_cpus = o.host_cpus;
+    sweep.queue_depth = o.queue_depth;
+    sweep.contention = o.contention;
+    sweep.functions = o.functions.min(200);
+    sweep.target_invocations = o.invocations.min(50_000);
+    sweep.horizon = SimDuration::from_secs(o.horizon_secs);
+    sweep.zipf_exponent = o.zipf;
+    sweep.schedulers = o.schedulers.clone();
+    sweep.keepalives = o.keepalives.clone();
+    sweep.host_fault_rates = o.host_fault_rates.clone();
+    if !o.retry.is_none() {
+        sweep.retry = o.retry.clone();
+    }
+    // The fleet/cluster defaults share Options fields; the fleet-scale
+    // defaults (1000 fns / 10⁵ invocations) are too heavy for a
+    // 27-cell sweep, so fall back to the sweep's own sizing when the
+    // flags were left untouched.
+    if o.functions == 1000 && o.invocations == 100_000 {
+        let d = ClusterSweepConfig::new(o.provider);
+        sweep.functions = d.functions;
+        sweep.target_invocations = d.target_invocations;
+    }
+    if o.horizon_secs == 7200 {
+        sweep.horizon = ClusterSweepConfig::new(o.provider).horizon;
+    }
+    let model = sweep.synthetic_model(o.seed);
+    let result = run_cluster(&config, &sweep, &model);
+    for s in &result.series {
+        println!(
+            "cell {:>3}: fault {:>5.2} {:<13} {:<12} cold {:>6.2}% wasted {:>10.1} GB-s \
+             avail {:>7.3}% (raw {:>7.3}%) goodput {:.3} hops {:>4} shed {:>4} ${:.6}",
+            s.index,
+            s.host_fault_rate,
+            s.scheduler,
+            s.keepalive,
+            s.cold_start_rate() * 100.0,
+            s.wasted_warm_gb_s,
+            s.effective_availability() * 100.0,
+            s.raw_availability() * 100.0,
+            s.goodput(),
+            s.failover_hops,
+            s.shed,
+            s.cost_usd,
+        );
+    }
+    for s in &result.series {
+        if let Some(per_nine) = s.cost_per_extra_nine() {
+            println!(
+                "cell {:>3}: failover pays ${:.8} per extra nine of availability",
+                s.index, per_nine
+            );
+        }
+    }
+    println!(
+        "cluster: {} hosts x {} cpus on {} | {} cells | {} chains",
+        sweep.hosts,
+        sweep.host_cpus,
+        o.provider,
+        result.series.len(),
+        result.series.iter().map(|s| s.chains).sum::<usize>(),
+    );
+    let store = result.to_store();
+    if let Some(path) = &o.csv {
+        std::fs::write(path, sebs_metrics::csv::to_csv(store.rows()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} rows to {path}", store.len());
+    }
+    if let Some(path) = &o.json {
+        std::fs::write(path, store.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} rows to {path}", store.len());
+    }
+    if let Some(path) = &o.trace {
+        write_trace(path, o.trace_format, &result.traces)?;
     }
     Ok(())
 }

@@ -11,9 +11,11 @@
 //! | [`break_even`] | Table 6 — FaaS/IaaS break-even request rates |
 //! | [`availability`] | §6.2 Q3 extended — goodput/cost under injected faults |
 //! | [`fleet`] | beyond the paper — trace-driven fleet replay (Azure 2019 shape) |
+//! | [`cluster`] | beyond the paper — multi-host fault domains: scheduler × keep-alive × host faults |
 
 pub mod availability;
 pub mod break_even;
+pub mod cluster;
 pub mod cold_start;
 pub mod eviction;
 pub mod faas_vs_iaas;
@@ -24,6 +26,9 @@ pub mod perf_cost;
 
 pub use availability::{run_availability, AvailabilityResult, AvailabilitySeries, LabeledPolicy};
 pub use break_even::{run_break_even, BreakEvenRow};
+pub use cluster::{
+    run_cluster, ClusterCell, ClusterSeries, ClusterSweepConfig, ClusterSweepResult,
+};
 pub use cold_start::{run_cold_start, run_cold_start_with, ColdStartResult};
 pub use eviction::{run_eviction_model, EvictionExperimentConfig, EvictionModelResult};
 pub use faas_vs_iaas::{run_faas_vs_iaas, FaasVsIaasRow};

@@ -42,6 +42,10 @@ pub enum FunctionErrorKind {
     /// The request payload was corrupted in flight (injected fault) —
     /// retryable, the client still holds the pristine payload.
     CorruptPayload,
+    /// The host running the invocation crashed mid-execution (cluster
+    /// fault domain) — retryable; a retried attempt lands on a surviving
+    /// host, cold.
+    HostCrash,
 }
 
 impl FunctionErrorKind {
@@ -53,6 +57,7 @@ impl FunctionErrorKind {
             FunctionErrorKind::BadRequest => "bad-request",
             FunctionErrorKind::SandboxCrash => "sandbox-crash",
             FunctionErrorKind::CorruptPayload => "corrupt-payload",
+            FunctionErrorKind::HostCrash => "host-crash",
         }
     }
 
@@ -61,18 +66,20 @@ impl FunctionErrorKind {
         match self {
             FunctionErrorKind::TransientStorage
             | FunctionErrorKind::SandboxCrash
-            | FunctionErrorKind::CorruptPayload => true,
+            | FunctionErrorKind::CorruptPayload
+            | FunctionErrorKind::HostCrash => true,
             FunctionErrorKind::Storage | FunctionErrorKind::BadRequest => false,
         }
     }
 
     /// Every variant, for exhaustiveness tests and metrics pre-registration.
-    pub const ALL: [FunctionErrorKind; 5] = [
+    pub const ALL: [FunctionErrorKind; 6] = [
         FunctionErrorKind::Storage,
         FunctionErrorKind::TransientStorage,
         FunctionErrorKind::BadRequest,
         FunctionErrorKind::SandboxCrash,
         FunctionErrorKind::CorruptPayload,
+        FunctionErrorKind::HostCrash,
     ];
 }
 
@@ -334,6 +341,7 @@ mod tests {
                 FunctionErrorKind::BadRequest => ("bad-request", false),
                 FunctionErrorKind::SandboxCrash => ("sandbox-crash", true),
                 FunctionErrorKind::CorruptPayload => ("corrupt-payload", true),
+                FunctionErrorKind::HostCrash => ("host-crash", true),
             };
             assert_eq!(kind.as_str(), tag);
             assert_eq!(kind.retryable(), retryable, "{tag}");

@@ -148,6 +148,10 @@ pub struct FaasPlatform {
     rng_memory: StreamRng,
     /// Client-side bandwidth to the provider's endpoints, bytes/second.
     client_bandwidth_bps: f64,
+    // Co-location contention multiplier applied on top of the per-function
+    // concurrency factor (cluster hosts raise it with their load); 1.0 is
+    // arithmetically invisible, keeping the single-box path bit-identical.
+    host_contention: f64,
     // Tracing is strictly observational: it consumes no randomness and no
     // host time, so results are identical with it on or off.
     tracing: bool,
@@ -216,6 +220,7 @@ impl FaasPlatform {
             rng_failure: root.stream("failure"),
             rng_memory: root.stream("memory"),
             client_bandwidth_bps: 30e6,
+            host_contention: 1.0,
             tracing: false,
             trace_seq: 0,
             traces: Vec::new(),
@@ -625,6 +630,58 @@ impl FaasPlatform {
         if let Some(pool) = self.pools.get_mut(&key) {
             pool.evict_all();
         }
+    }
+
+    /// Kills all warm containers of **every** function — the cluster's
+    /// host-crash switch: a dead machine loses its entire warm pool at
+    /// once. RNG-free, like [`FaasPlatform::enforce_cold_start`].
+    pub fn evict_all_containers(&mut self) {
+        for pool in self.pools.values_mut() {
+            pool.evict_all();
+        }
+    }
+
+    /// Replaces the eviction policy of a function's container pool — the
+    /// hook keep-alive policies use to (re)tune how long this function's
+    /// idle containers survive. Existing containers keep their state; the
+    /// new policy applies from the next pool advance.
+    pub fn set_pool_policy(&mut self, id: FunctionId, policy: crate::eviction::EvictionPolicy) {
+        let key = self.functions[id.0 as usize].pool_key.clone();
+        if let Some(pool) = self.pools.get_mut(&key) {
+            pool.set_policy(policy);
+        }
+    }
+
+    /// Sets the co-location contention multiplier: the extra slowdown a
+    /// cluster host applies to I/O when other invocations are packed onto
+    /// the same machine. `1.0` (the default) is arithmetically invisible —
+    /// the single-box platform stays bit-identical.
+    pub fn set_contention(&mut self, factor: f64) {
+        self.host_contention = factor.max(1.0);
+    }
+
+    /// Pre-warms one container for a function at the current sim-time: the
+    /// pool acquires and immediately releases a sandbox, so the *next*
+    /// arrival finds it idle and warm. This is the prewarm half of
+    /// hybrid-histogram keep-alive; it consumes pool-stream RNG like any
+    /// acquisition, so it is only driven by policies that opted in.
+    /// Returns `true` when the prewarm actually created a container (a
+    /// warm pool is left untouched rather than touched, so prewarming an
+    /// already-warm function does not refresh its idle clock).
+    pub fn prewarm(&mut self, id: FunctionId) -> bool {
+        let deployed = Rc::clone(&self.functions[id.0 as usize]);
+        let now = self.now;
+        let pool = match self.pools.get_mut(&deployed.pool_key) {
+            Some(pool) => pool,
+            None => return false,
+        };
+        pool.advance(now, &mut self.rng_pool);
+        if pool.idle_count() > 0 {
+            return false;
+        }
+        let acquired = pool.acquire(now, &mut self.rng_pool, 0.0, true);
+        pool.release(acquired.id(), now);
+        acquired.is_cold()
     }
 
     /// Number of warm containers currently alive for a function (after
@@ -1075,7 +1132,10 @@ impl FaasPlatform {
         let compute_rate = self.profile.compute_rate(memory, language);
         let compute_time = SimDuration::from_secs_f64(counters.instructions as f64 / compute_rate);
         let io_scale = self.profile.io_scale(memory);
-        let contention = 1.0 + 0.05 * ((concurrency.saturating_sub(1)).min(16) as f64);
+        let mut contention = 1.0 + 0.05 * ((concurrency.saturating_sub(1)).min(16) as f64);
+        if self.host_contention != 1.0 {
+            contention *= self.host_contention;
+        }
         let io_time = raw_io.mul_f64(contention / io_scale);
         record.instructions = counters.instructions;
         record.io_time = io_time;

@@ -208,6 +208,15 @@ impl ContainerPool {
     pub fn policy(&self) -> &EvictionPolicy {
         &self.policy
     }
+
+    /// Replaces the eviction policy. Existing containers keep their state;
+    /// the new policy applies from the next [`ContainerPool::advance`] (and
+    /// to [`ContainerPool::observe`]'s survival check). This is how
+    /// keep-alive policies (e.g. a hybrid-histogram controller) retune a
+    /// function's keep-alive on the fly.
+    pub fn set_policy(&mut self, policy: EvictionPolicy) {
+        self.policy = policy;
+    }
 }
 
 #[cfg(test)]

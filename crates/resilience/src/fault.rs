@@ -57,6 +57,31 @@ impl StormWindow {
     }
 }
 
+/// A sim-time window during which each host in a cluster may crash.
+///
+/// Host faults are *cluster-level*: the single-box platform ignores them
+/// entirely (no draws, no behaviour change). A cluster compiles every
+/// window into a concrete per-host crash/recovery schedule up front — a
+/// pure function of (plan, seed, host count) — so the schedule is
+/// byte-identical for every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostCrashWindow {
+    /// When the affected hosts crash (warm pools evicted, in-flight
+    /// invocations failed with a retryable `host-crash` error).
+    pub start: SimTime,
+    /// When the affected hosts recover (empty, all-cold).
+    pub end: SimTime,
+    /// Probability that any given host is hit by this window.
+    pub rate: f64,
+}
+
+impl HostCrashWindow {
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
 /// The declarative fault schedule: all rates are per-event probabilities
 /// in `[0, 1]`; windows are expressed on the simulation clock.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +102,9 @@ pub struct FaultPlan {
     pub outages: Vec<OutageWindow>,
     /// Cold-start storm windows.
     pub storms: Vec<StormWindow>,
+    /// Host crash/recovery windows (cluster-level; ignored by the
+    /// single-box platform).
+    pub host_crashes: Vec<HostCrashWindow>,
 }
 
 impl Default for FaultPlan {
@@ -95,6 +123,7 @@ impl FaultPlan {
             corrupt_payload_rate: 0.0,
             outages: Vec::new(),
             storms: Vec::new(),
+            host_crashes: Vec::new(),
         }
     }
 
@@ -115,6 +144,7 @@ impl FaultPlan {
             && self.corrupt_payload_rate <= 0.0
             && self.outages.is_empty()
             && self.storms.is_empty()
+            && self.host_crashes.is_empty()
     }
 
     /// Whether storage operations need the [`FaultyStore`] wrapper.
@@ -132,6 +162,7 @@ impl FaultPlan {
     /// | `corrupt` | rate | `corrupt_payload_rate` |
     /// | `outage` | `from..to@severity` (seconds) | an [`OutageWindow`] |
     /// | `storm` | `from..to@prob` (seconds) | a [`StormWindow`] |
+    /// | `host` | `from..to@rate` (seconds) | a [`HostCrashWindow`] |
     ///
     /// # Errors
     ///
@@ -172,7 +203,16 @@ impl FaultPlan {
                         spurious_cold: prob,
                     });
                 }
-                other => return Err(format!("unknown fault key `{other}`")),
+                "host" => {
+                    let (start, end, rate) = parse_window(key, value)?;
+                    plan.host_crashes.push(HostCrashWindow { start, end, rate });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault key `{other}` (valid keys: crash, storage, \
+                         stall, corrupt, outage, storm, host)"
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -599,6 +639,35 @@ mod tests {
         assert_eq!(plan.storms[0].spurious_cold, 0.8);
         assert!(plan.has_storage_faults());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_host_crash_windows() {
+        let plan = FaultPlan::parse("host=30..90@0.4").unwrap();
+        assert_eq!(plan.host_crashes.len(), 1);
+        assert_eq!(plan.host_crashes[0].start, at(30));
+        assert_eq!(plan.host_crashes[0].end, at(90));
+        assert_eq!(plan.host_crashes[0].rate, 0.4);
+        assert!(plan.host_crashes[0].contains(at(30)));
+        assert!(!plan.host_crashes[0].contains(at(90)), "end is exclusive");
+        assert!(!plan.is_empty(), "host windows make the plan non-empty");
+        assert!(
+            !plan.has_storage_faults(),
+            "host windows do not touch storage"
+        );
+        assert!(FaultPlan::parse("host=10..5@0.4").is_err());
+        assert!(FaultPlan::parse("host=10..20@1.5").is_err());
+    }
+
+    #[test]
+    fn parse_unknown_key_lists_valid_keys() {
+        let err = FaultPlan::parse("crsh=0.1").unwrap_err();
+        assert!(err.contains("unknown fault key `crsh`"), "{err}");
+        for key in [
+            "crash", "storage", "stall", "corrupt", "outage", "storm", "host",
+        ] {
+            assert!(err.contains(key), "error `{err}` should list `{key}`");
+        }
     }
 
     #[test]

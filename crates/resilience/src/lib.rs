@@ -24,6 +24,7 @@ pub mod fault;
 pub mod retry;
 
 pub use fault::{
-    FaultInjector, FaultPlan, FaultyStore, InjectionCounts, OutageWindow, StormWindow,
+    FaultInjector, FaultPlan, FaultyStore, HostCrashWindow, InjectionCounts, OutageWindow,
+    StormWindow,
 };
 pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, HedgeTracker, RetryPolicy};

@@ -245,7 +245,11 @@ impl RetryPolicy {
     /// only when `jitter > 0` and the un-jittered wait is non-zero.
     pub fn backoff_for(&self, retry_index: u32, rng: &mut StreamRng) -> SimDuration {
         let exp = retry_index.min(30);
-        let wait = (self.base_backoff * (1u64 << exp)).min(self.max_backoff);
+        // Saturating: base backoffs ≳ 17 s doubled 30 times overflow u64
+        // nanoseconds, and a wrapped wait would undershoot the cap.
+        let doubled =
+            SimDuration::from_nanos(self.base_backoff.as_nanos().saturating_mul(1u64 << exp));
+        let wait = doubled.min(self.max_backoff);
         if self.jitter > 0.0 && !wait.is_zero() {
             wait.mul_f64(1.0 + self.jitter * rng.gen::<f64>())
         } else {
@@ -326,7 +330,12 @@ impl RetryPolicy {
                         cooldown: parse_ms(key, ms)?,
                     });
                 }
-                other => return Err(format!("unknown retry key `{other}`")),
+                other => {
+                    return Err(format!(
+                        "unknown retry key `{other}` (valid keys: attempts, base, cap, \
+                         jitter, budget, deadline, hedge, breaker)"
+                    ))
+                }
             }
         }
         Ok(policy)
@@ -403,6 +412,47 @@ mod tests {
             );
         }
         assert_ne!(rng, pristine, "jitter must consume the stream");
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // base 20 s doubled 2^30 times is ~2.1e19 ns > u64::MAX: the plain
+        // multiply wraps to a tiny wait, undershooting the cap. The fix
+        // saturates, so the wait clamps to the cap.
+        let policy = RetryPolicy {
+            max_attempts: 40,
+            base_backoff: SimDuration::from_secs(20),
+            max_backoff: SimDuration::from_secs(30),
+            ..RetryPolicy::none()
+        };
+        let mut rng = SimRng::new(3).stream("retry-backoff");
+        for retry_index in [0, 1, 29, 30, 31, 200] {
+            let wait = policy.backoff_for(retry_index, &mut rng);
+            assert!(
+                wait <= policy.max_backoff,
+                "retry {retry_index}: wait {wait} exceeds the cap"
+            );
+            assert!(
+                wait >= policy.base_backoff.min(policy.max_backoff),
+                "retry {retry_index}: wait {wait} wrapped below the base"
+            );
+        }
+        assert_eq!(
+            policy.backoff_for(30, &mut rng),
+            SimDuration::from_secs(30),
+            "the saturated product must clamp to max_backoff"
+        );
+    }
+
+    #[test]
+    fn parse_unknown_key_lists_valid_keys() {
+        let err = RetryPolicy::parse("atempts=3").unwrap_err();
+        assert!(err.contains("unknown retry key `atempts`"), "{err}");
+        for key in [
+            "attempts", "base", "cap", "jitter", "budget", "deadline", "hedge", "breaker",
+        ] {
+            assert!(err.contains(key), "error `{err}` should list `{key}`");
+        }
     }
 
     #[test]
